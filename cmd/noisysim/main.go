@@ -1,0 +1,160 @@
+// Command noisysim runs the reproduction experiments for "Broadcasting in
+// Noisy Radio Networks" (PODC 2017) and prints their tables.
+//
+// Usage:
+//
+//	noisysim -list                 # list experiments
+//	noisysim -exp E9               # run one experiment
+//	noisysim -exp all              # run the whole suite (EXPERIMENTS.md data)
+//	noisysim -exp E9 -quick        # reduced sweep for a fast look
+//	noisysim -exp E13 -trials 12 -seed 7 -workers 8
+//
+// Demo mode traces one small broadcast round by round:
+//
+//	noisysim -demo decay -n 24 -p 0.3 -fault receiver -seed 3
+//	noisysim -demo robust-fastbc -n 40 -fault sender -p 0.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/experiments"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+	"noisyradio/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "noisysim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("noisysim", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
+		list    = fs.Bool("list", false, "list available experiments")
+		trials  = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
+		seed    = fs.Uint64("seed", 1, "base random seed")
+		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		quick   = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		asJSON  = fs.Bool("json", false, "emit experiment tables as a JSON array")
+		demo    = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
+		demoN   = fs.Int("n", 24, "demo: path length")
+		demoP   = fs.Float64("p", 0.3, "demo: fault probability")
+		faultMd = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *demo != "" {
+		return runDemo(out, *demo, *demoN, *demoP, *faultMd, *seed)
+	}
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -exp (or -list)")
+	}
+	cfg := experiments.Config{
+		Trials:  *trials,
+		Seed:    *seed,
+		Workers: *workers,
+		Quick:   *quick,
+	}
+	var entries []experiments.Entry
+	if strings.EqualFold(*exp, "all") {
+		entries = experiments.Registry()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.Lookup(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			entries = append(entries, e)
+		}
+	}
+	if *asJSON {
+		tables := make([]experiments.Table, 0, len(entries))
+		for _, e := range entries {
+			tbl, err := e.Run(cfg)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			tables = append(tables, tbl)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tables)
+	}
+	for _, e := range entries {
+		start := time.Now()
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		fmt.Fprint(out, tbl.String())
+		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// runDemo traces one single-message broadcast on a small path and renders
+// the round-by-round timeline.
+func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64) error {
+	if n < 2 {
+		return fmt.Errorf("demo needs -n >= 2, got %d", n)
+	}
+	var cfg radio.Config
+	switch faultName {
+	case "none":
+		cfg = radio.Config{Fault: radio.Faultless}
+	case "sender":
+		cfg = radio.Config{Fault: radio.SenderFaults, P: p}
+	case "receiver":
+		cfg = radio.Config{Fault: radio.ReceiverFaults, P: p}
+	default:
+		return fmt.Errorf("unknown fault model %q (none|sender|receiver)", faultName)
+	}
+	top := graph.Path(n)
+	rec := trace.NewRecorder(top.G.N())
+	opts := broadcast.Options{Trace: rec.Observe}
+	r := rng.New(seed)
+
+	var (
+		res broadcast.Result
+		err error
+	)
+	switch algo {
+	case "decay":
+		res, err = broadcast.Decay(top, cfg, r, opts)
+	case "fastbc":
+		res, err = broadcast.FASTBC(top, cfg, r, opts)
+	case "robust-fastbc":
+		res, err = broadcast.RobustFASTBC(top, cfg, r, opts, broadcast.RobustParams{})
+	default:
+		return fmt.Errorf("unknown algorithm %q (decay|fastbc|robust-fastbc)", algo)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "%s on %s, %s p=%.2f, seed %d\n", algo, top.Name, cfg.Fault, cfg.P, seed)
+	fmt.Fprintf(out, "result: success=%v rounds=%d informed=%d\n", res.Success, res.Rounds, res.Informed)
+	fmt.Fprintf(out, "channel: %+v\n", res.Channel)
+	fmt.Fprintf(out, "%s\n\n", rec.Summary())
+	fmt.Fprint(out, rec.Timeline(40))
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI entry with args and returns its stdout.
+func capture(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := run(args, f)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestList(t *testing.T) {
+	out, err := capture(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E13", "E19", "F1", "A2"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("list output missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, "-exp", "F2", "-quick", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== F2: WCT construction ==") {
+		t.Fatalf("missing table header:\n%s", out)
+	}
+	if !strings.Contains(out, "(F2 in ") {
+		t.Fatalf("missing timing footer:\n%s", out)
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	out, err := capture(t, "-exp", "F1, F2", "-quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "== F1") || !strings.Contains(out, "== F2") {
+		t.Fatalf("comma-separated ids not both run:\n%s", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, "-exp", "E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestMissingExpFlag(t *testing.T) {
+	if _, err := capture(t); err == nil {
+		t.Fatal("no arguments accepted")
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	out, err := capture(t, "-exp", "F1,F2", "-quick", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []struct {
+		ID      string     `json:"id"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(tables) != 2 || tables[0].ID != "F1" || tables[1].ID != "F2" {
+		t.Fatalf("tables = %+v", tables)
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 || len(tbl.Columns) == 0 {
+			t.Fatalf("empty table %s", tbl.ID)
+		}
+	}
+}
+
+func TestDemoDecay(t *testing.T) {
+	out, err := capture(t, "-demo", "decay", "-n", "12", "-p", "0.2", "-fault", "receiver", "-seed", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"decay on path(n=12)", "success=true", "round |"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("demo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDemoAllAlgorithmsAndModels(t *testing.T) {
+	for _, algo := range []string{"decay", "fastbc", "robust-fastbc"} {
+		for _, fault := range []string{"none", "sender", "receiver"} {
+			out, err := capture(t, "-demo", algo, "-n", "10", "-fault", fault, "-seed", "5")
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, fault, err)
+			}
+			if !strings.Contains(out, "success=true") {
+				t.Fatalf("%s/%s did not succeed:\n%s", algo, fault, out)
+			}
+		}
+	}
+}
+
+func TestDemoValidation(t *testing.T) {
+	if _, err := capture(t, "-demo", "bogus"); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := capture(t, "-demo", "decay", "-fault", "bogus"); err == nil {
+		t.Fatal("unknown fault model accepted")
+	}
+	if _, err := capture(t, "-demo", "decay", "-n", "1"); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+}

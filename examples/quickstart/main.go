@@ -1,0 +1,53 @@
+// Quickstart: broadcast one message through a noisy radio network with each
+// of the paper's three algorithms and compare round counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"noisyradio"
+)
+
+func main() {
+	// A 32×32 grid: 1024 nodes, diameter 62, source in a corner.
+	top := noisyradio.Grid(32, 32)
+
+	// Receiver faults with p = 0.3: every otherwise-successful reception is
+	// independently destroyed with probability 0.3.
+	cfg := noisyradio.Config{Fault: noisyradio.ReceiverFaults, P: 0.3}
+
+	r := noisyradio.NewRand(42)
+
+	decay, err := noisyradio.Decay(top, cfg, r, noisyradio.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fastbc, err := noisyradio.FASTBC(top, cfg, r, noisyradio.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	robust, err := noisyradio.RobustFASTBC(top, cfg, r, noisyradio.Options{}, noisyradio.RobustParams{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("topology: %s (n=%d, D=%d), noise: %s p=%.1f\n\n",
+		top.Name, top.G.N(), top.G.Eccentricity(top.Source), cfg.Fault, cfg.P)
+	fmt.Printf("%-15s %8s  %s\n", "algorithm", "rounds", "success")
+	for _, row := range []struct {
+		name string
+		res  noisyradio.Result
+	}{
+		{name: "decay", res: decay},
+		{name: "fastbc", res: fastbc},
+		{name: "robust-fastbc", res: robust},
+	} {
+		fmt.Printf("%-15s %8d  %v\n", row.name, row.res.Rounds, row.res.Success)
+	}
+	fmt.Println("\nDecay needs no topology knowledge; FASTBC and Robust FASTBC build a")
+	fmt.Println("GBST from the known topology. Under noise, Robust FASTBC (Theorem 11)")
+	fmt.Println("retains FASTBC's diameter-linearity while FASTBC's wave degrades (Lemma 10).")
+}

@@ -1,0 +1,167 @@
+// Package bitset provides a dense, fixed-capacity bitset used by the radio
+// simulator to track informed nodes, per-round broadcasters and reception
+// reports. It is deliberately minimal: no dynamic growth, no concurrency —
+// the simulator is single-threaded per trial.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-size set of integers in [0, Len()).
+// The zero value is an empty set of length zero; use New for a usable set.
+type Set struct {
+	words []uint64
+	n     int
+}
+
+// New returns an empty set with capacity for n elements.
+func New(n int) *Set {
+	if n < 0 {
+		n = 0
+	}
+	return &Set{
+		words: make([]uint64, (n+wordBits-1)/wordBits),
+		n:     n,
+	}
+}
+
+// Len returns the capacity of the set (the number of addressable bits).
+func (s *Set) Len() int { return s.n }
+
+// Set marks element i as present.
+func (s *Set) Set(i int) {
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear marks element i as absent.
+func (s *Set) Clear(i int) {
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether element i is present.
+func (s *Set) Test(i int) bool {
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of present elements.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Full reports whether every element in [0, Len()) is present.
+func (s *Set) Full() bool {
+	return s.Count() == s.n
+}
+
+// Empty reports whether no element is present.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset clears all elements.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill sets all elements in [0, Len()).
+func (s *Set) Fill() {
+	for i := 0; i < s.n; i++ {
+		s.Set(i)
+	}
+}
+
+// Union adds every element of other to s. Both sets must have the same length.
+func (s *Set) Union(other *Set) {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: union of mismatched lengths %d and %d", s.n, other.n))
+	}
+	for i, w := range other.words {
+		s.words[i] |= w
+	}
+}
+
+// CopyFrom makes s an exact copy of other. Both sets must have the same length.
+func (s *Set) CopyFrom(other *Set) {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: copy of mismatched lengths %d and %d", s.n, other.n))
+	}
+	copy(s.words, other.words)
+}
+
+// Clone returns a new independent copy of s.
+func (s *Set) Clone() *Set {
+	c := New(s.n)
+	copy(c.words, s.words)
+	return c
+}
+
+// ForEach calls fn for every present element in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Next returns the smallest present element >= i, or -1 if none exists.
+func (s *Set) Next(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// Elements returns all present elements in ascending order.
+func (s *Set) Elements() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as a compact element list, e.g. "{0 3 17}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,175 @@
+// Package broadcast implements the paper's contribution: single- and
+// multi-message broadcast algorithms for the (noisy) radio network model and
+// the routing/coding schedules behind its throughput-gap theorems.
+//
+// Single-message algorithms (Section 4.1):
+//
+//   - Decay   — Bar-Yehuda, Goldreich, Itai [5]; robust as-is (Lemma 9).
+//   - FASTBC  — Gąsieniec, Peleg, Xin [22]; diameter-linear when faultless
+//     (Lemma 8) but deteriorating to Θ(p/(1-p)·D log n) under faults
+//     (Lemma 10).
+//   - Robust FASTBC — the paper's new algorithm; diameter-linear under
+//     sender or receiver faults (Theorem 11).
+//
+// Multi-message algorithms (Sections 4.2 and 5): random linear network
+// coding on top of Decay and Robust FASTBC (Lemmas 12–13), the adaptive
+// routing and Reed–Solomon coding schedules for the star (Lemmas 15–16),
+// the single-link schedules (Appendix A), the WCT schedules (Lemmas 19–23),
+// and the sender-fault transformations (Lemmas 25–26).
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Result reports the outcome of one broadcast execution.
+type Result struct {
+	// Rounds is the number of rounds executed until success or the cap.
+	Rounds int
+	// Success reports whether every node was informed (or decoded all
+	// messages) before the round cap.
+	Success bool
+	// Informed is the number of informed nodes at termination.
+	Informed int
+	// Channel holds channel-level accounting from the radio engine.
+	Channel radio.Stats
+}
+
+// Options tunes an execution. The zero value selects sensible defaults.
+type Options struct {
+	// MaxRounds caps the execution; 0 selects a generous default derived
+	// from the topology and noise level.
+	MaxRounds int
+	// Trace, if non-nil, observes every executed round (broadcasters and
+	// successful receivers). Intended for small demonstrative runs; see
+	// internal/trace.
+	Trace radio.TraceFunc
+}
+
+// defaultMaxRounds returns a cap comfortably above every algorithm's
+// high-probability bound so that caps only trigger on genuine failures.
+func defaultMaxRounds(n, diameter int, cfg radio.Config) int {
+	logn := float64(graph.Log2Ceil(n) + 1)
+	slack := 1.0
+	if cfg.Fault != radio.Faultless {
+		slack = 1 / (1 - cfg.P)
+	}
+	est := slack * (40*float64(diameter+1)*logn + 60*logn*logn + 1000)
+	if est > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int(est)
+}
+
+// resolveMaxRounds applies the default when opts leaves MaxRounds unset.
+func resolveMaxRounds(opts Options, n, diameter int, cfg radio.Config) int {
+	if opts.MaxRounds > 0 {
+		return opts.MaxRounds
+	}
+	return defaultMaxRounds(n, diameter, cfg)
+}
+
+// decayPhaseLen returns the Decay phase length for n nodes: probabilities
+// 2^-1 .. 2^-phaseLen cover every possible informed-neighbour count.
+func decayPhaseLen(n int) int {
+	return graph.Log2Ceil(n) + 1
+}
+
+// singleRunner drives the shared informed-set loop of the single-message
+// algorithms: per round, a schedule fills the broadcast vector from the
+// informed set; the radio engine resolves receptions; receivers join the
+// informed set.
+//
+// informedList mirrors the informed bitset in arrival order so schedules can
+// Bernoulli-sample broadcasters in O(expected broadcasters) time via
+// geometric skips rather than O(n) per round.
+type singleRunner struct {
+	net          *radio.Network[struct{}]
+	informed     *bitset.Set
+	informedList []int32
+	bc           []bool
+	cleared      []int32 // bc entries set this round, for O(broadcasters) reset
+	payload      []struct{}
+	rnd          *rng.Stream
+}
+
+func newSingleRunner(g *graph.Graph, src int, cfg radio.Config, r *rng.Stream) (*singleRunner, error) {
+	net, err := radio.New[struct{}](g, cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	informed := bitset.New(g.N())
+	informed.Set(src)
+	return &singleRunner{
+		net:          net,
+		informed:     informed,
+		informedList: []int32{int32(src)},
+		bc:           make([]bool, g.N()),
+		payload:      make([]struct{}, g.N()),
+		rnd:          r,
+	}, nil
+}
+
+// mark sets v to broadcast this round.
+func (s *singleRunner) mark(v int32) {
+	if !s.bc[v] {
+		s.bc[v] = true
+		s.cleared = append(s.cleared, v)
+	}
+}
+
+// decayStep marks each informed node with probability p using geometric
+// skips over the informed list: expected cost O(p·|informed|).
+func (s *singleRunner) decayStep(p float64) {
+	pos := -1
+	for {
+		pos += s.rnd.Geometric(p)
+		if pos >= len(s.informedList) {
+			return
+		}
+		s.mark(s.informedList[pos])
+	}
+}
+
+// run executes schedule until all nodes are informed or maxRounds elapse.
+// schedule must mark broadcasters via mark/decayStep for the given round.
+func (s *singleRunner) run(maxRounds int, schedule func(round int)) Result {
+	n := s.informed.Len()
+	round := 0
+	for ; round < maxRounds && len(s.informedList) < n; round++ {
+		schedule(round)
+		s.net.Step(s.bc, s.payload, func(d radio.Delivery[struct{}]) {
+			if !s.informed.Test(d.To) {
+				s.informed.Set(d.To)
+				s.informedList = append(s.informedList, int32(d.To))
+			}
+		})
+		for _, v := range s.cleared {
+			s.bc[v] = false
+		}
+		s.cleared = s.cleared[:0]
+	}
+	return Result{
+		Rounds:   round,
+		Success:  len(s.informedList) == n,
+		Informed: len(s.informedList),
+		Channel:  s.net.Stats(),
+	}
+}
+
+// validateTopology rejects graphs on which broadcast cannot terminate.
+func validateTopology(top graph.Topology) error {
+	if top.G == nil {
+		return fmt.Errorf("broadcast: nil graph in topology %q", top.Name)
+	}
+	if top.Source < 0 || top.Source >= top.G.N() {
+		return fmt.Errorf("broadcast: source %d out of range for %q", top.Source, top.Name)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package broadcast
+
+import (
+	"math"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Decay runs the classic Decay algorithm [Bar-Yehuda, Goldreich, Itai 1992]
+// for single-message broadcast from the topology's source (Section 3.4.1).
+//
+// Rounds are grouped into phases of ⌈log₂ n⌉+1 rounds; in the i-th round of
+// a phase every informed node broadcasts independently with probability
+// 2^-i. The algorithm needs no topology knowledge and, per Lemma 9, remains
+// robust under sender or receiver faults: it completes in
+// O(log n/(1-p) · (D + log n + log 1/δ)) rounds with failure probability δ.
+func Decay(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Options) (Result, error) {
+	if err := validateTopology(top); err != nil {
+		return Result{}, err
+	}
+	g := top.G
+	runner, err := newSingleRunner(g, top.Source, cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	runner.net.SetTrace(opts.Trace)
+	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
+	phaseLen := decayPhaseLen(g.N())
+	probs := decayProbabilities(phaseLen)
+
+	res := runner.run(maxRounds, func(round int) {
+		runner.decayStep(probs[round%phaseLen])
+	})
+	return res, nil
+}
+
+// decayProbabilities precomputes 2^-(i+1) for the i-th round of a phase.
+func decayProbabilities(phaseLen int) []float64 {
+	probs := make([]float64, phaseLen)
+	for i := range probs {
+		probs[i] = math.Exp2(-float64(i + 1))
+	}
+	return probs
+}
+
+// DecayUnknownN runs Decay without any knowledge of the network — not even
+// its size. Where the standard algorithm cycles broadcast probabilities
+// 2^-1..2^-⌈log n⌉ (which requires knowing n to size the phase), this
+// variant sweeps growing epochs — the e-th epoch uses probabilities
+// 2^-1..2^-e — capped at 62, which covers every representable n. The
+// growing prefix makes early progress cheap while the informed sets are
+// small; once the cap is reached this is exactly Decay with phase length
+// 62, so the rounds bound is O((D + log n)·max(log n, 62)/(1-p)): the
+// Lemma 6/9 guarantee for every practical n, at a 62/⌈log n⌉ constant
+// overhead that the package tests measure. (A schedule with o(log n)
+// overhead without knowing n is a different research problem; this is the
+// honest engineering trade.)
+func DecayUnknownN(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Options) (Result, error) {
+	if err := validateTopology(top); err != nil {
+		return Result{}, err
+	}
+	g := top.G
+	runner, err := newSingleRunner(g, top.Source, cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	runner.net.SetTrace(opts.Trace)
+	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
+	// The epoch cap keeps probabilities meaningful once epochs are longer
+	// than any informed set could require; growth beyond 63 would underflow
+	// 2^-i anyway.
+	const epochCap = 62
+
+	epoch, pos := 1, 0
+	res := runner.run(maxRounds, func(round int) {
+		runner.decayStep(math.Exp2(-float64(pos + 1)))
+		pos++
+		if pos >= epoch {
+			pos = 0
+			if epoch < epochCap {
+				epoch++
+			}
+		}
+	})
+	return res, nil
+}

@@ -1,0 +1,71 @@
+package broadcast
+
+import (
+	"noisyradio/internal/gbst"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// FASTBC runs the known-topology, diameter-linear broadcast algorithm of
+// Gąsieniec, Peleg and Xin [22] (Section 3.4.2).
+//
+// A GBST is built from the source. Odd-numbered rounds run a standard Decay
+// step over all informed nodes (pushing the message across slow edges);
+// during even-numbered round 2t, an informed fast node at level l with rank
+// r broadcasts iff t ≡ l - 6r (mod 6·rmax), which rides the message along
+// fast stretches as a non-interfering wave.
+//
+// In the faultless model FASTBC completes in D + O(log²n) rounds (Lemma 8).
+// Under sender or receiver faults its round-counting wave breaks and the
+// expected time on a path degrades to Θ(p/(1-p)·D·log n + D/(1-p))
+// (Lemma 10) — the deterioration this repository's experiment E4 measures.
+func FASTBC(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Options) (Result, error) {
+	if err := validateTopology(top); err != nil {
+		return Result{}, err
+	}
+	g := top.G
+	tree, err := gbst.Build(g, top.Source)
+	if err != nil {
+		return Result{}, err
+	}
+	runner, err := newSingleRunner(g, top.Source, cfg, r)
+	if err != nil {
+		return Result{}, err
+	}
+	runner.net.SetTrace(opts.Trace)
+	maxRounds := resolveMaxRounds(opts, g.N(), tree.Depth, cfg)
+	phaseLen := decayPhaseLen(g.N())
+	probs := decayProbabilities(phaseLen)
+	period := 6 * tree.MaxRank
+
+	// Bucket fast nodes by wave slot (l - 6r mod period) so a fast round
+	// only touches the nodes scheduled for it.
+	buckets := make([][]int32, period)
+	for v := 0; v < g.N(); v++ {
+		if !tree.IsFast(v) {
+			continue
+		}
+		s := (int(tree.Level[v]) - 6*int(tree.Rank[v])) % period
+		if s < 0 {
+			s += period
+		}
+		buckets[s] = append(buckets[s], int32(v))
+	}
+
+	res := runner.run(maxRounds, func(round int) {
+		if round%2 == 1 { // slow transmission round: Decay step
+			t := (round - 1) / 2
+			runner.decayStep(probs[t%phaseLen])
+			return
+		}
+		// Fast transmission round 2t.
+		t := round / 2
+		for _, v := range buckets[t%period] {
+			if runner.informed.Test(int(v)) {
+				runner.mark(v)
+			}
+		}
+	})
+	return res, nil
+}

@@ -1,0 +1,289 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/gbst"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rlnc"
+	"noisyradio/internal/rng"
+)
+
+// MultiResult reports the outcome of a k-message broadcast execution.
+type MultiResult struct {
+	// Rounds is the number of rounds executed until success or the cap.
+	Rounds int
+	// Success reports whether every node decoded (or received) all k
+	// messages before the round cap.
+	Success bool
+	// Done is the number of nodes holding all k messages at termination.
+	Done int
+	// Channel holds channel-level accounting from the radio engine.
+	Channel radio.Stats
+}
+
+// Throughput returns the realised messages-per-round k/Rounds, the
+// empirical counterpart of Definition 1; 0 if the execution failed.
+func (m MultiResult) Throughput(k int) float64 {
+	if !m.Success || m.Rounds == 0 {
+		return 0
+	}
+	return float64(k) / float64(m.Rounds)
+}
+
+// RLNCPattern selects which single-message algorithm's broadcast pattern
+// drives the coded multi-message broadcast (Section 4.2).
+type RLNCPattern int
+
+const (
+	// RLNCDecay drives RLNC with Decay's pattern: Lemma 12, k messages in
+	// O(D log n + k log n + log² n) rounds, throughput Ω(1/log n).
+	RLNCDecay RLNCPattern = iota + 1
+	// RLNCRobustFASTBC drives RLNC with Robust FASTBC's pattern: Lemma 13,
+	// k messages in O(D + k log n log log n + log² n log log n) rounds,
+	// throughput Ω(1/(log n log log n)).
+	RLNCRobustFASTBC
+)
+
+// String returns the pattern name.
+func (p RLNCPattern) String() string {
+	switch p {
+	case RLNCDecay:
+		return "rlnc-decay"
+	case RLNCRobustFASTBC:
+		return "rlnc-robust-fastbc"
+	default:
+		return fmt.Sprintf("RLNCPattern(%d)", int(p))
+	}
+}
+
+// RLNCOptions tunes a coded multi-message broadcast.
+type RLNCOptions struct {
+	// MaxRounds caps the execution; 0 selects a default scaled by k.
+	MaxRounds int
+	// Robust tunes the Robust FASTBC pattern.
+	Robust RobustParams
+}
+
+// RandomMessages draws k uniformly random messages of payloadLen bytes —
+// the paper's O(log nk)-bit messages.
+func RandomMessages(k, payloadLen int, r *rng.Stream) [][]byte {
+	msgs := make([][]byte, k)
+	for i := range msgs {
+		msgs[i] = make([]byte, payloadLen)
+		r.Bytes(msgs[i])
+	}
+	return msgs
+}
+
+// SequentialDecayRouting broadcasts k messages one after another with the
+// Decay algorithm — the naive routing baseline the coded schedules of
+// Lemmas 12–13 are compared against. Its throughput is Θ(1/(D log n)),
+// asymptotically worse than both coding (Ω(1/log n)) and the pipelined
+// routing of Lemma 21 (Ω(1/log² n)).
+func SequentialDecayRouting(top graph.Topology, cfg radio.Config, k int, r *rng.Stream, opts Options) (MultiResult, error) {
+	if err := validateTopology(top); err != nil {
+		return MultiResult{}, err
+	}
+	if k < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: sequential routing needs k >= 1, got %d", k)
+	}
+	out := MultiResult{Success: true, Done: top.G.N()}
+	for i := 0; i < k; i++ {
+		res, err := Decay(top, cfg, r, opts)
+		if err != nil {
+			return MultiResult{}, err
+		}
+		out.Rounds += res.Rounds
+		out.Channel.Rounds += res.Channel.Rounds
+		out.Channel.Broadcasts += res.Channel.Broadcasts
+		out.Channel.Deliveries += res.Channel.Deliveries
+		out.Channel.Collisions += res.Channel.Collisions
+		out.Channel.SenderFaults += res.Channel.SenderFaults
+		out.Channel.ReceiverFaults += res.Channel.ReceiverFaults
+		if !res.Success {
+			out.Success = false
+			out.Done = res.Informed
+			return out, nil
+		}
+	}
+	return out, nil
+}
+
+// RLNCBroadcast broadcasts the given messages from the source with random
+// linear network coding, using the given pattern to select broadcasters
+// (Lemmas 12 and 13). A node participates once its subspace is non-empty
+// and every transmission is a fresh random combination of what the node
+// holds; the run succeeds when every node's decoder reaches rank k.
+//
+// All messages must share one non-zero length (opts.PayloadLen is ignored
+// in favour of the messages' length). It returns the result together with a
+// witness decode from a non-source node, for end-to-end verification.
+func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, pattern RLNCPattern, r *rng.Stream, opts RLNCOptions) (MultiResult, [][]byte, error) {
+	if err := validateTopology(top); err != nil {
+		return MultiResult{}, nil, err
+	}
+	k := len(messages)
+	if k < 1 {
+		return MultiResult{}, nil, fmt.Errorf("broadcast: need at least one message")
+	}
+	payloadLen := len(messages[0])
+	if payloadLen == 0 {
+		return MultiResult{}, nil, fmt.Errorf("broadcast: empty message payloads")
+	}
+	g := top.G
+	n := g.N()
+
+	net, err := radio.New[rlnc.Packet](g, cfg, r)
+	if err != nil {
+		return MultiResult{}, nil, err
+	}
+	decoders := make([]*rlnc.Decoder, n)
+	for v := range decoders {
+		decoders[v] = rlnc.NewDecoder(k, payloadLen)
+	}
+	src, err := rlnc.SourceDecoder(messages)
+	if err != nil {
+		return MultiResult{}, nil, err
+	}
+	decoders[top.Source] = src
+
+	// Pattern state: "active" nodes (non-empty subspace) play the role of
+	// informed nodes in the single-message algorithms.
+	active := bitset.New(n)
+	active.Set(top.Source)
+	activeList := []int32{int32(top.Source)}
+	decoded := 1 // source counts as done
+	doneSet := bitset.New(n)
+	doneSet.Set(top.Source)
+
+	var tree *gbst.Tree
+	var buckets [][]int32
+	var period, cS int
+	var levels []int32
+	if pattern == RLNCRobustFASTBC {
+		tree, err = gbst.Build(g, top.Source)
+		if err != nil {
+			return MultiResult{}, nil, err
+		}
+		pr := opts.Robust.withDefaults(n, cfg)
+		period = 6 * tree.MaxRank
+		cS = pr.RoundMult * pr.BlockSize
+		buckets = make([][]int32, period)
+		for v := 0; v < n; v++ {
+			if !tree.IsFast(v) {
+				continue
+			}
+			s := (int(tree.Level[v])/pr.BlockSize - 6*int(tree.Rank[v])) % period
+			if s < 0 {
+				s += period
+			}
+			buckets[s] = append(buckets[s], int32(v))
+		}
+		levels = tree.Level
+	} else if pattern != RLNCDecay {
+		return MultiResult{}, nil, fmt.Errorf("broadcast: unknown RLNC pattern %d", int(pattern))
+	}
+
+	diam := g.Eccentricity(top.Source)
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(n, diam, cfg) + 80*k*(graph.Log2Ceil(n)+2)
+	}
+	phaseLen := decayPhaseLen(n)
+	probs := decayProbabilities(phaseLen)
+
+	bc := make([]bool, n)
+	payload := make([]rlnc.Packet, n)
+	var marked []int32
+	mark := func(v int32) {
+		if !bc[v] {
+			bc[v] = true
+			marked = append(marked, v)
+		}
+	}
+	decaySample := func(p float64) {
+		pos := -1
+		for {
+			pos += r.Geometric(p)
+			if pos >= len(activeList) {
+				return
+			}
+			mark(activeList[pos])
+		}
+	}
+
+	round := 0
+	for ; round < maxRounds && decoded < n; round++ {
+		switch pattern {
+		case RLNCDecay:
+			decaySample(probs[round%phaseLen])
+		case RLNCRobustFASTBC:
+			if round%2 == 1 {
+				t := (round - 1) / 2
+				decaySample(probs[t%phaseLen])
+			} else {
+				t := round
+				activeBlock := (t / 2 / cS) % period
+				mod3 := int32(t % 3)
+				for _, v := range buckets[activeBlock] {
+					if levels[v]%3 == mod3 && active.Test(int(v)) {
+						mark(v)
+					}
+				}
+			}
+		}
+		for _, v := range marked {
+			pkt, ok := decoders[v].RandomCombination(r)
+			if !ok {
+				bc[v] = false
+				continue
+			}
+			payload[v] = pkt
+		}
+		net.Step(bc, payload, func(d radio.Delivery[rlnc.Packet]) {
+			dec := decoders[d.To]
+			wasDecodable := dec.CanDecode()
+			innovative, insErr := dec.InsertPacket(d.Payload.Clone())
+			if insErr != nil {
+				// Cannot happen: packet shapes are fixed by construction.
+				panic(insErr)
+			}
+			if innovative && !active.Test(d.To) {
+				active.Set(d.To)
+				activeList = append(activeList, int32(d.To))
+			}
+			if !wasDecodable && dec.CanDecode() && !doneSet.Test(d.To) {
+				doneSet.Set(d.To)
+				decoded++
+			}
+		})
+		for _, v := range marked {
+			bc[v] = false
+		}
+		marked = marked[:0]
+	}
+
+	res := MultiResult{
+		Rounds:  round,
+		Success: decoded == n,
+		Done:    decoded,
+		Channel: net.Stats(),
+	}
+	if !res.Success {
+		return res, nil, nil
+	}
+	// Return one non-source node's decode for verification (or the source's
+	// for n == 1).
+	verify := top.Source
+	if n > 1 {
+		verify = (top.Source + 1) % n
+	}
+	got, err := decoders[verify].Decode()
+	if err != nil {
+		return res, nil, fmt.Errorf("broadcast: internal: decode after success: %w", err)
+	}
+	return res, got, nil
+}

@@ -1,0 +1,178 @@
+package broadcast
+
+// The FASTBC family's correctness rests on a structural claim (Sections
+// 3.4.2 and 4.1): fast nodes scheduled in the same fast round never
+// interfere at their intended receivers, because same-rank fast nodes sit
+// 6·rmax levels apart (and the GBST property allows only one per (level,
+// rank)), different-rank fast nodes sit >= 6 levels apart, and a BFS
+// decomposition has no edges across two or more levels. These tests verify
+// the claim exhaustively on random graphs: in the worst case where *every*
+// node is informed, each scheduled node's fast child hears exactly one
+// broadcaster.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"noisyradio/internal/gbst"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// fastbcScheduled returns the fast nodes broadcasting in fast round t under
+// FASTBC's slot rule.
+func fastbcScheduled(tree *gbst.Tree, t int) []int32 {
+	period := 6 * tree.MaxRank
+	var out []int32
+	for v := 0; v < tree.N(); v++ {
+		if !tree.IsFast(v) {
+			continue
+		}
+		s := (int(tree.Level[v]) - 6*int(tree.Rank[v])) % period
+		if s < 0 {
+			s += period
+		}
+		if s == t%period {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// robustScheduled returns the fast nodes broadcasting in even round t under
+// Robust FASTBC's block rule with block size S and multiplier c.
+func robustScheduled(tree *gbst.Tree, t, s, c int) []int32 {
+	period := 6 * tree.MaxRank
+	cS := c * s
+	active := (t / 2 / cS) % period
+	var out []int32
+	for v := 0; v < tree.N(); v++ {
+		if !tree.IsFast(v) {
+			continue
+		}
+		slot := (int(tree.Level[v])/s - 6*int(tree.Rank[v])) % period
+		if slot < 0 {
+			slot += period
+		}
+		if slot == active && int(tree.Level[v])%3 == t%3 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// assertNoInterference checks every scheduled node's fast child hears
+// exactly one broadcaster among the scheduled set.
+func assertNoInterference(t *testing.T, g *graph.Graph, tree *gbst.Tree, scheduled []int32, context string) {
+	t.Helper()
+	isTx := make(map[int32]bool, len(scheduled))
+	for _, v := range scheduled {
+		isTx[v] = true
+	}
+	for _, v := range scheduled {
+		child := tree.FastChild[v]
+		if isTx[child] {
+			t.Fatalf("%s: intended receiver %d is itself broadcasting", context, child)
+		}
+		count := 0
+		for _, u := range g.Neighbors(int(child)) {
+			if isTx[u] {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("%s: fast child %d of %d hears %d broadcasters, want 1", context, child, v, count)
+		}
+	}
+}
+
+func TestFASTBCWaveNonInterference(t *testing.T) {
+	r := rng.New(61)
+	tops := []graph.Topology{
+		graph.Grid(10, 10),
+		graph.Lollipop(6, 80),
+		graph.GNP(150, 0.03, r.Split()),
+		graph.Caterpillar(20, 2),
+	}
+	for _, top := range tops {
+		tree, err := gbst.Build(top.G, top.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		period := 6 * tree.MaxRank
+		for tt := 0; tt < period; tt++ {
+			assertNoInterference(t, top.G, tree, fastbcScheduled(tree, tt), top.Name)
+		}
+	}
+}
+
+func TestRobustFASTBCWaveNonInterference(t *testing.T) {
+	r := rng.New(62)
+	tops := []graph.Topology{
+		graph.Grid(10, 10),
+		graph.Lollipop(6, 80),
+		graph.GNP(150, 0.03, r.Split()),
+	}
+	const s, c = 3, 5
+	for _, top := range tops {
+		tree, err := gbst.Build(top.G, top.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		period := 6 * tree.MaxRank
+		// One full wave cycle of even rounds.
+		for tt := 0; tt < 2*period*c*s; tt += 2 {
+			assertNoInterference(t, top.G, tree, robustScheduled(tree, tt, s, c), top.Name)
+		}
+	}
+}
+
+// Property: non-interference holds on arbitrary random connected graphs for
+// both schedules.
+func TestQuickWaveNonInterference(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%80 + 5
+		top := graph.GNP(n, 3.0/float64(n), rng.New(seed))
+		tree, err := gbst.Build(top.G, top.Source)
+		if err != nil {
+			return false
+		}
+		period := 6 * tree.MaxRank
+		check := func(scheduled []int32) bool {
+			isTx := make(map[int32]bool, len(scheduled))
+			for _, v := range scheduled {
+				isTx[v] = true
+			}
+			for _, v := range scheduled {
+				child := tree.FastChild[v]
+				if isTx[child] {
+					return false
+				}
+				count := 0
+				for _, u := range top.G.Neighbors(int(child)) {
+					if isTx[u] {
+						count++
+					}
+				}
+				if count != 1 {
+					return false
+				}
+			}
+			return true
+		}
+		for tt := 0; tt < period; tt++ {
+			if !check(fastbcScheduled(tree, tt)) {
+				return false
+			}
+		}
+		for tt := 0; tt < 2*period*10; tt += 2 {
+			if !check(robustScheduled(tree, tt, 2, 5)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Appendix A: schedules on the single-link topology (two nodes, one edge).
+// Together they exhibit a Θ(log k) coding gap against non-adaptive routing
+// (Lemmas 29–31) that collapses to Θ(1) once routing may adapt (Lemmas
+// 32–33).
+
+// DefaultSingleLinkRepeats returns the per-message repetition count the
+// Lemma 29 schedule needs for failure probability <= 1/k: the smallest r
+// with k·p^r <= 1/k, i.e. ⌈2·ln k / ln(1/p)⌉.
+func DefaultSingleLinkRepeats(k int, p float64) int {
+	if k < 2 || p <= 0 {
+		return 1
+	}
+	r := int(math.Ceil(2 * math.Log(float64(k)) / math.Log(1/p)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// SingleLinkNonAdaptive runs the non-adaptive routing schedule of Lemma 29:
+// the source transmits each of the k messages exactly `repeats` times,
+// deaf to the channel. The run succeeds iff every message is received at
+// least once; the schedule always uses exactly k·repeats rounds. Its
+// throughput is Θ(1/log k) at the repetition count required for failure
+// probability 1/k.
+func SingleLinkNonAdaptive(k, repeats int, cfg radio.Config, r *rng.Stream) (MultiResult, error) {
+	if k < 1 || repeats < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: single-link non-adaptive needs k >= 1 and repeats >= 1, got (%d,%d)", k, repeats)
+	}
+	top := graph.SingleLink()
+	net, err := radio.New[int32](top.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	bc := []bool{true, false}
+	payload := []int32{0, 0}
+	got := make([]bool, k)
+	received := 0
+	for m := 0; m < k; m++ {
+		payload[0] = int32(m)
+		for rep := 0; rep < repeats; rep++ {
+			net.Step(bc, payload, func(d radio.Delivery[int32]) {
+				if !got[d.Payload] {
+					got[d.Payload] = true
+					received++
+				}
+			})
+		}
+	}
+	done := 1
+	if received == k {
+		done = 2
+	}
+	return MultiResult{
+		Rounds:  k * repeats,
+		Success: received == k,
+		Done:    done,
+		Channel: net.Stats(),
+	}, nil
+}
+
+// SingleLinkAdaptive runs the adaptive routing (ARQ) schedule of Lemma 32:
+// the source retransmits each message until the receiver confirms it, then
+// moves on. Expected k/(1-p) rounds — constant throughput, erasing the
+// single-link coding gap.
+func SingleLinkAdaptive(k int, cfg radio.Config, r *rng.Stream, opts Options) (MultiResult, error) {
+	if k < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: single-link adaptive needs k >= 1, got %d", k)
+	}
+	top := graph.SingleLink()
+	net, err := radio.New[int32](top.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
+	}
+	bc := []bool{true, false}
+	payload := []int32{0, 0}
+	current := 0
+	round := 0
+	for ; round < maxRounds && current < k; round++ {
+		payload[0] = int32(current)
+		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			current++
+		})
+	}
+	done := 1
+	if current == k {
+		done = 2
+	}
+	return MultiResult{
+		Rounds:  round,
+		Success: current == k,
+		Done:    done,
+		Channel: net.Stats(),
+	}, nil
+}
+
+// SingleLinkCoding runs the coding schedule of Lemma 30: the source
+// transmits a fresh Reed–Solomon packet every round; the receiver decodes
+// after any k receptions (MDS property). Expected k/(1-p) rounds —
+// constant throughput without any feedback.
+func SingleLinkCoding(k int, cfg radio.Config, r *rng.Stream, opts Options) (MultiResult, error) {
+	if k < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: single-link coding needs k >= 1, got %d", k)
+	}
+	top := graph.SingleLink()
+	net, err := radio.New[int32](top.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
+	}
+	bc := []bool{true, false}
+	payload := []int32{0, 0}
+	received := 0
+	round := 0
+	for ; round < maxRounds && received < k; round++ {
+		payload[0] = int32(round)
+		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			received++
+		})
+	}
+	done := 1
+	if received >= k {
+		done = 2
+	}
+	return MultiResult{
+		Rounds:  round,
+		Success: received >= k,
+		Done:    done,
+		Channel: net.Stats(),
+	}, nil
+}
+
+func singleLinkDefaultMaxRounds(k int, cfg radio.Config) int {
+	slack := 1.0
+	if cfg.Fault != radio.Faultless {
+		slack = 1 / (1 - cfg.P)
+	}
+	return int(float64(20*k)*slack) + 2000
+}

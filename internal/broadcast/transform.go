@@ -1,0 +1,227 @@
+package broadcast
+
+import (
+	"fmt"
+	"math"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Section 5.2: transformations from the faultless setting to the faulty
+// setting (Lemmas 25 and 26), demonstrated on the pipelined path — the
+// canonical multi-message schedule whose faultless routing throughput is
+// 1/3 (one message crosses each edge every three rounds; nodes three hops
+// apart broadcast simultaneously without interference).
+//
+// The transformed schedules below realise the lemmas' meta-round
+// construction: each round of the faultless schedule becomes a meta-round
+// of ⌈x/(1-p)·(1+η)⌉ rounds carrying x messages, so the throughput drops by
+// exactly the (1-p) factor (up to η) that the lemmas predict.
+
+// PathPipelineRouting runs the adaptive routing pipeline on a path with
+// pathLen edges: node v broadcasts in rounds r with r ≡ v (mod 3) whenever
+// it holds a message its successor lacks (oracle adaptivity, Definition
+// 14). In the faultless model the throughput is 1/3; under sender or
+// receiver faults the per-hop retransmissions reduce it to (1-p)/3 — the
+// Lemma 25 achievability in its natural adaptive form.
+func PathPipelineRouting(pathLen, k int, cfg radio.Config, r *rng.Stream, opts Options) (MultiResult, error) {
+	if pathLen < 1 || k < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: path pipeline needs pathLen >= 1 and k >= 1, got (%d,%d)", pathLen, k)
+	}
+	top := graph.Path(pathLen + 1)
+	net, err := radio.New[int32](top.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = pipelineDefaultMaxRounds(pathLen, k, cfg)
+	}
+	n := top.G.N()
+	// have[v] = number of messages node v holds; messages are delivered in
+	// order, so a prefix count suffices.
+	have := make([]int32, n)
+	have[0] = int32(k)
+	bc := make([]bool, n)
+	payload := make([]int32, n)
+	round := 0
+	for ; round < maxRounds && have[n-1] < int32(k); round++ {
+		mod := int32(round % 3)
+		for v := 0; v < n-1; v++ {
+			if int32(v)%3 == mod && have[v] > have[v+1] {
+				bc[v] = true
+				payload[v] = have[v+1] // next message the successor lacks
+			}
+		}
+		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			// In-order delivery: the payload is exactly have[d.To].
+			if d.Payload == have[d.To] && d.From == d.To-1 {
+				have[d.To]++
+			}
+		})
+		for v := range bc {
+			bc[v] = false
+		}
+	}
+	done := 0
+	for v := 0; v < n; v++ {
+		if have[v] == int32(k) {
+			done++
+		}
+	}
+	return MultiResult{
+		Rounds:  round,
+		Success: have[n-1] == int32(k),
+		Done:    done,
+		Channel: net.Stats(),
+	}, nil
+}
+
+// TransformParams tunes the Lemma 25/26 meta-round transformations.
+type TransformParams struct {
+	// Batch is x, the number of messages per meta-round; 0 selects
+	// ⌈4·log₂(k·pathLen)+8⌉ (the lemmas need x = Ω(log nk) for the union
+	// bound).
+	Batch int
+	// Eta is the lemmas' η slack; 0 selects 0.25.
+	Eta float64
+}
+
+func (p TransformParams) withDefaults(pathLen, k int) TransformParams {
+	out := p
+	if out.Batch <= 0 {
+		out.Batch = 4*graph.Log2Ceil(k*pathLen+2) + 8
+	}
+	if out.Eta <= 0 {
+		out.Eta = 0.25
+	}
+	return out
+}
+
+// metaRoundLen is the transformed schedule's meta-round length
+// ⌈x/(1-p)·(1+η)⌉.
+func metaRoundLen(batch int, cfg radio.Config, eta float64) int {
+	q := 1.0
+	if cfg.Fault != radio.Faultless {
+		q = 1 - cfg.P
+	}
+	return int(math.Ceil(float64(batch) / q * (1 + eta)))
+}
+
+// TransformedPathRouting runs the Lemma 25 transformation of the faultless
+// path pipeline: each faultless round becomes a meta-round of
+// ⌈x/(1-p)(1+η)⌉ rounds in which a scheduled node delivers its batch of x
+// messages with per-message retransmission, then stays silent. Unlike
+// PathPipelineRouting the *batch schedule* is fixed in advance (only the
+// retransmissions adapt), exactly as in the lemma; a node that cannot
+// finish its batch within the meta-round leaves a permanent gap, which is
+// the exp(-Ω(xη²)) failure event of the proof.
+func TransformedPathRouting(pathLen, k int, cfg radio.Config, r *rng.Stream, params TransformParams, opts Options) (MultiResult, error) {
+	return transformedPath(pathLen, k, cfg, r, params, opts, false)
+}
+
+// TransformedPathCoding runs the Lemma 26 transformation: as in
+// TransformedPathRouting, but within a meta-round the scheduled node
+// transmits a stream of fresh Reed–Solomon packets coded over its batch of
+// x messages, and the receiver reconstructs the batch from any x of them
+// (MDS black box). No feedback is used at all, matching the lemma's
+// coding setting.
+func TransformedPathCoding(pathLen, k int, cfg radio.Config, r *rng.Stream, params TransformParams, opts Options) (MultiResult, error) {
+	return transformedPath(pathLen, k, cfg, r, params, opts, true)
+}
+
+func transformedPath(pathLen, k int, cfg radio.Config, r *rng.Stream, params TransformParams, opts Options, coding bool) (MultiResult, error) {
+	if pathLen < 1 || k < 1 {
+		return MultiResult{}, fmt.Errorf("broadcast: transformed path needs pathLen >= 1 and k >= 1, got (%d,%d)", pathLen, k)
+	}
+	pr := params.withDefaults(pathLen, k)
+	batches := (k + pr.Batch - 1) / pr.Batch
+	mlen := metaRoundLen(pr.Batch, cfg, pr.Eta)
+
+	top := graph.Path(pathLen + 1)
+	net, err := radio.New[int32](top.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	n := top.G.N()
+	// batchHave[v] = number of complete batches node v holds.
+	batchHave := make([]int32, n)
+	batchHave[0] = int32(batches)
+	// progress[v] = per-edge (v → v+1) progress within the current
+	// meta-round: messages delivered (routing) or packets received by the
+	// successor (coding).
+	progress := make([]int32, n)
+	bc := make([]bool, n)
+	payload := make([]int32, n)
+
+	// The faultless pipeline takes 3·(batches + pathLen) rounds; each
+	// becomes one meta-round. Run exactly that schedule (non-adaptive at
+	// the meta level), as the lemma prescribes.
+	metaRounds := 3 * (batches + pathLen)
+	totalRounds := 0
+	for T := 0; T < metaRounds; T++ {
+		mod := int32(T % 3)
+		// A node v scheduled in meta-round T forwards batch number
+		// (T-v)/3 if it holds it; in prefix terms: forward batch
+		// batchHave[v+1] when batchHave[v] > batchHave[v+1].
+		for i := range progress {
+			progress[i] = 0
+		}
+		for step := 0; step < mlen; step++ {
+			for v := 0; v < n-1; v++ {
+				bc[v] = false
+				if int32(v)%3 != mod || batchHave[v] <= batchHave[v+1] {
+					continue
+				}
+				if coding {
+					bc[v] = true
+					payload[v] = int32(T*mlen + step) // fresh coded packet
+				} else if progress[v] < int32(pr.Batch) {
+					bc[v] = true
+					payload[v] = progress[v] // message index within batch
+				}
+			}
+			bc[n-1] = false
+			net.Step(bc, payload, func(d radio.Delivery[int32]) {
+				if d.From != d.To-1 {
+					return
+				}
+				v := d.From
+				if coding {
+					progress[v]++
+					if progress[v] == int32(pr.Batch) {
+						batchHave[d.To]++
+					}
+				} else if d.Payload == progress[v] {
+					progress[v]++
+					if progress[v] == int32(pr.Batch) {
+						batchHave[d.To]++
+					}
+				}
+			})
+			totalRounds++
+		}
+	}
+	done := 0
+	for v := 0; v < n; v++ {
+		if batchHave[v] == int32(batches) {
+			done++
+		}
+	}
+	return MultiResult{
+		Rounds:  totalRounds,
+		Success: batchHave[n-1] == int32(batches),
+		Done:    done,
+		Channel: net.Stats(),
+	}, nil
+}
+
+func pipelineDefaultMaxRounds(pathLen, k int, cfg radio.Config) int {
+	slack := 1.0
+	if cfg.Fault != radio.Faultless {
+		slack = 1 / (1 - cfg.P)
+	}
+	return int(float64(10*(3*k+3*pathLen))*slack) + 2000
+}

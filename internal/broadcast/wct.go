@@ -1,0 +1,197 @@
+package broadcast
+
+import (
+	"fmt"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Section 5.1.2: schedules on the worst-case topology (WCT). The senders
+// start holding all k messages, matching the bipartite framing of Lemma 20
+// (the source-to-senders hop is a complete star and never the bottleneck).
+//
+// Both schedules sweep broadcast densities 2^-j across the construction's
+// scales: when the density matches a scale's neighbourhood size 2^j, a
+// cluster of that scale has a constant probability (~1/e) of a
+// collision-free reception, while other scales see exponentially little —
+// that is Lemma 18's O(1/log n) ceiling in action.
+
+// WCTRouting runs the adaptive routing schedule behind Lemmas 19/21/22:
+// messages are delivered one at a time; the schedule cycles the broadcast
+// density through the scales until every cluster member holds the current
+// message, then advances. With receiver faults each cluster behaves like
+// the Lemma 15 star — every member individually needs a fault-free
+// reception — so the cost is Θ(log² n) rounds per message and the
+// throughput is Θ(1/log² n).
+func WCTRouting(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Options) (MultiResult, error) {
+	if err := validateWCTArgs(w, k); err != nil {
+		return MultiResult{}, err
+	}
+	net, err := radio.New[int32](w.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	scales := graph.Log2Floor(len(w.Senders))
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = wctDefaultMaxRounds(w, k, cfg, scales*scales)
+	}
+
+	n := w.G.N()
+	bc := make([]bool, n)
+	payload := make([]int32, n)
+	members := 0
+	for _, c := range w.Clusters {
+		members += len(c)
+	}
+
+	firstMember := 1 + len(w.Senders) // node ids below this are source/senders
+	gen := make([]int32, n)           // generation stamp: gen[v] == current+1 means v has it
+	current := int32(0)
+	missing := members
+	round := 0
+	for ; round < maxRounds && current < int32(k); round++ {
+		j := 1 + round%scales
+		markSenderSample(w, r, bc, j)
+		for _, s := range w.Senders {
+			payload[s] = current
+		}
+		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			if d.To >= firstMember && gen[d.To] != current+1 {
+				gen[d.To] = current + 1
+				missing--
+			}
+		})
+		clearSenders(w, bc)
+		if missing == 0 {
+			current++
+			missing = members
+		}
+	}
+	return MultiResult{
+		Rounds:  round,
+		Success: current == int32(k),
+		Done:    wctDoneCount(w, current, k, missing),
+		Channel: net.Stats(),
+	}, nil
+}
+
+// WCTCoding runs the coding schedule behind Lemma 23: every sender
+// broadcast is a globally fresh coded packet (Reed–Solomon black box — any
+// k distinct packets decode all k messages), densities cycle through the
+// scales as in WCTRouting, and a cluster member is done after k receptions.
+// Each member needs Θ(k) fault-free receptions instead of Θ(k log n), so
+// the throughput is Θ(1/log n) — a Θ(log n) worst-case gap over routing
+// (Theorem 24).
+func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Options) (MultiResult, error) {
+	if err := validateWCTArgs(w, k); err != nil {
+		return MultiResult{}, err
+	}
+	net, err := radio.New[int32](w.G, cfg, r)
+	if err != nil {
+		return MultiResult{}, err
+	}
+	scales := graph.Log2Floor(len(w.Senders))
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = wctDefaultMaxRounds(w, k, cfg, scales)
+	}
+
+	n := w.G.N()
+	bc := make([]bool, n)
+	payload := make([]int32, n)
+	members := 0
+	for _, c := range w.Clusters {
+		members += len(c)
+	}
+
+	firstMember := 1 + len(w.Senders)
+	received := make([]int32, n)
+	done := 0
+	round := 0
+	for ; round < maxRounds && done < members; round++ {
+		j := 1 + round%scales
+		markSenderSample(w, r, bc, j)
+		// Fresh packet indices: distinct per (sender, round) pair; a member
+		// can never receive a duplicate, so receptions == distinct packets.
+		for i, s := range w.Senders {
+			payload[s] = int32(round*len(w.Senders) + i)
+		}
+		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			if d.To < firstMember {
+				return
+			}
+			received[d.To]++
+			if received[d.To] == int32(k) {
+				done++
+			}
+		})
+		clearSenders(w, bc)
+	}
+	return MultiResult{
+		Rounds:  round,
+		Success: done == members,
+		Done:    done + 1 + len(w.Senders),
+		Channel: net.Stats(),
+	}, nil
+}
+
+// markSenderSample sets each sender to broadcast independently with
+// probability 2^-j.
+func markSenderSample(w *graph.WCT, r *rng.Stream, bc []bool, j int) {
+	p := 1.0
+	for i := 0; i < j; i++ {
+		p /= 2
+	}
+	for _, s := range w.Senders {
+		if r.Bool(p) {
+			bc[s] = true
+		}
+	}
+}
+
+func clearSenders(w *graph.WCT, bc []bool) {
+	for _, s := range w.Senders {
+		bc[s] = false
+	}
+}
+
+func wctDoneCount(w *graph.WCT, current int32, k, missing int) int {
+	base := 1 + len(w.Senders)
+	members := 0
+	for _, c := range w.Clusters {
+		members += len(c)
+	}
+	switch {
+	case current == int32(k):
+		return base + members
+	case current == int32(k)-1:
+		return base + members - missing
+	default:
+		return base
+	}
+}
+
+func wctDefaultMaxRounds(w *graph.WCT, k int, cfg radio.Config, perMessage int) int {
+	slack := 1.0
+	if cfg.Fault != radio.Faultless {
+		slack = 1 / (1 - cfg.P)
+	}
+	logn := graph.Log2Ceil(w.G.N()) + 2
+	return int(slack*float64(60*k*perMessage)) + 200*logn*logn + 4000
+}
+
+func validateWCTArgs(w *graph.WCT, k int) error {
+	if w == nil || w.G == nil {
+		return fmt.Errorf("broadcast: nil WCT")
+	}
+	if k < 1 {
+		return fmt.Errorf("broadcast: WCT schedules need k >= 1, got %d", k)
+	}
+	if len(w.Senders) < 2 {
+		return fmt.Errorf("broadcast: WCT has %d senders, need >= 2", len(w.Senders))
+	}
+	return nil
+}

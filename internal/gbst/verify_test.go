@@ -1,0 +1,187 @@
+package gbst
+
+import (
+	"strings"
+	"testing"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// corrupt builds a valid GBST on a random graph, applies mutate, and
+// asserts Verify rejects it with a message containing want.
+func corrupt(t *testing.T, want string, mutate func(tree *Tree, g *graph.Graph)) {
+	t.Helper()
+	top := graph.GNP(60, 0.08, rng.New(77))
+	tree, err := Build(top.G, top.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Verify(top.G); err != nil {
+		t.Fatalf("baseline tree invalid: %v", err)
+	}
+	mutate(tree, top.G)
+	err = tree.Verify(top.G)
+	if err == nil {
+		t.Fatalf("corruption %q not detected", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("corruption %q reported as %q", want, err.Error())
+	}
+}
+
+func TestVerifyCatchesWrongLevel(t *testing.T) {
+	corrupt(t, "level", func(tree *Tree, g *graph.Graph) {
+		// Claim some non-source node is at distance 0.
+		for v := range tree.Level {
+			if v != tree.Src {
+				tree.Level[v] = 0
+				return
+			}
+		}
+	})
+}
+
+func TestVerifyCatchesMissingParent(t *testing.T) {
+	corrupt(t, "no parent", func(tree *Tree, g *graph.Graph) {
+		for v := range tree.Parent {
+			if v != tree.Src {
+				tree.Parent[v] = -1
+				return
+			}
+		}
+	})
+}
+
+func TestVerifyCatchesSourceWithParent(t *testing.T) {
+	corrupt(t, "source has parent", func(tree *Tree, g *graph.Graph) {
+		tree.Parent[tree.Src] = int32((tree.Src + 1) % len(tree.Parent))
+	})
+}
+
+func TestVerifyCatchesNonEdgeParent(t *testing.T) {
+	corrupt(t, "not in graph", func(tree *Tree, g *graph.Graph) {
+		// Re-parent some node to a same-level non-neighbour at level-1.
+		for v := 0; v < g.N(); v++ {
+			if v == tree.Src || tree.Level[v] < 1 {
+				continue
+			}
+			for u := 0; u < g.N(); u++ {
+				if tree.Level[u] == tree.Level[v]-1 && !g.HasEdge(u, v) {
+					tree.Parent[v] = int32(u)
+					return
+				}
+			}
+		}
+		panic("no candidate found; enlarge test graph")
+	})
+}
+
+func TestVerifyCatchesZeroRank(t *testing.T) {
+	corrupt(t, "rank 0", func(tree *Tree, g *graph.Graph) {
+		// Zero out a leaf's rank (a leaf: no node points to it as parent).
+		isParent := make([]bool, g.N())
+		for v := range tree.Parent {
+			if p := tree.Parent[v]; p >= 0 {
+				isParent[p] = true
+			}
+		}
+		for v := range tree.Rank {
+			if !isParent[v] && v != tree.Src {
+				tree.Rank[v] = 0
+				return
+			}
+		}
+	})
+}
+
+func TestVerifyCatchesRankInversion(t *testing.T) {
+	corrupt(t, "exceeds parent", func(tree *Tree, g *graph.Graph) {
+		for v := range tree.Parent {
+			if p := tree.Parent[v]; p >= 0 {
+				tree.Rank[v] = tree.Rank[p] + 5
+				// Keep the fast-child marker consistent with "same rank"
+				// checks: the parent cannot claim v as fast now.
+				if tree.FastChild[p] == int32(v) {
+					tree.FastChild[p] = -1
+				}
+				return
+			}
+		}
+	})
+}
+
+func TestVerifyCatchesUnmarkedFastChild(t *testing.T) {
+	corrupt(t, "not marked fast", func(tree *Tree, g *graph.Graph) {
+		// Find a fast node and clear its marker while ranks still match.
+		for v := range tree.FastChild {
+			if tree.FastChild[v] != -1 {
+				tree.FastChild[v] = -1
+				return
+			}
+		}
+		panic("no fast node in baseline; enlarge test graph")
+	})
+}
+
+func TestVerifyCatchesBogusFastChild(t *testing.T) {
+	corrupt(t, "fast", func(tree *Tree, g *graph.Graph) {
+		// Point a non-fast node's marker at a child of lower rank.
+		for v := range tree.Parent {
+			p := tree.Parent[v]
+			if p >= 0 && tree.Rank[p] > tree.Rank[v] && tree.FastChild[p] == -1 {
+				tree.FastChild[p] = int32(v)
+				return
+			}
+		}
+		panic("no candidate found")
+	})
+}
+
+func TestVerifyCatchesArraySizeMismatch(t *testing.T) {
+	top := graph.Path(5)
+	tree, err := Build(top.G, top.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Rank = tree.Rank[:3]
+	if err := tree.Verify(top.G); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+func TestVerifyCatchesGBSTViolation(t *testing.T) {
+	// Hand-build the naive (non-GBST) ranked tree of the Figure 1 scenario:
+	// two same-level rank-1 fast nodes.
+	b := graph.NewBuilder(7)
+	// 0 -> {1,2}; 1 -> 3 -> 5; 2 -> 4 -> 6. Both 1 and 2 are fast at rank 1
+	// on level 1 under naive ranking.
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 6}} {
+		b.AddEdge(e[0], e[1])
+	}
+	g := b.MustBuild()
+	tree := &Tree{
+		Src:       0,
+		Parent:    []int32{-1, 0, 0, 1, 2, 3, 4},
+		Level:     []int32{0, 1, 1, 2, 2, 3, 3},
+		Rank:      []int32{2, 1, 1, 1, 1, 1, 1},
+		FastChild: []int32{-1, 3, 4, 5, 6, -1, -1},
+		MaxRank:   2,
+		Depth:     3,
+	}
+	err := tree.Verify(g)
+	if err == nil {
+		t.Fatal("GBST violation not detected")
+	}
+	if !strings.Contains(err.Error(), "GBST violation") {
+		t.Fatalf("wrong error: %v", err)
+	}
+	// And Build on the same graph must produce a tree that passes.
+	built, err := Build(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := built.Verify(g); err != nil {
+		t.Fatalf("Build result invalid: %v", err)
+	}
+}

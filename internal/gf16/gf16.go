@@ -1,0 +1,136 @@
+// Package gf16 implements arithmetic over GF(2^16) with the primitive
+// polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+//
+// It exists to lift internal/rs's 256-shard ceiling: coding schedules that
+// conceptually transmit thousands of distinct Reed–Solomon packets (star,
+// WCT, single-link at large k) can be realised with actual payloads via
+// internal/rs16, whose field this package provides. Tables cost ~512 KiB
+// and are built once at load (a deterministic pure computation).
+package gf16
+
+// poly is the reduction polynomial with the x^16 term implicit.
+const poly = 0x100B
+
+// generator is a primitive element (x, i.e. 2, since the polynomial is
+// primitive).
+const generator = 2
+
+// Order is the multiplicative group order 2^16 - 1.
+const Order = 1<<16 - 1
+
+var (
+	expTable [2 * Order]uint16
+	logTable [1 << 16]uint16
+)
+
+// Table construction is the one legitimate init use: deterministic, no IO.
+func init() {
+	x := uint16(1)
+	for i := 0; i < Order; i++ {
+		expTable[i] = x
+		expTable[i+Order] = x
+		logTable[x] = uint16(i)
+		x = mulSlow(x, generator)
+	}
+	if x != 1 {
+		// The generator must have order exactly 2^16-1; anything else means
+		// the polynomial constant above was corrupted.
+		panic("gf16: generator does not have full order")
+	}
+}
+
+// mulSlow is carry-less multiplication with reduction, used to build the
+// tables and as a test oracle.
+func mulSlow(a, b uint16) uint16 {
+	var p uint16
+	for b != 0 {
+		if b&1 != 0 {
+			p ^= a
+		}
+		carry := a & 0x8000
+		a <<= 1
+		if carry != 0 {
+			a ^= poly
+		}
+		b >>= 1
+	}
+	return p
+}
+
+// MulSlow exposes the table-free multiplication for cross-checking.
+func MulSlow(a, b uint16) uint16 { return mulSlow(a, b) }
+
+// Add returns a + b (XOR; its own inverse).
+func Add(a, b uint16) uint16 { return a ^ b }
+
+// Mul returns a * b.
+func Mul(a, b uint16) uint16 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b; it panics on division by zero.
+func Div(a, b uint16) uint16 {
+	if b == 0 {
+		panic("gf16: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])-int(logTable[b])+Order]
+}
+
+// Inv returns the multiplicative inverse of a; it panics on zero.
+func Inv(a uint16) uint16 {
+	if a == 0 {
+		panic("gf16: inverse of zero")
+	}
+	return expTable[Order-int(logTable[a])]
+}
+
+// Exp returns generator^e for e >= 0.
+func Exp(e int) uint16 { return expTable[e%Order] }
+
+// MulVec sets dst[i] ^= c * src[i] for all i; dst and src must have the
+// same length.
+func MulVec(dst, src []uint16, c uint16) {
+	if len(dst) != len(src) {
+		panic("gf16: MulVec length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	if c == 1 {
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// ScaleVec multiplies every element of v by c in place.
+func ScaleVec(v []uint16, c uint16) {
+	if c == 1 {
+		return
+	}
+	if c == 0 {
+		for i := range v {
+			v[i] = 0
+		}
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range v {
+		if s != 0 {
+			v[i] = expTable[lc+int(logTable[s])]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package gf16
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMulMatchesSlowSampled(t *testing.T) {
+	// Exhaustive 2^32 is too much; sample a structured grid plus quick.
+	for a := 0; a < 1<<16; a += 257 {
+		for b := 0; b < 1<<16; b += 263 {
+			if Mul(uint16(a), uint16(b)) != MulSlow(uint16(a), uint16(b)) {
+				t.Fatalf("Mul(%d,%d) != MulSlow", a, b)
+			}
+		}
+	}
+}
+
+func TestQuickMulMatchesSlow(t *testing.T) {
+	f := func(a, b uint16) bool {
+		return Mul(a, b) == MulSlow(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAxioms(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(Mul(a, b), c) != Mul(a, Mul(b, c)) {
+			return false
+		}
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvDiv(t *testing.T) {
+	f := func(a uint16) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1 && Div(1, a) == Inv(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+	if Div(0, 7) != 0 {
+		t.Fatal("Div(0,b) != 0")
+	}
+}
+
+func TestDivInvPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"div":  func() { Div(1, 0) },
+		"inv":  func() { Inv(0) },
+		"mvec": func() { MulVec(make([]uint16, 1), make([]uint16, 2), 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestExpOrder(t *testing.T) {
+	if Exp(0) != 1 || Exp(Order) != 1 {
+		t.Fatal("generator order wrong")
+	}
+	if Exp(1) != generator {
+		t.Fatal("Exp(1) != generator")
+	}
+}
+
+func TestMulVecAndScaleVec(t *testing.T) {
+	dst := []uint16{1, 2, 0, 65535}
+	src := []uint16{7, 0, 9, 3}
+	want := make([]uint16, len(dst))
+	for i := range want {
+		want[i] = dst[i] ^ Mul(5, src[i])
+	}
+	MulVec(dst, src, 5)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MulVec mismatch at %d", i)
+		}
+	}
+	v := []uint16{3, 4}
+	ScaleVec(v, 0)
+	if v[0] != 0 || v[1] != 0 {
+		t.Fatal("ScaleVec(0) did not zero")
+	}
+	v = []uint16{3, 4}
+	ScaleVec(v, 1)
+	if v[0] != 3 || v[1] != 4 {
+		t.Fatal("ScaleVec(1) changed values")
+	}
+	v = []uint16{3, 4}
+	ScaleVec(v, 9)
+	if v[0] != Mul(3, 9) || v[1] != Mul(4, 9) {
+		t.Fatal("ScaleVec(9) wrong")
+	}
+}
+
+func BenchmarkMul(b *testing.B) {
+	var acc uint16
+	for i := 0; i < b.N; i++ {
+		acc ^= Mul(uint16(i), uint16(i>>3)|1)
+	}
+	_ = acc
+}

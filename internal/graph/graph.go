@@ -1,0 +1,209 @@
+// Package graph provides the undirected graph representation and the
+// topology generators used throughout the reproduction: paths, stars,
+// single links, grids, random graphs and trees, layered pipelines, and the
+// worst-case topology (WCT) of Section 5.1.2 built from the
+// Ghaffari–Haeupler–Khabbazian throughput lower-bound network.
+//
+// Graphs are stored in compressed sparse row (CSR) form: immutable after
+// construction, cache-friendly to traverse, and cheap to share between
+// Monte-Carlo trials.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph on vertices 0..N()-1.
+type Graph struct {
+	n       int
+	offsets []int32 // len n+1
+	adj     []int32 // concatenated sorted neighbour lists
+}
+
+// ErrEmptyGraph indicates a construction with no vertices.
+var ErrEmptyGraph = errors.New("graph: graph must have at least one vertex")
+
+// Builder accumulates edges for a Graph.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops and duplicate edges
+// are tolerated and removed at Build time. It panics on out-of-range
+// endpoints, which indicates a generator bug.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build finalises the graph. It returns ErrEmptyGraph for n == 0.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	// Collect both directions, drop self loops, sort, dedupe.
+	dir := make([][2]int32, 0, 2*len(b.edges))
+	for _, e := range b.edges {
+		if e[0] == e[1] {
+			continue
+		}
+		dir = append(dir, e, [2]int32{e[1], e[0]})
+	}
+	sort.Slice(dir, func(i, j int) bool {
+		if dir[i][0] != dir[j][0] {
+			return dir[i][0] < dir[j][0]
+		}
+		return dir[i][1] < dir[j][1]
+	})
+	g := &Graph{n: b.n, offsets: make([]int32, b.n+1)}
+	g.adj = make([]int32, 0, len(dir))
+	var prev [2]int32 = [2]int32{-1, -1}
+	for _, e := range dir {
+		if e == prev {
+			continue
+		}
+		prev = e
+		g.adj = append(g.adj, e[1])
+		g.offsets[e[0]+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		g.offsets[i+1] += g.offsets[i]
+	}
+	return g, nil
+}
+
+// MustBuild is Build but panics on error; for use in generators whose
+// preconditions guarantee success.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbour list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+// BFS returns the vector of hop distances from src; unreachable vertices
+// get distance -1.
+func (g *Graph) BFS(src int) []int32 {
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.Neighbors(int(u)) {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Eccentricity returns the maximum BFS distance from src, or -1 if some
+// vertex is unreachable.
+func (g *Graph) Eccentricity(src int) int {
+	dist := g.BFS(src)
+	ecc := int32(0)
+	for _, d := range dist {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return int(ecc)
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	return g.Eccentricity(0) >= 0
+}
+
+// Diameter computes the exact diameter by running BFS from every vertex.
+// O(n·m); intended for tests and modest experiment sizes. Returns -1 for
+// disconnected graphs.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// Layers groups vertices by BFS distance from src: Layers(src)[d] lists the
+// vertices at distance exactly d. Unreachable vertices are omitted.
+func (g *Graph) Layers(src int) [][]int32 {
+	dist := g.BFS(src)
+	maxD := int32(-1)
+	for _, d := range dist {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	layers := make([][]int32, maxD+1)
+	for v, d := range dist {
+		if d >= 0 {
+			layers[d] = append(layers[d], int32(v))
+		}
+	}
+	return layers
+}
+
+// MaxDegree returns the maximum vertex degree.
+func (g *Graph) MaxDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}

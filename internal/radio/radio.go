@@ -1,0 +1,274 @@
+// Package radio implements the (noisy) radio network model of Section 3.1.
+//
+// A network executes synchronized rounds over an undirected graph. In each
+// round every node either listens or broadcasts a packet to all neighbours.
+// A listening node receives a packet if and only if exactly one of its
+// neighbours broadcasts; otherwise it hears noise (silence or collision).
+//
+// The noisy extensions of the paper are both supported:
+//
+//   - Sender faults: each broadcasting node independently transmits noise
+//     with probability p. The transmission still occupies the channel (it
+//     collides as usual); only its content is destroyed, for every receiver
+//     at once.
+//   - Receiver faults: each listening node that would otherwise receive a
+//     packet (exactly one broadcasting neighbour) independently receives
+//     noise with probability p.
+//
+// In all cases noise is never mistaken for a packet.
+//
+// The engine is deterministic: all randomness comes from the rng.Stream
+// passed at construction, and random draws happen in a documented fixed
+// order (ascending node id), so a (graph, seed, driver) triple always yields
+// the identical execution. The engine is not safe for concurrent use; run
+// independent trials on independent Network values.
+package radio
+
+import (
+	"fmt"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// FaultModel selects which of the paper's models the network runs.
+type FaultModel int
+
+const (
+	// Faultless is the classic Chlamtac–Kutten radio network model.
+	Faultless FaultModel = iota + 1
+	// SenderFaults is the sender-fault noisy model.
+	SenderFaults
+	// ReceiverFaults is the receiver-fault noisy model.
+	ReceiverFaults
+)
+
+// String returns a short human-readable name of the model.
+func (m FaultModel) String() string {
+	switch m {
+	case Faultless:
+		return "faultless"
+	case SenderFaults:
+		return "sender-faults"
+	case ReceiverFaults:
+		return "receiver-faults"
+	default:
+		return fmt.Sprintf("FaultModel(%d)", int(m))
+	}
+}
+
+// Config describes the noise environment of a network.
+type Config struct {
+	Fault FaultModel
+	// P is the fault probability p ∈ [0, 1). Ignored when Fault is
+	// Faultless.
+	P float64
+	// PerNodeP optionally overrides P with a per-node fault probability:
+	// node v fails with PerNodeP[v] as a sender (sender model) or as a
+	// receiver (receiver model). An extension beyond the paper's uniform
+	// constant p; the paper's bounds hold with p = max over nodes. Must be
+	// nil or of length N.
+	PerNodeP []float64
+}
+
+// Validate returns an error for inconsistent configurations.
+func (c Config) Validate() error {
+	switch c.Fault {
+	case Faultless:
+	case SenderFaults, ReceiverFaults:
+		if c.P < 0 || c.P >= 1 {
+			return fmt.Errorf("radio: fault probability %v outside [0,1)", c.P)
+		}
+		for v, p := range c.PerNodeP {
+			if p < 0 || p >= 1 {
+				return fmt.Errorf("radio: per-node fault probability %v at node %d outside [0,1)", p, v)
+			}
+		}
+	default:
+		return fmt.Errorf("radio: unknown fault model %d", int(c.Fault))
+	}
+	return nil
+}
+
+// probFor returns the fault probability applying to node v.
+func (c Config) probFor(v int32) float64 {
+	if c.PerNodeP != nil {
+		return c.PerNodeP[v]
+	}
+	return c.P
+}
+
+// Stats accumulates channel-level accounting across rounds.
+type Stats struct {
+	Rounds         int
+	Broadcasts     int64 // node-rounds spent transmitting
+	Deliveries     int64 // successful packet receptions
+	Collisions     int64 // listener-rounds lost to >=2 broadcasting neighbours
+	SenderFaults   int64 // broadcasts replaced by noise (sender model)
+	ReceiverFaults int64 // receptions replaced by noise (receiver model)
+}
+
+// Network is a noisy radio network over a fixed graph, generic in the
+// payload type carried by packets (message ids for routing, coded packets
+// for network coding).
+type Network[P any] struct {
+	g   *graph.Graph
+	cfg Config
+	rnd *rng.Stream
+
+	stats Stats
+
+	trace TraceFunc
+
+	// Per-round scratch, reused across rounds to avoid allocation.
+	txCount     []int32 // broadcasting-neighbour count per node
+	txFrom      []int32 // some broadcasting neighbour (unique when txCount==1)
+	touched     []int32 // nodes with txCount > 0 this round, for cheap reset
+	senderNoise []bool  // per-node sender-fault flags this round
+	traceTx     []int32 // broadcasters this round (tracing only)
+	traceRx     []int32 // receivers this round (tracing only)
+}
+
+// New creates a network over g with the given noise configuration and
+// randomness stream. It returns an error if cfg is invalid.
+func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.PerNodeP != nil && len(cfg.PerNodeP) != g.N() {
+		return nil, fmt.Errorf("radio: PerNodeP has length %d, graph has %d nodes", len(cfg.PerNodeP), g.N())
+	}
+	return &Network[P]{
+		g:           g,
+		cfg:         cfg,
+		rnd:         rnd,
+		txCount:     make([]int32, g.N()),
+		txFrom:      make([]int32, g.N()),
+		touched:     make([]int32, 0, g.N()),
+		senderNoise: make([]bool, g.N()),
+	}, nil
+}
+
+// MustNew is New but panics on error, for configurations known valid.
+func MustNew[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) *Network[P] {
+	n, err := New[P](g, cfg, rnd)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Graph returns the underlying graph.
+func (n *Network[P]) Graph() *graph.Graph { return n.g }
+
+// Config returns the noise configuration.
+func (n *Network[P]) Config() Config { return n.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network[P]) Stats() Stats { return n.stats }
+
+// TraceFunc observes one executed round: the nodes that broadcast and the
+// nodes that successfully received a packet. The slices are only valid for
+// the duration of the call.
+type TraceFunc func(round int, broadcasters, receivers []int32)
+
+// SetTrace registers fn to be invoked after every Step. Pass nil to stop
+// tracing. Tracing costs O(broadcasters + receivers) per round and nothing
+// when unset.
+func (n *Network[P]) SetTrace(fn TraceFunc) { n.trace = fn }
+
+// Round returns the number of rounds executed so far.
+func (n *Network[P]) Round() int { return n.stats.Rounds }
+
+// Delivery describes one successful reception in a round.
+type Delivery[P any] struct {
+	To      int
+	From    int
+	Payload P
+}
+
+// Step executes one synchronized round.
+//
+// broadcasting[v] selects the transmitters; payload[v] is the packet v
+// transmits if selected. deliver is invoked once per successful reception.
+// Both slices must have length N.
+//
+// Random draws happen in a fixed order that is a pure function of the graph
+// and the broadcasting set: first sender-fault flags for broadcasting nodes
+// in ascending id (sender model only), then receiver-fault flags for
+// eligible listeners in first-touched order (receiver model only). The
+// delivery callback order follows the same deterministic order.
+func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
+	nn := n.g.N()
+	if len(broadcasting) != nn || len(payload) != nn {
+		panic(fmt.Sprintf("radio: Step slice lengths (%d,%d) != N (%d)", len(broadcasting), len(payload), nn))
+	}
+	n.stats.Rounds++
+
+	// Mark transmissions and draw sender faults.
+	for v := 0; v < nn; v++ {
+		if !broadcasting[v] {
+			continue
+		}
+		n.stats.Broadcasts++
+		if n.trace != nil {
+			n.traceTx = append(n.traceTx, int32(v))
+		}
+		if n.cfg.Fault == SenderFaults {
+			n.senderNoise[v] = n.rnd.Bool(n.cfg.probFor(int32(v)))
+			if n.senderNoise[v] {
+				n.stats.SenderFaults++
+			}
+		}
+		for _, u := range n.g.Neighbors(v) {
+			if n.txCount[u] == 0 {
+				n.touched = append(n.touched, u)
+			}
+			n.txCount[u]++
+			n.txFrom[u] = int32(v)
+		}
+	}
+
+	// Resolve receptions in ascending receiver id order for determinism.
+	for _, u := range n.touched {
+		if broadcasting[u] {
+			continue // transmitting nodes do not listen
+		}
+		switch {
+		case n.txCount[u] > 1:
+			n.stats.Collisions++
+		case n.txCount[u] == 1:
+			from := n.txFrom[u]
+			if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
+				break // content destroyed at the sender
+			}
+			if n.cfg.Fault == ReceiverFaults && n.rnd.Bool(n.cfg.probFor(u)) {
+				n.stats.ReceiverFaults++
+				break
+			}
+			n.stats.Deliveries++
+			if n.trace != nil {
+				n.traceRx = append(n.traceRx, u)
+			}
+			if deliver != nil {
+				deliver(Delivery[P]{To: int(u), From: int(from), Payload: payload[from]})
+			}
+		}
+	}
+
+	// Reset scratch.
+	for _, u := range n.touched {
+		n.txCount[u] = 0
+	}
+	n.touched = n.touched[:0]
+	if n.cfg.Fault == SenderFaults {
+		for v := 0; v < nn; v++ {
+			n.senderNoise[v] = false
+		}
+	}
+	if n.trace != nil {
+		n.trace(n.stats.Rounds-1, n.traceTx, n.traceRx)
+		n.traceTx = n.traceTx[:0]
+		n.traceRx = n.traceRx[:0]
+	}
+}

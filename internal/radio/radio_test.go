@@ -1,0 +1,564 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// stepOnce runs a single round on net and collects deliveries keyed by
+// receiver.
+func stepOnce(net *Network[int32], broadcasting []bool, payload []int32) map[int]Delivery[int32] {
+	got := make(map[int]Delivery[int32])
+	net.Step(broadcasting, payload, func(d Delivery[int32]) {
+		got[d.To] = d
+	})
+	return got
+}
+
+func faultless(t testing.TB, g *graph.Graph, seed uint64) *Network[int32] {
+	t.Helper()
+	net, err := New[int32](g, Config{Fault: Faultless}, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{name: "faultless", cfg: Config{Fault: Faultless}},
+		{name: "faultless ignores p", cfg: Config{Fault: Faultless, P: 5}},
+		{name: "sender ok", cfg: Config{Fault: SenderFaults, P: 0.3}},
+		{name: "receiver ok", cfg: Config{Fault: ReceiverFaults, P: 0}},
+		{name: "p negative", cfg: Config{Fault: SenderFaults, P: -0.1}, wantErr: true},
+		{name: "p one", cfg: Config{Fault: ReceiverFaults, P: 1}, wantErr: true},
+		{name: "unknown model", cfg: Config{Fault: 0}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestFaultModelString(t *testing.T) {
+	if Faultless.String() != "faultless" ||
+		SenderFaults.String() != "sender-faults" ||
+		ReceiverFaults.String() != "receiver-faults" {
+		t.Fatal("FaultModel String names wrong")
+	}
+	if FaultModel(99).String() == "" {
+		t.Fatal("unknown model should still stringify")
+	}
+}
+
+func TestSingleBroadcasterDelivers(t *testing.T) {
+	top := graph.Star(4)
+	net := faultless(t, top.G, 1)
+	bc := make([]bool, 5)
+	payload := make([]int32, 5)
+	bc[0] = true
+	payload[0] = 42
+	got := stepOnce(net, bc, payload)
+	if len(got) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(got))
+	}
+	for v := 1; v <= 4; v++ {
+		d, ok := got[v]
+		if !ok || d.From != 0 || d.Payload != 42 {
+			t.Fatalf("leaf %d: delivery %+v", v, d)
+		}
+	}
+}
+
+func TestCollisionBlocksReception(t *testing.T) {
+	// Path 0-1-2: 0 and 2 both broadcast; 1 hears a collision.
+	top := graph.Path(3)
+	net := faultless(t, top.G, 1)
+	bc := []bool{true, false, true}
+	payload := []int32{7, 0, 9}
+	got := stepOnce(net, bc, payload)
+	if len(got) != 0 {
+		t.Fatalf("deliveries = %v, want none (collision)", got)
+	}
+	if net.Stats().Collisions != 1 {
+		t.Fatalf("Collisions = %d, want 1", net.Stats().Collisions)
+	}
+}
+
+func TestBroadcasterDoesNotReceive(t *testing.T) {
+	// Single link: both broadcast — neither receives.
+	top := graph.SingleLink()
+	net := faultless(t, top.G, 1)
+	got := stepOnce(net, []bool{true, true}, []int32{1, 2})
+	if len(got) != 0 {
+		t.Fatalf("deliveries = %v, want none", got)
+	}
+	// One broadcasts: only the listener receives.
+	got = stepOnce(net, []bool{true, false}, []int32{5, 0})
+	if len(got) != 1 || got[1].Payload != 5 {
+		t.Fatalf("deliveries = %v", got)
+	}
+}
+
+func TestSilentRoundDeliversNothing(t *testing.T) {
+	top := graph.Complete(4)
+	net := faultless(t, top.G, 1)
+	got := stepOnce(net, make([]bool, 4), make([]int32, 4))
+	if len(got) != 0 {
+		t.Fatalf("deliveries = %v, want none", got)
+	}
+	if net.Round() != 1 {
+		t.Fatalf("Round = %d", net.Round())
+	}
+}
+
+func TestExactlyOneSemanticsOnTriangleExhaustive(t *testing.T) {
+	// Exhaustively check all 8 broadcast patterns on a triangle against the
+	// model definition.
+	top := graph.Complete(3)
+	for mask := 0; mask < 8; mask++ {
+		net := faultless(t, top.G, uint64(mask))
+		bc := []bool{mask&1 != 0, mask&2 != 0, mask&4 != 0}
+		payload := []int32{10, 20, 30}
+		got := stepOnce(net, bc, payload)
+		for v := 0; v < 3; v++ {
+			// Expected: v listening and exactly one neighbour broadcasting.
+			count, from := 0, -1
+			for u := 0; u < 3; u++ {
+				if u != v && bc[u] {
+					count++
+					from = u
+				}
+			}
+			want := !bc[v] && count == 1
+			d, ok := got[v]
+			if ok != want {
+				t.Fatalf("mask %03b node %d: received=%v want %v", mask, v, ok, want)
+			}
+			if ok && (d.From != from || d.Payload != payload[from]) {
+				t.Fatalf("mask %03b node %d: delivery %+v", mask, v, d)
+			}
+		}
+	}
+}
+
+func TestReceiverFaultFrequency(t *testing.T) {
+	const p = 0.3
+	top := graph.Star(1000)
+	net := MustNew[int32](top.G, Config{Fault: ReceiverFaults, P: p}, rng.New(7))
+	bc := make([]bool, 1001)
+	payload := make([]int32, 1001)
+	bc[0] = true
+	const rounds = 50
+	delivered := 0
+	for i := 0; i < rounds; i++ {
+		net.Step(bc, payload, func(d Delivery[int32]) { delivered++ })
+	}
+	got := float64(delivered) / float64(rounds*1000)
+	if math.Abs(got-(1-p)) > 0.02 {
+		t.Fatalf("delivery rate = %v, want ~%v", got, 1-p)
+	}
+	if net.Stats().ReceiverFaults == 0 {
+		t.Fatal("no receiver fault events recorded")
+	}
+}
+
+func TestReceiverFaultsIndependentAcrossReceivers(t *testing.T) {
+	// With receiver faults, different leaves fail in different rounds: the
+	// per-round delivered-count should concentrate around (1-p)n rather than
+	// swinging between 0 and n.
+	const p = 0.5
+	top := graph.Star(500)
+	net := MustNew[int32](top.G, Config{Fault: ReceiverFaults, P: p}, rng.New(8))
+	bc := make([]bool, 501)
+	payload := make([]int32, 501)
+	bc[0] = true
+	allOrNothing := 0
+	const rounds = 100
+	for i := 0; i < rounds; i++ {
+		count := 0
+		net.Step(bc, payload, func(d Delivery[int32]) { count++ })
+		if count == 0 || count == 500 {
+			allOrNothing++
+		}
+	}
+	if allOrNothing > 0 {
+		t.Fatalf("%d/%d rounds delivered to all-or-none leaves; faults look correlated", allOrNothing, rounds)
+	}
+}
+
+func TestSenderFaultsCorrelatedAcrossReceivers(t *testing.T) {
+	// With sender faults the hub's noise destroys the packet for every leaf
+	// simultaneously: per-round deliveries are exactly 0 or n.
+	const p = 0.5
+	top := graph.Star(200)
+	net := MustNew[int32](top.G, Config{Fault: SenderFaults, P: p}, rng.New(9))
+	bc := make([]bool, 201)
+	payload := make([]int32, 201)
+	bc[0] = true
+	zero, full, other := 0, 0, 0
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		count := 0
+		net.Step(bc, payload, func(d Delivery[int32]) { count++ })
+		switch count {
+		case 0:
+			zero++
+		case 200:
+			full++
+		default:
+			other++
+		}
+	}
+	if other != 0 {
+		t.Fatalf("%d rounds had partial delivery under sender faults", other)
+	}
+	frac := float64(full) / rounds
+	if math.Abs(frac-(1-p)) > 0.1 {
+		t.Fatalf("successful-round fraction = %v, want ~%v", frac, 1-p)
+	}
+}
+
+func TestSenderFaultStillCollides(t *testing.T) {
+	// Sender faults replace content with noise but the carrier still
+	// collides: on path 0-1-2 with both endpoints broadcasting, node 1 never
+	// receives regardless of fault outcomes.
+	top := graph.Path(3)
+	net := MustNew[int32](top.G, Config{Fault: SenderFaults, P: 0.9}, rng.New(10))
+	bc := []bool{true, false, true}
+	payload := []int32{1, 0, 2}
+	for i := 0; i < 100; i++ {
+		if got := stepOnce(net, bc, payload); len(got) != 0 {
+			t.Fatalf("round %d: delivery through a collision: %v", i, got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	top := graph.GNP(50, 0.1, rng.New(3))
+	run := func() []int64 {
+		net := MustNew[int32](top.G, Config{Fault: ReceiverFaults, P: 0.25}, rng.New(42))
+		driver := rng.New(77)
+		bc := make([]bool, 50)
+		payload := make([]int32, 50)
+		var trace []int64
+		for round := 0; round < 200; round++ {
+			for v := range bc {
+				bc[v] = driver.Bool(0.2)
+				payload[v] = int32(v)
+			}
+			var sum int64
+			net.Step(bc, payload, func(d Delivery[int32]) {
+				sum += int64(d.To)*1000003 + int64(d.From)
+			})
+			trace = append(trace, sum)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("executions diverged at round %d", i)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	top := graph.Star(3)
+	net := faultless(t, top.G, 1)
+	bc := make([]bool, 4)
+	payload := make([]int32, 4)
+	bc[0] = true
+	net.Step(bc, payload, nil)
+	s := net.Stats()
+	if s.Rounds != 1 || s.Broadcasts != 1 || s.Deliveries != 3 || s.Collisions != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Two leaves broadcast: hub collides, other leaves hear nothing (leaves
+	// are only adjacent to the hub).
+	bc[0] = false
+	bc[1], bc[2] = true, true
+	net.Step(bc, payload, nil)
+	s = net.Stats()
+	if s.Rounds != 2 || s.Broadcasts != 3 || s.Collisions != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStepLengthMismatchPanics(t *testing.T) {
+	top := graph.Path(3)
+	net := faultless(t, top.G, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on bad slice length")
+		}
+	}()
+	net.Step(make([]bool, 2), make([]int32, 3), nil)
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	top := graph.Path(2)
+	if _, err := New[int32](top.G, Config{Fault: SenderFaults, P: 1.5}, rng.New(1)); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+// Property: in the faultless model, delivery happens exactly per the model
+// definition, for random graphs and random broadcast sets.
+func TestQuickFaultlessMatchesDefinition(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, density uint8) bool {
+		n := int(nRaw)%30 + 2
+		top := graph.GNP(n, 0.2, rng.New(seed))
+		net := MustNew[int32](top.G, Config{Fault: Faultless}, rng.New(seed+1))
+		driver := rng.New(seed + 2)
+		p := float64(density%100) / 100
+		bc := make([]bool, n)
+		payload := make([]int32, n)
+		for v := range bc {
+			bc[v] = driver.Bool(p)
+			payload[v] = int32(v + 1)
+		}
+		received := make(map[int]Delivery[int32])
+		net.Step(bc, payload, func(d Delivery[int32]) {
+			if _, dup := received[d.To]; dup {
+				return // flagged below by count mismatch
+			}
+			received[d.To] = d
+		})
+		for v := 0; v < n; v++ {
+			count, from := 0, -1
+			for _, u := range top.G.Neighbors(v) {
+				if bc[u] {
+					count++
+					from = int(u)
+				}
+			}
+			want := !bc[v] && count == 1
+			d, ok := received[v]
+			if ok != want {
+				return false
+			}
+			if ok && (d.From != from || d.Payload != int32(from+1)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerNodeFaultProbabilities(t *testing.T) {
+	// Star with one reliable and one hopeless leaf: per-node probabilities
+	// must apply individually.
+	top := graph.Star(2)
+	perNode := []float64{0, 0, 0.99} // hub, leaf1 (reliable), leaf2 (lossy)
+	net := MustNew[int32](top.G, Config{Fault: ReceiverFaults, P: 0.5, PerNodeP: perNode}, rng.New(31))
+	bc := []bool{true, false, false}
+	payload := []int32{7, 0, 0}
+	got1, got2 := 0, 0
+	const rounds = 400
+	for i := 0; i < rounds; i++ {
+		net.Step(bc, payload, func(d Delivery[int32]) {
+			if d.To == 1 {
+				got1++
+			} else {
+				got2++
+			}
+		})
+	}
+	if got1 != rounds {
+		t.Fatalf("reliable leaf received %d/%d", got1, rounds)
+	}
+	if got2 > rounds/10 {
+		t.Fatalf("lossy leaf received %d/%d, want ~1%%", got2, rounds)
+	}
+}
+
+func TestPerNodeFaultValidation(t *testing.T) {
+	top := graph.Path(3)
+	if _, err := New[int32](top.G, Config{Fault: ReceiverFaults, PerNodeP: []float64{0, 0.5, 1.5}}, rng.New(1)); err == nil {
+		t.Fatal("out-of-range per-node probability accepted")
+	}
+	if _, err := New[int32](top.G, Config{Fault: ReceiverFaults, PerNodeP: []float64{0.5}}, rng.New(1)); err == nil {
+		t.Fatal("wrong-length PerNodeP accepted")
+	}
+}
+
+func TestPerNodeSenderFaults(t *testing.T) {
+	// Two broadcasters on a path of 3 ... use two disjoint links instead:
+	// 0-1 and the hub never fails, so deliveries depend on the sender's own
+	// probability.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	g := b.MustBuild()
+	perNode := []float64{0, 0, 0.95, 0}
+	net := MustNew[int32](g, Config{Fault: SenderFaults, P: 0.5, PerNodeP: perNode}, rng.New(32))
+	bc := []bool{true, false, true, false}
+	payload := []int32{1, 0, 2, 0}
+	got1, got3 := 0, 0
+	const rounds = 300
+	for i := 0; i < rounds; i++ {
+		net.Step(bc, payload, func(d Delivery[int32]) {
+			switch d.To {
+			case 1:
+				got1++
+			case 3:
+				got3++
+			}
+		})
+	}
+	if got1 != rounds {
+		t.Fatalf("reliable sender delivered %d/%d", got1, rounds)
+	}
+	if got3 > rounds/5 {
+		t.Fatalf("faulty sender delivered %d/%d, want ~5%%", got3, rounds)
+	}
+}
+
+// Property: the channel statistics are exact functions of the broadcast
+// pattern — Broadcasts counts transmitters, Collisions counts listeners
+// with >= 2 broadcasting neighbours, and Deliveries + fault events account
+// for every single-broadcaster listener.
+func TestQuickStatsInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, model uint8, pRaw uint8) bool {
+		n := int(nRaw)%25 + 2
+		cfg := Config{Fault: FaultModel(int(model)%3 + 1), P: float64(pRaw%90) / 100}
+		top := graph.GNP(n, 0.25, rng.New(seed))
+		net, err := New[int32](top.G, cfg, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		driver := rng.New(seed + 2)
+		bc := make([]bool, n)
+		payload := make([]int32, n)
+		var wantBroadcasts, wantCollisions, wantEligible int64
+		const rounds = 30
+		for rd := 0; rd < rounds; rd++ {
+			for v := range bc {
+				bc[v] = driver.Bool(0.3)
+				if bc[v] {
+					wantBroadcasts++
+				}
+			}
+			for v := 0; v < n; v++ {
+				if bc[v] {
+					continue
+				}
+				cnt := 0
+				for _, u := range top.G.Neighbors(v) {
+					if bc[u] {
+						cnt++
+					}
+				}
+				switch {
+				case cnt > 1:
+					wantCollisions++
+				case cnt == 1:
+					wantEligible++
+				}
+			}
+			net.Step(bc, payload, nil)
+		}
+		s := net.Stats()
+		if s.Rounds != rounds || s.Broadcasts != wantBroadcasts || s.Collisions != wantCollisions {
+			return false
+		}
+		// Every eligible reception either delivered or was destroyed by a
+		// fault. Sender faults destroy per-broadcast, so the per-listener
+		// accounting is Deliveries + ReceiverFaults + senderDestroyed =
+		// eligible; we can only check the two tracked terms bound it.
+		if s.Deliveries+s.ReceiverFaults > wantEligible {
+			return false
+		}
+		if cfg.Fault == Faultless && s.Deliveries != wantEligible {
+			return false
+		}
+		if cfg.Fault == ReceiverFaults && s.Deliveries+s.ReceiverFaults != wantEligible {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tracing reports exactly the Stats counters, under every model.
+func TestQuickTraceMatchesStats(t *testing.T) {
+	f := func(seed uint64, model uint8) bool {
+		cfg := Config{Fault: FaultModel(int(model)%3 + 1), P: 0.3}
+		top := graph.GNP(20, 0.2, rng.New(seed))
+		net, err := New[int32](top.G, cfg, rng.New(seed+1))
+		if err != nil {
+			return false
+		}
+		var tx, rx int64
+		lastRound := -1
+		net.SetTrace(func(round int, broadcasters, receivers []int32) {
+			if round != lastRound+1 {
+				return // non-sequential round numbers would corrupt counts
+			}
+			lastRound = round
+			tx += int64(len(broadcasters))
+			rx += int64(len(receivers))
+		})
+		driver := rng.New(seed + 2)
+		bc := make([]bool, 20)
+		payload := make([]int32, 20)
+		for rd := 0; rd < 25; rd++ {
+			for v := range bc {
+				bc[v] = driver.Bool(0.25)
+			}
+			net.Step(bc, payload, nil)
+		}
+		s := net.Stats()
+		return lastRound == 24 && tx == s.Broadcasts && rx == s.Deliveries
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStepStar(b *testing.B) {
+	top := graph.Star(1 << 12)
+	net := MustNew[int32](top.G, Config{Fault: ReceiverFaults, P: 0.3}, rng.New(1))
+	bc := make([]bool, top.G.N())
+	payload := make([]int32, top.G.N())
+	bc[0] = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step(bc, payload, nil)
+	}
+}
+
+func BenchmarkStepDenseRandom(b *testing.B) {
+	top := graph.GNP(1024, 0.02, rng.New(1))
+	net := MustNew[int32](top.G, Config{Fault: SenderFaults, P: 0.3}, rng.New(2))
+	driver := rng.New(3)
+	bc := make([]bool, top.G.N())
+	payload := make([]int32, top.G.N())
+	for v := range bc {
+		bc[v] = driver.Bool(0.1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step(bc, payload, nil)
+	}
+}

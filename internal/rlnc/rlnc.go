@@ -1,0 +1,223 @@
+// Package rlnc implements random linear network coding over GF(2^8).
+//
+// The paper's multi-message results (Lemmas 12–13) run a single-message
+// broadcast algorithm as a black box with "random linear network coding"
+// [Haeupler 2011]: every transmitted packet is a uniformly random linear
+// combination of the coded packets a node has received (the source holding
+// the k originals). A node can decode once the coefficient vectors it has
+// received span GF(256)^k.
+//
+// A Decoder maintains a row-reduced basis of the received subspace with
+// incremental Gaussian elimination, so each InsertPacket is O(k·(k+payload))
+// and rank queries are O(1).
+package rlnc
+
+import (
+	"errors"
+	"fmt"
+
+	"noisyradio/internal/gf256"
+	"noisyradio/internal/rng"
+)
+
+// ErrNotDecodable is returned by Decode when the received subspace does not
+// yet span all k messages.
+var ErrNotDecodable = errors.New("rlnc: subspace rank below k, cannot decode")
+
+// Packet is a coded packet: Payload = Σ_i Coeffs[i] · message_i.
+type Packet struct {
+	Coeffs  []byte
+	Payload []byte
+}
+
+// Clone returns a deep copy of the packet.
+func (p Packet) Clone() Packet {
+	return Packet{
+		Coeffs:  append([]byte(nil), p.Coeffs...),
+		Payload: append([]byte(nil), p.Payload...),
+	}
+}
+
+// IsZero reports whether the packet's coefficient vector is all-zero
+// (an information-free packet).
+func (p Packet) IsZero() bool {
+	for _, c := range p.Coeffs {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SourcePacket returns the trivial coded packet for message index i of k,
+// i.e. coefficient vector e_i with the raw payload.
+func SourcePacket(i, k int, payload []byte) Packet {
+	if i < 0 || i >= k {
+		panic(fmt.Sprintf("rlnc: message index %d out of range [0,%d)", i, k))
+	}
+	coeffs := make([]byte, k)
+	coeffs[i] = 1
+	return Packet{Coeffs: coeffs, Payload: append([]byte(nil), payload...)}
+}
+
+// Decoder accumulates coded packets and recovers the original messages once
+// it has k linearly independent packets.
+type Decoder struct {
+	k          int
+	payloadLen int
+	// rows[i] is the basis row whose leading non-zero coefficient is at
+	// column i (nil if no such row yet). Rows are kept reduced: the leading
+	// coefficient is 1 and no other stored row has a non-zero entry in a
+	// pivot column.
+	rows []*Packet
+	rank int
+}
+
+// NewDecoder creates a decoder for k messages with the given payload length.
+func NewDecoder(k, payloadLen int) *Decoder {
+	if k <= 0 {
+		panic(fmt.Sprintf("rlnc: non-positive message count %d", k))
+	}
+	if payloadLen <= 0 {
+		panic(fmt.Sprintf("rlnc: non-positive payload length %d", payloadLen))
+	}
+	return &Decoder{k: k, payloadLen: payloadLen, rows: make([]*Packet, k)}
+}
+
+// K returns the number of messages of the code.
+func (d *Decoder) K() int { return d.k }
+
+// Rank returns the dimension of the received subspace.
+func (d *Decoder) Rank() int { return d.rank }
+
+// CanDecode reports whether the decoder holds a full-rank basis.
+func (d *Decoder) CanDecode() bool { return d.rank == d.k }
+
+// InsertPacket adds a packet to the decoder and reports whether it was
+// innovative (increased the rank). The packet is consumed: the decoder may
+// retain and modify its buffers.
+func (d *Decoder) InsertPacket(p Packet) (bool, error) {
+	if len(p.Coeffs) != d.k {
+		return false, fmt.Errorf("rlnc: packet has %d coefficients, want %d", len(p.Coeffs), d.k)
+	}
+	if len(p.Payload) != d.payloadLen {
+		return false, fmt.Errorf("rlnc: packet has payload length %d, want %d", len(p.Payload), d.payloadLen)
+	}
+	// Forward-eliminate against every existing pivot, including pivots at
+	// columns past the packet's eventual leading column — the stored basis
+	// must stay fully reduced or Decode would return linear combinations
+	// instead of the original messages.
+	for col := 0; col < d.k; col++ {
+		c := p.Coeffs[col]
+		if c == 0 || d.rows[col] == nil {
+			continue
+		}
+		row := d.rows[col]
+		gf256.MulVec(p.Coeffs, row.Coeffs, c)
+		gf256.MulVec(p.Payload, row.Payload, c)
+	}
+	// Locate the leading surviving coefficient.
+	lead := -1
+	for col := 0; col < d.k; col++ {
+		if p.Coeffs[col] != 0 {
+			lead = col
+			break
+		}
+	}
+	if lead == -1 {
+		return false, nil // packet was in the span already
+	}
+	// New pivot: normalise so the leading coefficient is 1, then
+	// back-substitute into existing rows to keep full reduction.
+	inv := gf256.Inv(p.Coeffs[lead])
+	gf256.ScaleVec(p.Coeffs, inv)
+	gf256.ScaleVec(p.Payload, inv)
+	d.rows[lead] = &p
+	d.rank++
+	d.backSubstitute(lead)
+	return true, nil
+}
+
+// backSubstitute eliminates column col from all other stored rows using the
+// newly inserted pivot row.
+func (d *Decoder) backSubstitute(col int) {
+	pivot := d.rows[col]
+	for i, row := range d.rows {
+		if i == col || row == nil {
+			continue
+		}
+		c := row.Coeffs[col]
+		if c != 0 {
+			gf256.MulVec(row.Coeffs, pivot.Coeffs, c)
+			gf256.MulVec(row.Payload, pivot.Payload, c)
+		}
+	}
+}
+
+// Decode returns the k original messages. It returns ErrNotDecodable if the
+// subspace rank is below k.
+func (d *Decoder) Decode() ([][]byte, error) {
+	if !d.CanDecode() {
+		return nil, fmt.Errorf("%w: rank %d of %d", ErrNotDecodable, d.rank, d.k)
+	}
+	// With full rank and full reduction, row i is exactly e_i.
+	out := make([][]byte, d.k)
+	for i, row := range d.rows {
+		out[i] = append([]byte(nil), row.Payload...)
+	}
+	return out, nil
+}
+
+// RandomCombination produces a uniformly random linear combination of the
+// decoder's basis rows — the packet a node broadcasts under RLNC. It returns
+// a zero packet (and ok=false) if the decoder holds no packets yet.
+func (d *Decoder) RandomCombination(r *rng.Stream) (Packet, bool) {
+	out := Packet{Coeffs: make([]byte, d.k), Payload: make([]byte, d.payloadLen)}
+	if d.rank == 0 {
+		return out, false
+	}
+	nonzero := false
+	for _, row := range d.rows {
+		if row == nil {
+			continue
+		}
+		c := r.Byte()
+		if c == 0 {
+			continue
+		}
+		nonzero = true
+		gf256.MulVec(out.Coeffs, row.Coeffs, c)
+		gf256.MulVec(out.Payload, row.Payload, c)
+	}
+	if !nonzero {
+		// All coefficients drawn zero (probability 256^-rank): fall back to
+		// the first basis row so a broadcasting node never wastes its slot.
+		for _, row := range d.rows {
+			if row != nil {
+				copy(out.Coeffs, row.Coeffs)
+				copy(out.Payload, row.Payload)
+				break
+			}
+		}
+	}
+	return out, true
+}
+
+// SourceDecoder returns a decoder pre-loaded with all k source messages,
+// representing the broadcast source. All messages must share payloadLen.
+func SourceDecoder(messages [][]byte) (*Decoder, error) {
+	if len(messages) == 0 {
+		return nil, errors.New("rlnc: no messages")
+	}
+	payloadLen := len(messages[0])
+	d := NewDecoder(len(messages), payloadLen)
+	for i, m := range messages {
+		if len(m) != payloadLen {
+			return nil, fmt.Errorf("rlnc: message %d has length %d, want %d", i, len(m), payloadLen)
+		}
+		if _, err := d.InsertPacket(SourcePacket(i, len(messages), m)); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,375 @@
+package rlnc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"noisyradio/internal/rng"
+)
+
+func randomMessages(r *rng.Stream, k, size int) [][]byte {
+	msgs := make([][]byte, k)
+	for i := range msgs {
+		msgs[i] = make([]byte, size)
+		r.Bytes(msgs[i])
+	}
+	return msgs
+}
+
+func TestSourcePacket(t *testing.T) {
+	p := SourcePacket(2, 5, []byte{9, 8})
+	want := []byte{0, 0, 1, 0, 0}
+	if !bytes.Equal(p.Coeffs, want) {
+		t.Fatalf("Coeffs = %v, want %v", p.Coeffs, want)
+	}
+	if !bytes.Equal(p.Payload, []byte{9, 8}) {
+		t.Fatalf("Payload = %v", p.Payload)
+	}
+}
+
+func TestSourcePacketPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	SourcePacket(5, 5, nil)
+}
+
+func TestPacketClone(t *testing.T) {
+	p := SourcePacket(0, 2, []byte{1})
+	c := p.Clone()
+	c.Coeffs[0] = 7
+	c.Payload[0] = 7
+	if p.Coeffs[0] != 1 || p.Payload[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestPacketIsZero(t *testing.T) {
+	z := Packet{Coeffs: []byte{0, 0}, Payload: []byte{3}}
+	if !z.IsZero() {
+		t.Fatal("zero coefficients not detected")
+	}
+	nz := Packet{Coeffs: []byte{0, 1}, Payload: []byte{0}}
+	if nz.IsZero() {
+		t.Fatal("non-zero packet reported zero")
+	}
+}
+
+func TestDecoderSourceRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	msgs := randomMessages(r, 6, 20)
+	d, err := SourceDecoder(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.CanDecode() || d.Rank() != 6 {
+		t.Fatalf("source decoder rank = %d", d.Rank())
+	}
+	got, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeViaRandomCombinations(t *testing.T) {
+	// Relay scenario: a fresh decoder fed random combinations from the
+	// source must reach full rank in ~k innovative packets and decode.
+	r := rng.New(2)
+	const k, size = 8, 16
+	msgs := randomMessages(r, k, size)
+	src, err := SourceDecoder(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := NewDecoder(k, size)
+	steps := 0
+	for !sink.CanDecode() {
+		steps++
+		if steps > 10*k {
+			t.Fatalf("sink did not reach full rank after %d packets (rank %d)", steps, sink.Rank())
+		}
+		p, ok := src.RandomCombination(r)
+		if !ok {
+			t.Fatal("source produced no packet")
+		}
+		if _, err := sink.InsertPacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Over GF(256) almost every random packet is innovative; allow a tiny
+	// margin.
+	if steps > k+3 {
+		t.Fatalf("needed %d packets to reach rank %d; expected ~%d", steps, k, k)
+	}
+	got, err := sink.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d mismatch after network decode", i)
+		}
+	}
+}
+
+func TestMultiHopRelay(t *testing.T) {
+	// Source -> relay -> sink, with the relay recombining from a partial
+	// subspace. The sink must still decode correctly once full rank.
+	r := rng.New(3)
+	const k, size = 5, 12
+	msgs := randomMessages(r, k, size)
+	src, err := SourceDecoder(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relay := NewDecoder(k, size)
+	sink := NewDecoder(k, size)
+	for step := 0; step < 200 && !sink.CanDecode(); step++ {
+		if p, ok := src.RandomCombination(r); ok {
+			if _, err := relay.InsertPacket(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if p, ok := relay.RandomCombination(r); ok {
+			if _, err := sink.InsertPacket(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !sink.CanDecode() {
+		t.Fatalf("sink stuck at rank %d", sink.Rank())
+	}
+	got, err := sink.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d corrupted through relay", i)
+		}
+	}
+}
+
+func TestInsertNonInnovative(t *testing.T) {
+	const k, size = 3, 4
+	r := rng.New(4)
+	msgs := randomMessages(r, k, size)
+	d := NewDecoder(k, size)
+	p := SourcePacket(0, k, msgs[0])
+	innovative, err := d.InsertPacket(p.Clone())
+	if err != nil || !innovative {
+		t.Fatalf("first insert: innovative=%v err=%v", innovative, err)
+	}
+	innovative, err = d.InsertPacket(p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innovative {
+		t.Fatal("duplicate packet reported innovative")
+	}
+	if d.Rank() != 1 {
+		t.Fatalf("rank = %d, want 1", d.Rank())
+	}
+}
+
+func TestInsertZeroPacket(t *testing.T) {
+	d := NewDecoder(3, 4)
+	innovative, err := d.InsertPacket(Packet{Coeffs: make([]byte, 3), Payload: make([]byte, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innovative || d.Rank() != 0 {
+		t.Fatal("zero packet must not be innovative")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	d := NewDecoder(3, 4)
+	if _, err := d.InsertPacket(Packet{Coeffs: make([]byte, 2), Payload: make([]byte, 4)}); err == nil {
+		t.Fatal("wrong coefficient length accepted")
+	}
+	if _, err := d.InsertPacket(Packet{Coeffs: make([]byte, 3), Payload: make([]byte, 5)}); err == nil {
+		t.Fatal("wrong payload length accepted")
+	}
+}
+
+func TestDecodeBeforeFullRank(t *testing.T) {
+	d := NewDecoder(2, 4)
+	if _, err := d.Decode(); !errors.Is(err, ErrNotDecodable) {
+		t.Fatalf("err = %v, want ErrNotDecodable", err)
+	}
+}
+
+func TestRandomCombinationEmpty(t *testing.T) {
+	d := NewDecoder(2, 3)
+	if _, ok := d.RandomCombination(rng.New(1)); ok {
+		t.Fatal("empty decoder produced a packet")
+	}
+}
+
+func TestRandomCombinationNeverZeroWhenNonEmpty(t *testing.T) {
+	r := rng.New(5)
+	msgs := randomMessages(r, 2, 4)
+	d, err := SourceDecoder(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		p, ok := d.RandomCombination(r)
+		if !ok {
+			t.Fatal("source stopped producing")
+		}
+		if p.IsZero() {
+			t.Fatal("RandomCombination produced an information-free packet")
+		}
+	}
+}
+
+func TestNewDecoderPanics(t *testing.T) {
+	for _, tc := range []struct{ k, p int }{{k: 0, p: 1}, {k: 1, p: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewDecoder(%d,%d) did not panic", tc.k, tc.p)
+				}
+			}()
+			NewDecoder(tc.k, tc.p)
+		}()
+	}
+}
+
+func TestSourceDecoderValidation(t *testing.T) {
+	if _, err := SourceDecoder(nil); err == nil {
+		t.Fatal("empty message list accepted")
+	}
+	if _, err := SourceDecoder([][]byte{{1, 2}, {1}}); err == nil {
+		t.Fatal("ragged messages accepted")
+	}
+}
+
+// TestOutOfOrderPivotReduction is the regression test for a full-reduction
+// bug: when a packet's leading column precedes an existing pivot column but
+// the packet also carries weight on that later pivot, the stored row must
+// still be eliminated against it — otherwise Decode returns linear
+// combinations instead of the originals.
+func TestOutOfOrderPivotReduction(t *testing.T) {
+	msgs := [][]byte{{10, 11}, {20, 21}, {30, 31}}
+	d := NewDecoder(3, 2)
+	// Pivot at column 2 first.
+	if _, err := d.InsertPacket(SourcePacket(2, 3, msgs[2])); err != nil {
+		t.Fatal(err)
+	}
+	// Then a packet with leading column 0 that also carries column 2:
+	// payload = m0 + m2, coeffs = e0 + e2.
+	mixed := Packet{Coeffs: []byte{1, 0, 1}, Payload: []byte{10 ^ 30, 11 ^ 31}}
+	if innovative, err := d.InsertPacket(mixed); err != nil || !innovative {
+		t.Fatalf("mixed insert: innovative=%v err=%v", innovative, err)
+	}
+	if _, err := d.InsertPacket(SourcePacket(1, 3, msgs[1])); err != nil {
+		t.Fatal(err)
+	}
+	if !d.CanDecode() {
+		t.Fatalf("rank = %d, want 3", d.Rank())
+	}
+	got, err := d.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if !bytes.Equal(got[i], msgs[i]) {
+			t.Fatalf("message %d = %v, want %v", i, got[i], msgs[i])
+		}
+	}
+}
+
+// Property: rank is monotone and never exceeds k; once decodable, decoding
+// reproduces the messages exactly, for arbitrary packet arrival patterns.
+func TestQuickDecoderInvariants(t *testing.T) {
+	f := func(seed uint64, kRaw, msgLenRaw uint8) bool {
+		r := rng.New(seed)
+		k := int(kRaw)%8 + 1
+		size := int(msgLenRaw)%16 + 1
+		msgs := randomMessages(r, k, size)
+		src, err := SourceDecoder(msgs)
+		if err != nil {
+			return false
+		}
+		d := NewDecoder(k, size)
+		prevRank := 0
+		for i := 0; i < 4*k; i++ {
+			p, _ := src.RandomCombination(r)
+			if _, err := d.InsertPacket(p); err != nil {
+				return false
+			}
+			if d.Rank() < prevRank || d.Rank() > k {
+				return false
+			}
+			prevRank = d.Rank()
+		}
+		if !d.CanDecode() {
+			// Statistically implausible after 4k random packets; treat as
+			// failure so we notice a broken insert path.
+			return false
+		}
+		got, err := d.Decode()
+		if err != nil {
+			return false
+		}
+		for i := range msgs {
+			if !bytes.Equal(got[i], msgs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsertPacket(b *testing.B) {
+	r := rng.New(1)
+	const k, size = 32, 64
+	msgs := randomMessages(r, k, size)
+	src, err := SourceDecoder(msgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	packets := make([]Packet, 256)
+	for i := range packets {
+		packets[i], _ = src.RandomCombination(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := NewDecoder(k, size)
+		for j := 0; !d.CanDecode(); j++ {
+			if _, err := d.InsertPacket(packets[(i+j)%len(packets)].Clone()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRandomCombination(b *testing.B) {
+	r := rng.New(1)
+	msgs := randomMessages(r, 32, 64)
+	src, err := SourceDecoder(msgs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = src.RandomCombination(r)
+	}
+}

@@ -1,0 +1,217 @@
+// Package rng provides a small, fast, deterministic and splittable random
+// number generator used throughout the simulator.
+//
+// Reproducibility is a hard requirement for the experiment harness: a trial
+// must produce identical results regardless of how many Monte-Carlo workers
+// run concurrently. Each trial therefore owns an independent Stream derived
+// deterministically from (experiment seed, trial index) via SplitMix64, and
+// the per-trial simulation is single-threaded.
+//
+// The core generator is xoshiro256**, seeded through SplitMix64 as its
+// authors recommend. Both algorithms are public domain (Blackman & Vigna).
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random number stream.
+// It is not safe for concurrent use; give each goroutine its own Stream.
+type Stream struct {
+	s [4]uint64
+}
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used for seeding and for Split derivation.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Stream deterministically seeded from seed.
+func New(seed uint64) *Stream {
+	var st Stream
+	sm := seed
+	for i := range st.s {
+		st.s[i] = splitMix64(&sm)
+	}
+	// xoshiro must not be seeded with the all-zero state; SplitMix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
+		st.s[0] = 1
+	}
+	return &st
+}
+
+// NewFrom returns a Stream derived from a (seed, index) pair. Distinct
+// indices yield statistically independent streams; this is how per-trial and
+// per-node streams are created.
+func NewFrom(seed uint64, index uint64) *Stream {
+	sm := seed
+	base := splitMix64(&sm)
+	sm2 := base ^ (index * 0xd1342543de82ef95)
+	return New(splitMix64(&sm2))
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Split returns a new Stream derived from (and independent of) r.
+// The parent stream advances by one output.
+func (r *Stream) Split() *Stream {
+	return New(r.Uint64())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p.
+func (r *Stream) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := -uint64(n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo * bLo
+	w0 := t & mask32
+	carry := t >> 32
+	t = aHi*bLo + carry
+	w1 := t & mask32
+	w2 := t >> 32
+	t = aLo*bHi + w1
+	hi = aHi*bHi + w2 + t>>32
+	lo = t<<32 + w0
+	return hi, lo
+}
+
+// Byte returns a uniform random byte.
+func (r *Stream) Byte() byte {
+	return byte(r.Uint64())
+}
+
+// Bytes fills b with uniform random bytes.
+func (r *Stream) Bytes(b []byte) {
+	i := 0
+	for ; i+8 <= len(b); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8; j++ {
+			b[i+j] = byte(v >> (8 * uint(j)))
+		}
+	}
+	if i < len(b) {
+		v := r.Uint64()
+		for ; i < len(b); i++ {
+			b[i] = byte(v)
+			v >>= 8
+		}
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Stream) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle applies a Fisher–Yates shuffle over n elements using swap.
+func (r *Stream) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Geometric returns a sample from the geometric distribution with success
+// probability p: the number of Bernoulli(p) trials up to and including the
+// first success (support {1, 2, ...}). It panics if p is outside (0, 1].
+func (r *Stream) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric with p outside (0,1]")
+	}
+	if p == 1 {
+		return 1
+	}
+	u := r.Float64()
+	// Inverse CDF: ceil(ln(1-u) / ln(1-p)).
+	k := int(math.Ceil(math.Log1p(-u) / math.Log1p(-p)))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SampleK returns k distinct uniform elements of [0, n) in ascending order.
+// It panics if k > n or either argument is negative.
+func (r *Stream) SampleK(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("rng: SampleK with invalid arguments")
+	}
+	// Floyd's algorithm; results collected then sorted by insertion since k
+	// is typically small relative to n.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	insertionSort(out)
+	return out
+}
+
+func insertionSort(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

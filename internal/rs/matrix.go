@@ -1,0 +1,159 @@
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"noisyradio/internal/gf256"
+)
+
+// matrix is a dense row-major matrix over GF(2^8).
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+var errSingular = errors.New("rs: matrix is singular")
+
+func newMatrix(rows, cols int) *matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("rs: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) row(i int) []byte { return m.data[i*m.cols : (i+1)*m.cols] }
+
+func (m *matrix) at(i, j int) byte     { return m.data[i*m.cols+j] }
+func (m *matrix) set(i, j int, v byte) { m.data[i*m.cols+j] = v }
+
+// clone returns an independent copy of m.
+func (m *matrix) clone() *matrix {
+	c := newMatrix(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// vandermonde builds the rows×cols matrix with entry (i,j) = i^j, using the
+// field elements 0..rows-1 as evaluation points. Any cols distinct rows of
+// this matrix are linearly independent (rows <= 256 guaranteed by caller).
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		acc := byte(1)
+		for j := 0; j < cols; j++ {
+			m.set(i, j, acc)
+			acc = gf256.Mul(acc, byte(i))
+		}
+	}
+	return m
+}
+
+// mul returns m * other.
+func (m *matrix) mul(other *matrix) *matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("rs: cannot multiply %dx%d by %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := newMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		ri := m.row(i)
+		ro := out.row(i)
+		for k, a := range ri {
+			if a == 0 {
+				continue
+			}
+			gf256.MulVec(ro, other.row(k), a)
+		}
+	}
+	return out
+}
+
+// subMatrix returns the block [r0:r1) x [c0:c1) as a copy.
+func (m *matrix) subMatrix(r0, r1, c0, c1 int) *matrix {
+	out := newMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.row(i-r0), m.row(i)[c0:c1])
+	}
+	return out
+}
+
+// invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination, or errSingular.
+func (m *matrix) invert() (*matrix, error) {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("rs: cannot invert non-square %dx%d matrix", m.rows, m.cols))
+	}
+	n := m.rows
+	work := m.clone()
+	inv := identityMatrix(n)
+	for col := 0; col < n; col++ {
+		// Find pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		// Scale pivot row to 1.
+		pv := work.at(col, col)
+		if pv != 1 {
+			invPv := gf256.Inv(pv)
+			gf256.ScaleVec(work.row(col), invPv)
+			gf256.ScaleVec(inv.row(col), invPv)
+		}
+		// Eliminate all other rows.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			c := work.at(r, col)
+			if c != 0 {
+				gf256.MulVec(work.row(r), work.row(col), c)
+				gf256.MulVec(inv.row(r), inv.row(col), c)
+			}
+		}
+	}
+	return inv, nil
+}
+
+func identityMatrix(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+func swapRows(m *matrix, a, b int) {
+	ra, rb := m.row(a), m.row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}
+
+// isIdentity reports whether m is the identity matrix.
+func (m *matrix) isIdentity() bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			want := byte(0)
+			if i == j {
+				want = 1
+			}
+			if m.at(i, j) != want {
+				return false
+			}
+		}
+	}
+	return true
+}

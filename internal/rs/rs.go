@@ -1,0 +1,167 @@
+// Package rs implements a systematic Reed–Solomon erasure code over GF(2^8).
+//
+// The paper (Section 5) uses Reed–Solomon coding as a black box: "given k
+// input packets, Reed-Solomon coding constructs poly(nk) coded packets such
+// that any k of the coded packets is sufficient to reconstruct the original
+// k packets". This package provides exactly that black box for up to 256
+// total packets (the field size bounds the number of distinct evaluation
+// points); the experiment harness layers batching on top when more packets
+// are required (see internal/broadcast).
+//
+// The code is systematic: the first k coded shards are the data shards
+// verbatim, which makes the "no faults" path free.
+package rs
+
+import (
+	"errors"
+	"fmt"
+
+	"noisyradio/internal/gf256"
+)
+
+// MaxShards is the maximum total number of shards (data + parity) a single
+// code instance supports, bounded by the field size.
+const MaxShards = 256
+
+// Exported errors for caller matching.
+var (
+	// ErrTooFewShards indicates that fewer than k shards were available for
+	// reconstruction.
+	ErrTooFewShards = errors.New("rs: too few shards to reconstruct")
+	// ErrShardSize indicates inconsistent or zero shard sizes.
+	ErrShardSize = errors.New("rs: inconsistent shard sizes")
+)
+
+// Code is a Reed–Solomon code with k data shards and m total shards.
+type Code struct {
+	k, m int
+	// gen is the m×k systematic generator matrix: shard i = gen.row(i) · data.
+	gen *matrix
+}
+
+// New creates a Reed–Solomon code with dataShards data shards and
+// totalShards total shards. It returns an error unless
+// 0 < dataShards <= totalShards <= MaxShards.
+func New(dataShards, totalShards int) (*Code, error) {
+	if dataShards <= 0 {
+		return nil, fmt.Errorf("rs: dataShards = %d, must be positive", dataShards)
+	}
+	if totalShards < dataShards {
+		return nil, fmt.Errorf("rs: totalShards = %d < dataShards = %d", totalShards, dataShards)
+	}
+	if totalShards > MaxShards {
+		return nil, fmt.Errorf("rs: totalShards = %d exceeds MaxShards = %d", totalShards, MaxShards)
+	}
+	// Build a systematic generator: take the m×k Vandermonde matrix and
+	// right-multiply by the inverse of its top k×k block. Any k rows of a
+	// Vandermonde matrix with distinct points are independent, so the top
+	// block is invertible and the systematic property follows.
+	v := vandermonde(totalShards, dataShards)
+	top := v.subMatrix(0, dataShards, 0, dataShards)
+	topInv, err := top.invert()
+	if err != nil {
+		// Cannot happen for a Vandermonde matrix with distinct points.
+		return nil, fmt.Errorf("rs: internal: vandermonde top block singular: %w", err)
+	}
+	return &Code{k: dataShards, m: totalShards, gen: v.mul(topInv)}, nil
+}
+
+// DataShards returns k, the number of data shards.
+func (c *Code) DataShards() int { return c.k }
+
+// TotalShards returns m, the total number of shards.
+func (c *Code) TotalShards() int { return c.m }
+
+// Encode produces all m shards from the k data shards. Every data shard must
+// have the same non-zero length. The first k output shards alias fresh
+// copies of the data.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if len(data) != c.k {
+		return nil, fmt.Errorf("rs: got %d data shards, want %d", len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if size == -1 {
+			size = len(d)
+		}
+		if len(d) != size || size == 0 {
+			return nil, fmt.Errorf("%w: shard %d has length %d, want %d (non-zero)", ErrShardSize, i, len(d), size)
+		}
+	}
+	out := make([][]byte, c.m)
+	for i := 0; i < c.m; i++ {
+		out[i] = c.EncodeShard(i, data)
+	}
+	return out, nil
+}
+
+// EncodeShard produces the single shard with the given index from the data
+// shards. Index must be in [0, TotalShards()). Shard sizes are assumed
+// consistent (validated by Encode; this is the hot path).
+func (c *Code) EncodeShard(index int, data [][]byte) []byte {
+	row := c.gen.row(index)
+	out := make([]byte, len(data[0]))
+	for j, coeff := range row {
+		if coeff != 0 {
+			mulVecInto(out, data[j], coeff)
+		}
+	}
+	return out
+}
+
+// Reconstruct recovers the k data shards from any k of the m shards.
+// shards must have length m; missing shards are nil. Present shards must
+// share a single non-zero length.
+func (c *Code) Reconstruct(shards [][]byte) ([][]byte, error) {
+	if len(shards) != c.m {
+		return nil, fmt.Errorf("rs: got %d shard slots, want %d", len(shards), c.m)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return nil, fmt.Errorf("%w: shard %d has length %d, want %d (non-zero)", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+		if len(present) == c.k {
+			break
+		}
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+	// Build the k×k decode matrix from the generator rows of the present
+	// shards and invert it.
+	dec := newMatrix(c.k, c.k)
+	for r, idx := range present {
+		copy(dec.row(r), c.gen.row(idx))
+	}
+	decInv, err := dec.invert()
+	if err != nil {
+		// Cannot happen: any k rows of the systematic Vandermonde-derived
+		// generator are independent (MDS property).
+		return nil, fmt.Errorf("rs: internal: decode matrix singular: %w", err)
+	}
+	data := make([][]byte, c.k)
+	for i := 0; i < c.k; i++ {
+		data[i] = make([]byte, size)
+		row := decInv.row(i)
+		for j, coeff := range row {
+			if coeff != 0 {
+				mulVecInto(data[i], shards[present[j]], coeff)
+			}
+		}
+	}
+	return data, nil
+}
+
+// mulVecInto computes dst ^= c * src.
+func mulVecInto(dst, src []byte, c byte) {
+	gf256.MulVec(dst, src, c)
+}

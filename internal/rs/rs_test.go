@@ -1,0 +1,380 @@
+package rs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"noisyradio/internal/rng"
+)
+
+func randomData(r *rng.Stream, k, size int) [][]byte {
+	data := make([][]byte, k)
+	for i := range data {
+		data[i] = make([]byte, size)
+		r.Bytes(data[i])
+	}
+	return data
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		k, m    int
+		wantErr bool
+	}{
+		{name: "ok small", k: 1, m: 1},
+		{name: "ok typical", k: 4, m: 10},
+		{name: "ok max", k: 128, m: 256},
+		{name: "zero data", k: 0, m: 5, wantErr: true},
+		{name: "negative data", k: -1, m: 5, wantErr: true},
+		{name: "total below data", k: 5, m: 4, wantErr: true},
+		{name: "total above field", k: 5, m: 257, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := New(tt.k, tt.m)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatal("want error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.DataShards() != tt.k || c.TotalShards() != tt.m {
+				t.Fatalf("shape = (%d,%d), want (%d,%d)", c.DataShards(), c.TotalShards(), tt.k, tt.m)
+			}
+		})
+	}
+}
+
+func TestSystematic(t *testing.T) {
+	c, err := New(5, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(1), 5, 64)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 12 {
+		t.Fatalf("got %d shards", len(shards))
+	}
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("shard %d is not the data shard (code not systematic)", i)
+		}
+	}
+}
+
+func TestRoundTripAllDataPresent(t *testing.T) {
+	c, err := New(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(2), 4, 32)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Reconstruct(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("data shard %d mismatch", i)
+		}
+	}
+}
+
+func TestReconstructFromParityOnly(t *testing.T) {
+	c, err := New(4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(3), 4, 16)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Erase all data shards; keep 4 parity shards.
+	lossy := make([][]byte, 9)
+	copy(lossy[4:8], shards[4:8])
+	got, err := c.Reconstruct(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(got[i], data[i]) {
+			t.Fatalf("data shard %d mismatch when decoding from parity", i)
+		}
+	}
+}
+
+func TestReconstructEveryKSubset(t *testing.T) {
+	// Exhaustive over all C(6,3) subsets for a small code: the MDS property
+	// says every one must decode.
+	c, err := New(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(4), 3, 8)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			for d := b + 1; d < 6; d++ {
+				lossy := make([][]byte, 6)
+				lossy[a], lossy[b], lossy[d] = shards[a], shards[b], shards[d]
+				got, err := c.Reconstruct(lossy)
+				if err != nil {
+					t.Fatalf("subset {%d,%d,%d}: %v", a, b, d, err)
+				}
+				for i := range data {
+					if !bytes.Equal(got[i], data[i]) {
+						t.Fatalf("subset {%d,%d,%d}: shard %d mismatch", a, b, d, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooFew(t *testing.T) {
+	c, err := New(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(5), 4, 8)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := make([][]byte, 8)
+	lossy[0], lossy[5], lossy[7] = shards[0], shards[5], shards[7]
+	if _, err := c.Reconstruct(lossy); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestEncodeValidation(t *testing.T) {
+	c, err := New(3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Encode(make([][]byte, 2)); err == nil {
+		t.Fatal("wrong shard count accepted")
+	}
+	bad := [][]byte{make([]byte, 4), make([]byte, 5), make([]byte, 4)}
+	if _, err := c.Encode(bad); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+	empty := [][]byte{{}, {}, {}}
+	if _, err := c.Encode(empty); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize for empty shards", err)
+	}
+}
+
+func TestReconstructValidation(t *testing.T) {
+	c, err := New(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Reconstruct(make([][]byte, 3)); err == nil {
+		t.Fatal("wrong slot count accepted")
+	}
+	bad := make([][]byte, 4)
+	bad[0] = make([]byte, 3)
+	bad[1] = make([]byte, 4)
+	if _, err := c.Reconstruct(bad); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("err = %v, want ErrShardSize", err)
+	}
+}
+
+func TestEncodeShardMatchesEncode(t *testing.T) {
+	c, err := New(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(6), 4, 24)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := c.EncodeShard(i, data); !bytes.Equal(got, shards[i]) {
+			t.Fatalf("EncodeShard(%d) differs from Encode output", i)
+		}
+	}
+}
+
+func TestKEqualsM(t *testing.T) {
+	// A rate-1 code: shards are exactly the data.
+	c, err := New(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(7), 3, 8)
+	shards, err := c.Encode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !bytes.Equal(shards[i], data[i]) {
+			t.Fatalf("rate-1 shard %d is not data", i)
+		}
+	}
+}
+
+// Property: for random (k, m, erasure pattern keeping >= k shards), decoding
+// recovers the data exactly.
+func TestQuickMDSRoundTrip(t *testing.T) {
+	f := func(seed uint64, kRaw, extraRaw uint8, keepSeed uint64) bool {
+		r := rng.New(seed)
+		k := int(kRaw)%12 + 1
+		m := k + int(extraRaw)%12
+		if m > MaxShards {
+			m = MaxShards
+		}
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := randomData(r, k, 16)
+		shards, err := c.Encode(data)
+		if err != nil {
+			return false
+		}
+		keepRng := rng.New(keepSeed)
+		keep := keepRng.SampleK(m, k)
+		lossy := make([][]byte, m)
+		for _, i := range keep {
+			lossy[i] = shards[i]
+		}
+		got, err := c.Reconstruct(lossy)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !bytes.Equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixInvertIdentity(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16} {
+		id := identityMatrix(n)
+		inv, err := id.invert()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !inv.isIdentity() {
+			t.Fatalf("inverse of I_%d is not identity", n)
+		}
+	}
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 20; trial++ {
+		n := r.Intn(10) + 1
+		m := newMatrix(n, n)
+		r.Bytes(m.data)
+		inv, err := m.invert()
+		if errors.Is(err, errSingular) {
+			continue // random matrices can be singular; skip those
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.mul(inv).isIdentity() {
+			t.Fatalf("trial %d: M * M^-1 != I", trial)
+		}
+		if !inv.mul(m).isIdentity() {
+			t.Fatalf("trial %d: M^-1 * M != I", trial)
+		}
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := newMatrix(2, 2)
+	m.set(0, 0, 1)
+	m.set(0, 1, 2)
+	m.set(1, 0, 1)
+	m.set(1, 1, 2)
+	if _, err := m.invert(); !errors.Is(err, errSingular) {
+		t.Fatalf("err = %v, want errSingular", err)
+	}
+}
+
+func TestVandermondeAnyKRowsInvertible(t *testing.T) {
+	// Core MDS ingredient: any k rows of the Vandermonde matrix over
+	// distinct points are independent. Spot-check exhaustively for small
+	// sizes.
+	const k, m = 3, 8
+	v := vandermonde(m, k)
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			for c := b + 1; c < m; c++ {
+				sub := newMatrix(k, k)
+				copy(sub.row(0), v.row(a))
+				copy(sub.row(1), v.row(b))
+				copy(sub.row(2), v.row(c))
+				if _, err := sub.invert(); err != nil {
+					t.Fatalf("rows {%d,%d,%d} singular: %v", a, b, c, err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	c, err := New(16, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomData(rng.New(1), 16, 1024)
+	b.SetBytes(16 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	c, err := New(16, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomData(rng.New(1), 16, 1024)
+	shards, err := c.Encode(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lossy := make([][]byte, 32)
+	copy(lossy[16:], shards[16:]) // decode purely from parity
+	b.SetBytes(16 * 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reconstruct(lossy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

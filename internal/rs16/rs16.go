@@ -1,0 +1,237 @@
+// Package rs16 is a systematic Reed–Solomon erasure code over GF(2^16),
+// supporting up to 65536 total shards — the large-field companion of
+// internal/rs.
+//
+// It exists so the "poly(nk) coded packets, any k decode" black box of the
+// paper's Section 5 schedules can be realised with actual payloads even
+// when executions span thousands of rounds (star/WCT/single-link coding at
+// large k), rather than relying on the packet-counting abstraction alone.
+// Shards are []uint16 symbol vectors.
+package rs16
+
+import (
+	"errors"
+	"fmt"
+
+	"noisyradio/internal/gf16"
+)
+
+// MaxShards is the total-shard ceiling, bounded by the field size.
+const MaxShards = 1 << 16
+
+// Exported errors for caller matching.
+var (
+	// ErrTooFewShards indicates fewer than k shards were available.
+	ErrTooFewShards = errors.New("rs16: too few shards to reconstruct")
+	// ErrShardSize indicates inconsistent or zero shard sizes.
+	ErrShardSize = errors.New("rs16: inconsistent shard sizes")
+	errSingular  = errors.New("rs16: matrix is singular")
+)
+
+// Code is a Reed–Solomon code with k data shards out of m total shards.
+type Code struct {
+	k, m int
+	gen  *matrix // m×k systematic generator
+}
+
+// New creates a code with dataShards data shards and totalShards total
+// shards; 0 < dataShards <= totalShards <= MaxShards.
+func New(dataShards, totalShards int) (*Code, error) {
+	if dataShards <= 0 {
+		return nil, fmt.Errorf("rs16: dataShards = %d, must be positive", dataShards)
+	}
+	if totalShards < dataShards {
+		return nil, fmt.Errorf("rs16: totalShards = %d < dataShards = %d", totalShards, dataShards)
+	}
+	if totalShards > MaxShards {
+		return nil, fmt.Errorf("rs16: totalShards = %d exceeds MaxShards = %d", totalShards, MaxShards)
+	}
+	v := vandermonde(totalShards, dataShards)
+	top := v.subMatrix(0, dataShards, 0, dataShards)
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs16: internal: vandermonde top block singular: %w", err)
+	}
+	return &Code{k: dataShards, m: totalShards, gen: v.mul(topInv)}, nil
+}
+
+// DataShards returns k.
+func (c *Code) DataShards() int { return c.k }
+
+// TotalShards returns m.
+func (c *Code) TotalShards() int { return c.m }
+
+// EncodeShard produces the single shard with the given index from the k
+// data shards (each the same non-zero length).
+func (c *Code) EncodeShard(index int, data [][]uint16) ([]uint16, error) {
+	if index < 0 || index >= c.m {
+		return nil, fmt.Errorf("rs16: shard index %d out of range [0,%d)", index, c.m)
+	}
+	if err := c.checkData(data); err != nil {
+		return nil, err
+	}
+	out := make([]uint16, len(data[0]))
+	for j, coeff := range c.gen.row(index) {
+		if coeff != 0 {
+			gf16.MulVec(out, data[j], coeff)
+		}
+	}
+	return out, nil
+}
+
+// Reconstruct recovers the data shards from any k present shards; shards
+// has length m with nil for missing entries.
+func (c *Code) Reconstruct(shards [][]uint16) ([][]uint16, error) {
+	if len(shards) != c.m {
+		return nil, fmt.Errorf("rs16: got %d shard slots, want %d", len(shards), c.m)
+	}
+	present := make([]int, 0, c.k)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		}
+		if len(s) != size || size == 0 {
+			return nil, fmt.Errorf("%w: shard %d has length %d, want %d (non-zero)", ErrShardSize, i, len(s), size)
+		}
+		present = append(present, i)
+		if len(present) == c.k {
+			break
+		}
+	}
+	if len(present) < c.k {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.k)
+	}
+	dec := newMatrix(c.k, c.k)
+	for r, idx := range present {
+		copy(dec.row(r), c.gen.row(idx))
+	}
+	decInv, err := dec.invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs16: internal: decode matrix singular: %w", err)
+	}
+	data := make([][]uint16, c.k)
+	for i := 0; i < c.k; i++ {
+		data[i] = make([]uint16, size)
+		for j, coeff := range decInv.row(i) {
+			if coeff != 0 {
+				gf16.MulVec(data[i], shards[present[j]], coeff)
+			}
+		}
+	}
+	return data, nil
+}
+
+func (c *Code) checkData(data [][]uint16) error {
+	if len(data) != c.k {
+		return fmt.Errorf("rs16: got %d data shards, want %d", len(data), c.k)
+	}
+	size := -1
+	for i, d := range data {
+		if size == -1 {
+			size = len(d)
+		}
+		if len(d) != size || size == 0 {
+			return fmt.Errorf("%w: shard %d has length %d, want %d (non-zero)", ErrShardSize, i, len(d), size)
+		}
+	}
+	return nil
+}
+
+// matrix is a dense row-major matrix over GF(2^16).
+type matrix struct {
+	rows, cols int
+	data       []uint16
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]uint16, rows*cols)}
+}
+
+func (m *matrix) row(i int) []uint16     { return m.data[i*m.cols : (i+1)*m.cols] }
+func (m *matrix) at(i, j int) uint16     { return m.data[i*m.cols+j] }
+func (m *matrix) set(i, j int, v uint16) { m.data[i*m.cols+j] = v }
+
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		acc := uint16(1)
+		for j := 0; j < cols; j++ {
+			m.set(i, j, acc)
+			acc = gf16.Mul(acc, uint16(i))
+		}
+	}
+	return m
+}
+
+func (m *matrix) mul(other *matrix) *matrix {
+	out := newMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		ro := out.row(i)
+		for k, a := range m.row(i) {
+			if a != 0 {
+				gf16.MulVec(ro, other.row(k), a)
+			}
+		}
+	}
+	return out
+}
+
+func (m *matrix) subMatrix(r0, r1, c0, c1 int) *matrix {
+	out := newMatrix(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(out.row(i-r0), m.row(i)[c0:c1])
+	}
+	return out
+}
+
+func (m *matrix) invert() (*matrix, error) {
+	n := m.rows
+	work := newMatrix(n, n)
+	copy(work.data, m.data)
+	inv := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		inv.set(i, i, 1)
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, errSingular
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			swapRows(inv, pivot, col)
+		}
+		if pv := work.at(col, col); pv != 1 {
+			invPv := gf16.Inv(pv)
+			gf16.ScaleVec(work.row(col), invPv)
+			gf16.ScaleVec(inv.row(col), invPv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			if cv := work.at(r, col); cv != 0 {
+				gf16.MulVec(work.row(r), work.row(col), cv)
+				gf16.MulVec(inv.row(r), inv.row(col), cv)
+			}
+		}
+	}
+	return inv, nil
+}
+
+func swapRows(m *matrix, a, b int) {
+	ra, rb := m.row(a), m.row(b)
+	for i := range ra {
+		ra[i], rb[i] = rb[i], ra[i]
+	}
+}

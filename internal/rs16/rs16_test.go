@@ -1,0 +1,199 @@
+package rs16
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"noisyradio/internal/rng"
+)
+
+func randomData(r *rng.Stream, k, size int) [][]uint16 {
+	data := make([][]uint16, k)
+	for i := range data {
+		data[i] = make([]uint16, size)
+		for j := range data[i] {
+			data[i][j] = uint16(r.Uint64())
+		}
+	}
+	return data
+}
+
+func equal(a, b []uint16) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		k, m    int
+		wantErr bool
+	}{
+		{name: "ok", k: 4, m: 10},
+		{name: "ok beyond gf256", k: 100, m: 5000},
+		{name: "zero data", k: 0, m: 1, wantErr: true},
+		{name: "m below k", k: 3, m: 2, wantErr: true},
+		{name: "m too large", k: 3, m: MaxShards + 1, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c, err := New(tt.k, tt.m)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && (c.DataShards() != tt.k || c.TotalShards() != tt.m) {
+				t.Fatalf("shape (%d,%d)", c.DataShards(), c.TotalShards())
+			}
+		})
+	}
+}
+
+func TestSystematicPrefix(t *testing.T) {
+	c, err := New(5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(1), 5, 8)
+	for i := 0; i < 5; i++ {
+		shard, err := c.EncodeShard(i, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equal(shard, data[i]) {
+			t.Fatalf("shard %d is not the data shard", i)
+		}
+	}
+}
+
+func TestRoundTripBeyond256Shards(t *testing.T) {
+	// The whole point of rs16: more than 256 distinct coded packets.
+	const k, m = 32, 2000
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	data := randomData(r, k, 4)
+	// Keep k random shard indices spread across the full range.
+	keep := r.SampleK(m, k)
+	slots := make([][]uint16, m)
+	for _, idx := range keep {
+		shard, err := c.EncodeShard(idx, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots[idx] = shard
+	}
+	got, err := c.Reconstruct(slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if !equal(got[i], data[i]) {
+			t.Fatalf("data shard %d mismatch", i)
+		}
+	}
+}
+
+func TestReconstructTooFew(t *testing.T) {
+	c, err := New(4, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randomData(rng.New(3), 4, 4)
+	slots := make([][]uint16, 300)
+	for _, idx := range []int{7, 130, 299} { // only 3 of 4
+		s, err := c.EncodeShard(idx, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots[idx] = s
+	}
+	if _, err := c.Reconstruct(slots); !errors.Is(err, ErrTooFewShards) {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestShardSizeValidation(t *testing.T) {
+	c, err := New(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.EncodeShard(0, [][]uint16{{1}, {2, 3}}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ragged data: err = %v", err)
+	}
+	if _, err := c.EncodeShard(0, [][]uint16{{}, {}}); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("empty data: err = %v", err)
+	}
+	if _, err := c.EncodeShard(11, randomData(rng.New(4), 2, 2)); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	bad := make([][]uint16, 10)
+	bad[0] = []uint16{1}
+	bad[1] = []uint16{1, 2}
+	if _, err := c.Reconstruct(bad); !errors.Is(err, ErrShardSize) {
+		t.Fatalf("ragged slots: err = %v", err)
+	}
+	if _, err := c.Reconstruct(make([][]uint16, 3)); err == nil {
+		t.Fatal("wrong slot count accepted")
+	}
+}
+
+// Property: any random k-subset of a moderate code decodes exactly.
+func TestQuickMDS(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, spreadRaw uint16) bool {
+		r := rng.New(seed)
+		k := int(kRaw)%10 + 1
+		m := k + int(spreadRaw)%1500
+		c, err := New(k, m)
+		if err != nil {
+			return false
+		}
+		data := randomData(r, k, 3)
+		keep := r.SampleK(m, k)
+		slots := make([][]uint16, m)
+		for _, idx := range keep {
+			s, err := c.EncodeShard(idx, data)
+			if err != nil {
+				return false
+			}
+			slots[idx] = s
+		}
+		got, err := c.Reconstruct(slots)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if !equal(got[i], data[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeShard(b *testing.B) {
+	c, err := New(64, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := randomData(rng.New(1), 64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeShard(i%4096, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package sim runs Monte-Carlo trials in parallel.
+//
+// Trials are embarrassingly parallel: each receives its own deterministic
+// rng.Stream derived from (seed, trial index), so results are identical at
+// any worker count — parallelism changes wall-clock time only, never
+// output. This is the concurrency backbone of the experiment harness.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"noisyradio/internal/rng"
+)
+
+// Run executes fn for trial indices 0..trials-1 across workers goroutines
+// and returns the per-trial values in trial order. A workers value <= 0
+// selects GOMAXPROCS. The first error encountered is returned (all started
+// trials still run to completion; no goroutines leak).
+func Run(trials, workers int, seed uint64, fn func(trial int, r *rng.Stream) (float64, error)) ([]float64, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("sim: trials = %d, need > 0", trials)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("sim: nil trial function")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > trials {
+		workers = trials
+	}
+
+	results := make([]float64, trials)
+	var (
+		mu       sync.Mutex
+		firstErr error
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				v, err := fn(trial, rng.NewFrom(seed, uint64(trial)))
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("sim: trial %d: %w", trial, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[trial] = v
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// RunMany is Run for trial functions producing several named values at
+// once (e.g. rounds for two competing algorithms under shared randomness).
+// It returns one slice per name, each in trial order.
+func RunMany(trials, workers int, seed uint64, names []string, fn func(trial int, r *rng.Stream) (map[string]float64, error)) (map[string][]float64, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("sim: RunMany needs at least one name")
+	}
+	out := make(map[string][]float64, len(names))
+	for _, n := range names {
+		out[n] = make([]float64, trials)
+	}
+	_, err := Run(trials, workers, seed, func(trial int, r *rng.Stream) (float64, error) {
+		vals, err := fn(trial, r)
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range names {
+			v, ok := vals[n]
+			if !ok {
+				return 0, fmt.Errorf("sim: trial result missing value %q", n)
+			}
+			out[n][trial] = v
+		}
+		return 0, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

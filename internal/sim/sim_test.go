@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"noisyradio/internal/rng"
+)
+
+func TestRunCollectsInOrder(t *testing.T) {
+	got, err := Run(100, 8, 1, func(trial int, r *rng.Stream) (float64, error) {
+		return float64(trial * 2), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != float64(i*2) {
+			t.Fatalf("results[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(trial int, r *rng.Stream) (float64, error) {
+		// Depends only on the trial stream.
+		return float64(r.Intn(1 << 20)), nil
+	}
+	serial, err := Run(64, 1, 7, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(64, 16, 7, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestRunPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Run(50, 4, 1, func(trial int, r *rng.Stream) (float64, error) {
+		if trial == 17 {
+			return 0, sentinel
+		}
+		return 1, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "trial 17") {
+		t.Fatalf("err = %v, want trial index in message", err)
+	}
+}
+
+func TestRunAllTrialsExecuteDespiteError(t *testing.T) {
+	var count int64
+	_, err := Run(40, 4, 1, func(trial int, r *rng.Stream) (float64, error) {
+		atomic.AddInt64(&count, 1)
+		if trial == 0 {
+			return 0, errors.New("early failure")
+		}
+		return 0, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt64(&count); got != 40 {
+		t.Fatalf("executed %d trials, want 40", got)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(0, 1, 1, func(int, *rng.Stream) (float64, error) { return 0, nil }); err == nil {
+		t.Fatal("trials=0 accepted")
+	}
+	if _, err := Run(1, 1, 1, nil); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+}
+
+func TestRunDefaultWorkers(t *testing.T) {
+	got, err := Run(10, 0, 1, func(trial int, r *rng.Stream) (float64, error) {
+		return 1, nil
+	})
+	if err != nil || len(got) != 10 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+}
+
+func TestRunMany(t *testing.T) {
+	out, err := RunMany(20, 4, 3, []string{"a", "b"}, func(trial int, r *rng.Stream) (map[string]float64, error) {
+		return map[string]float64{"a": float64(trial), "b": float64(-trial)}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if out["a"][i] != float64(i) || out["b"][i] != float64(-i) {
+			t.Fatalf("trial %d: a=%v b=%v", i, out["a"][i], out["b"][i])
+		}
+	}
+}
+
+func TestRunManyMissingName(t *testing.T) {
+	_, err := RunMany(5, 2, 1, []string{"a", "b"}, func(trial int, r *rng.Stream) (map[string]float64, error) {
+		return map[string]float64{"a": 1}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("err = %v, want missing-name error", err)
+	}
+}
+
+func TestRunManyValidation(t *testing.T) {
+	if _, err := RunMany(5, 1, 1, nil, func(int, *rng.Stream) (map[string]float64, error) {
+		return nil, nil
+	}); err == nil {
+		t.Fatal("empty names accepted")
+	}
+}

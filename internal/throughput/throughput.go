@@ -1,0 +1,93 @@
+// Package throughput estimates topology throughput (Definition 1 of the
+// paper) and coding gaps (Definitions 2 and 3) from repeated simulation.
+//
+// The paper's throughput τ(G, s) is an asymptotic quantity (k → ∞); the
+// empirical counterpart measured here is k / E[rounds to success] at a
+// finite k, with confidence intervals over Monte-Carlo trials. Gap
+// estimates divide two such estimates taken over paired seeds.
+package throughput
+
+import (
+	"fmt"
+
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/rng"
+	"noisyradio/internal/sim"
+	"noisyradio/internal/stats"
+)
+
+// Runner produces one k-message broadcast execution under the given
+// randomness. Implementations wrap the schedules in internal/broadcast.
+type Runner func(r *rng.Stream) (broadcast.MultiResult, error)
+
+// Estimate is an empirical throughput measurement.
+type Estimate struct {
+	K           int     // messages per execution
+	Trials      int     // Monte-Carlo repetitions
+	MeanRounds  float64 // mean rounds over successful trials
+	RoundsCI95  float64 // 95% confidence half-width of MeanRounds
+	Tau         float64 // K / MeanRounds
+	SuccessRate float64 // fraction of successful trials
+}
+
+// Measure runs the runner `trials` times and summarises rounds-to-success.
+// Failed executions are excluded from MeanRounds but reflected in
+// SuccessRate; an error is returned if every trial failed.
+func Measure(k, trials, workers int, seed uint64, run Runner) (Estimate, error) {
+	if k < 1 {
+		return Estimate{}, fmt.Errorf("throughput: k = %d, need >= 1", k)
+	}
+	vals, err := sim.Run(trials, workers, seed, func(trial int, r *rng.Stream) (float64, error) {
+		res, err := run(r)
+		if err != nil {
+			return 0, err
+		}
+		if !res.Success {
+			return -1, nil // sentinel: failed trial
+		}
+		return float64(res.Rounds), nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	rounds := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if v >= 0 {
+			rounds = append(rounds, v)
+		}
+	}
+	est := Estimate{
+		K:           k,
+		Trials:      trials,
+		SuccessRate: float64(len(rounds)) / float64(trials),
+	}
+	if len(rounds) == 0 {
+		return est, fmt.Errorf("throughput: all %d trials failed", trials)
+	}
+	est.MeanRounds = stats.Mean(rounds)
+	est.RoundsCI95 = stats.CI95(rounds)
+	est.Tau = float64(k) / est.MeanRounds
+	return est, nil
+}
+
+// Gap is a coding-versus-routing comparison on one topology: the empirical
+// counterpart of the coding gap τ_NC/τ_R.
+type Gap struct {
+	Coding  Estimate
+	Routing Estimate
+	// Ratio is Coding.Tau / Routing.Tau.
+	Ratio float64
+}
+
+// MeasureGap measures both schedules with paired seeds and returns the gap.
+func MeasureGap(k, trials, workers int, seed uint64, coding, routing Runner) (Gap, error) {
+	c, err := Measure(k, trials, workers, seed, coding)
+	if err != nil {
+		return Gap{}, fmt.Errorf("coding side: %w", err)
+	}
+	r, err := Measure(k, trials, workers, seed+1, routing)
+	if err != nil {
+		return Gap{}, fmt.Errorf("routing side: %w", err)
+	}
+	return Gap{Coding: c, Routing: r, Ratio: stats.Ratio(c.Tau, r.Tau)}, nil
+}

@@ -1,0 +1,120 @@
+package throughput
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+func TestMeasureSingleLinkAdaptive(t *testing.T) {
+	const k = 100
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	est, err := Measure(k, 40, 4, 1, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.SingleLinkAdaptive(k, cfg, r, broadcast.Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SuccessRate != 1 {
+		t.Fatalf("success rate = %v", est.SuccessRate)
+	}
+	// Expected mean rounds = k/(1-p) = 200 → tau ≈ 0.5.
+	if math.Abs(est.Tau-0.5) > 0.05 {
+		t.Fatalf("tau = %v, want ~0.5", est.Tau)
+	}
+	if est.MeanRounds < 150 || est.MeanRounds > 250 {
+		t.Fatalf("mean rounds = %v", est.MeanRounds)
+	}
+	if est.RoundsCI95 <= 0 {
+		t.Fatal("CI should be positive for stochastic rounds")
+	}
+}
+
+func TestMeasureCountsFailures(t *testing.T) {
+	calls := 0
+	est, err := Measure(10, 10, 1, 2, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		calls++
+		// Alternate success/failure deterministically by call order is racy
+		// under parallel workers, so use the stream instead.
+		if r.Bool(0.5) {
+			return broadcast.MultiResult{Rounds: 20, Success: true}, nil
+		}
+		return broadcast.MultiResult{Rounds: 99, Success: false}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.SuccessRate <= 0 || est.SuccessRate >= 1 {
+		t.Fatalf("success rate = %v, want strictly between 0 and 1", est.SuccessRate)
+	}
+	if est.MeanRounds != 20 {
+		t.Fatalf("mean rounds = %v, want 20 (failures excluded)", est.MeanRounds)
+	}
+	_ = calls
+}
+
+func TestMeasureAllFailed(t *testing.T) {
+	_, err := Measure(5, 5, 1, 3, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{Success: false}, nil
+	})
+	if err == nil {
+		t.Fatal("want error when every trial fails")
+	}
+}
+
+func TestMeasurePropagatesRunnerError(t *testing.T) {
+	sentinel := errors.New("runner broke")
+	_, err := Measure(5, 5, 1, 4, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{}, sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	if _, err := Measure(0, 5, 1, 1, nil); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestMeasureGapSingleLink(t *testing.T) {
+	// Non-adaptive routing vs coding on the single link at p=1/2: the gap
+	// should be roughly repeats/(1/(1-p)) = repeats/2 (Lemma 31's Θ(log k)).
+	const k = 128
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	repeats := broadcast.DefaultSingleLinkRepeats(k, cfg.P)
+	gap, err := MeasureGap(k, 30, 4, 5,
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkCoding(k, cfg, r, broadcast.Options{})
+		},
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkNonAdaptive(k, repeats, cfg, r)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(repeats) / 2
+	if gap.Ratio < want*0.7 || gap.Ratio > want*1.3 {
+		t.Fatalf("gap ratio = %.2f, want ~%.2f", gap.Ratio, want)
+	}
+}
+
+func TestMeasureGapPropagatesSides(t *testing.T) {
+	ok := func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{Rounds: 10, Success: true}, nil
+	}
+	bad := func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{}, errors.New("nope")
+	}
+	if _, err := MeasureGap(5, 3, 1, 6, bad, ok); err == nil {
+		t.Fatal("coding error swallowed")
+	}
+	if _, err := MeasureGap(5, 3, 1, 6, ok, bad); err == nil {
+		t.Fatal("routing error swallowed")
+	}
+}

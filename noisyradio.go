@@ -1,0 +1,205 @@
+// Package noisyradio is a from-scratch Go reproduction of "Broadcasting in
+// Noisy Radio Networks" (Censor-Hillel, Haeupler, Hershkowitz, Zuzic,
+// PODC 2017; arXiv:1705.07369).
+//
+// It provides:
+//
+//   - the noisy radio network model (sender faults / receiver faults) as a
+//     deterministic round simulator;
+//   - the paper's single-message broadcast algorithms — Decay, FASTBC and
+//     the new Robust FASTBC — and their multi-message extensions via random
+//     linear network coding;
+//   - the routing and Reed–Solomon coding schedules behind the paper's
+//     throughput-gap theorems (star, worst-case topology, single link,
+//     sender-fault transformations);
+//   - topology generators, including the worst-case topology (WCT) of
+//     Section 5.1.2;
+//   - an experiment harness (Experiments, RunExperiment) regenerating every
+//     quantitative claim of the paper as a table.
+//
+// This package is a thin facade over the internal implementation packages;
+// every identifier here is stable public API. See README.md for a tour and
+// DESIGN.md for the system inventory.
+package noisyradio
+
+import (
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/experiments"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// Core model types.
+type (
+	// Graph is an immutable undirected graph in CSR form.
+	Graph = graph.Graph
+	// Topology is a graph together with its broadcast source.
+	Topology = graph.Topology
+	// FaultModel selects faultless / sender-fault / receiver-fault noise.
+	FaultModel = radio.FaultModel
+	// Config is the noise environment (model + fault probability p).
+	Config = radio.Config
+	// Rand is the deterministic random stream driving every execution.
+	Rand = rng.Stream
+)
+
+// Fault models re-exported from the radio engine.
+const (
+	Faultless      = radio.Faultless
+	SenderFaults   = radio.SenderFaults
+	ReceiverFaults = radio.ReceiverFaults
+)
+
+// Algorithm result and option types.
+type (
+	// Result is a single-message broadcast outcome.
+	Result = broadcast.Result
+	// MultiResult is a k-message broadcast outcome.
+	MultiResult = broadcast.MultiResult
+	// Options tunes an execution (round caps).
+	Options = broadcast.Options
+	// RobustParams tunes Robust FASTBC (block size S, wave multiplier c).
+	RobustParams = broadcast.RobustParams
+	// RLNCOptions tunes coded multi-message broadcast.
+	RLNCOptions = broadcast.RLNCOptions
+	// RLNCPattern selects the pattern driving coded broadcast.
+	RLNCPattern = broadcast.RLNCPattern
+	// TransformParams tunes the Lemma 25/26 meta-round transformations.
+	TransformParams = broadcast.TransformParams
+	// WCT is the worst-case topology instance of Section 5.1.2.
+	WCT = graph.WCT
+	// WCTParams sizes a WCT instance.
+	WCTParams = graph.WCTParams
+)
+
+// RLNC patterns re-exported from the broadcast package.
+const (
+	RLNCDecay        = broadcast.RLNCDecay
+	RLNCRobustFASTBC = broadcast.RLNCRobustFASTBC
+)
+
+// NewRand returns a deterministic random stream seeded from seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Topology generators.
+var (
+	// Path is the path graph with the source at one end.
+	Path = graph.Path
+	// Star is the star topology of Lemma 15 (source plus n leaves).
+	Star = graph.Star
+	// SingleLink is the two-node topology of Appendix A.
+	SingleLink = graph.SingleLink
+	// Complete is the complete graph.
+	Complete = graph.Complete
+	// Grid is the rows×cols grid with a corner source.
+	Grid = graph.Grid
+	// Layered is a pipeline of fully connected layers behind a source.
+	Layered = graph.Layered
+	// Lollipop is a binary tree (rank pump) plus a long path — the
+	// Lemma 10 workload.
+	Lollipop = graph.Lollipop
+	// Cycle is the n-cycle.
+	Cycle = graph.Cycle
+	// Hypercube is the dim-dimensional hypercube.
+	Hypercube = graph.Hypercube
+	// BinaryTree is the complete binary tree of a given depth.
+	BinaryTree = graph.BinaryTree
+	// Caterpillar is a spine path with leaves on every spine vertex.
+	Caterpillar = graph.Caterpillar
+	// RandomTree is a uniform random recursive tree.
+	RandomTree = graph.RandomTree
+	// GNP is a connected Erdős–Rényi sample.
+	GNP = graph.GNP
+	// NewWCT builds a worst-case topology instance.
+	NewWCT = graph.NewWCT
+	// DefaultWCTParams sizes a WCT for ~n total nodes.
+	DefaultWCTParams = graph.DefaultWCTParams
+)
+
+// Single-message broadcast algorithms (Section 4.1).
+var (
+	// Decay is the Bar-Yehuda–Goldreich–Itai algorithm (robust as-is,
+	// Lemma 9).
+	Decay = broadcast.Decay
+	// DecayUnknownN is Decay without knowledge of the network size.
+	DecayUnknownN = broadcast.DecayUnknownN
+	// FASTBC is the Gąsieniec–Peleg–Xin algorithm (Lemma 8; deteriorates
+	// under noise, Lemma 10).
+	FASTBC = broadcast.FASTBC
+	// RobustFASTBC is the paper's noise-robust diameter-linear algorithm
+	// (Theorem 11).
+	RobustFASTBC = broadcast.RobustFASTBC
+)
+
+// Multi-message broadcast and throughput schedules (Sections 4.2 and 5).
+var (
+	// RLNCBroadcast broadcasts k messages with random linear network
+	// coding (Lemmas 12–13).
+	RLNCBroadcast = broadcast.RLNCBroadcast
+	// RandomMessages draws k random payloads for RLNCBroadcast.
+	RandomMessages = broadcast.RandomMessages
+	// SequentialDecayRouting is the naive k-message routing baseline.
+	SequentialDecayRouting = broadcast.SequentialDecayRouting
+	// StarRouting is the adaptive routing schedule of Lemma 15.
+	StarRouting = broadcast.StarRouting
+	// StarCoding is the Reed–Solomon schedule of Lemma 16.
+	StarCoding = broadcast.StarCoding
+	// WCTRouting is the adaptive routing schedule of Lemmas 19/21.
+	WCTRouting = broadcast.WCTRouting
+	// WCTCoding is the coding schedule of Lemma 23.
+	WCTCoding = broadcast.WCTCoding
+	// SingleLinkNonAdaptive is the Lemma 29 schedule.
+	SingleLinkNonAdaptive = broadcast.SingleLinkNonAdaptive
+	// SingleLinkAdaptive is the Lemma 32 ARQ schedule.
+	SingleLinkAdaptive = broadcast.SingleLinkAdaptive
+	// SingleLinkCoding is the Lemma 30 schedule.
+	SingleLinkCoding = broadcast.SingleLinkCoding
+	// PathPipelineRouting is the pipelined path schedule used by the
+	// transformation experiments.
+	PathPipelineRouting = broadcast.PathPipelineRouting
+	// PipelinedBatchRouting is the Lemma 20/21 layered pipelining schedule
+	// achieving Ω(1/log²n) routing throughput on any network.
+	PipelinedBatchRouting = broadcast.PipelinedBatchRouting
+	// TransformedPathRouting realises the Lemma 25 meta-round transform.
+	TransformedPathRouting = broadcast.TransformedPathRouting
+	// TransformedPathCoding realises the Lemma 26 meta-round transform.
+	TransformedPathCoding = broadcast.TransformedPathCoding
+	// DefaultSingleLinkRepeats is the Lemma 29 repetition count.
+	DefaultSingleLinkRepeats = broadcast.DefaultSingleLinkRepeats
+	// WaveTraversalRounds simulates the Lemma 10 wave process.
+	WaveTraversalRounds = broadcast.WaveTraversalRounds
+	// WaveTraversalExpectation is its closed-form expectation.
+	WaveTraversalExpectation = broadcast.WaveTraversalExpectation
+)
+
+// Experiment harness.
+type (
+	// ExperimentConfig controls trials, seed, parallelism and sweep size.
+	ExperimentConfig = experiments.Config
+	// ExperimentTable is a formatted experiment result.
+	ExperimentTable = experiments.Table
+	// Experiment is a registered experiment entry.
+	Experiment = experiments.Entry
+)
+
+// Experiments returns every registered experiment (E1–E18, F1–F2, A1–A2).
+func Experiments() []Experiment { return experiments.Registry() }
+
+// RunExperiment runs the experiment with the given id.
+func RunExperiment(id string, cfg ExperimentConfig) (ExperimentTable, error) {
+	e, ok := experiments.Lookup(id)
+	if !ok {
+		return ExperimentTable{}, &UnknownExperimentError{ID: id}
+	}
+	return e.Run(cfg)
+}
+
+// UnknownExperimentError reports a RunExperiment id that is not registered.
+type UnknownExperimentError struct {
+	ID string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return "noisyradio: unknown experiment " + e.ID
+}

@@ -1,0 +1,92 @@
+package noisyradio
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFacadeSingleMessage(t *testing.T) {
+	top := Grid(5, 5)
+	r := NewRand(1)
+	for name, run := range map[string]func() (Result, error){
+		"decay": func() (Result, error) {
+			return Decay(top, Config{Fault: ReceiverFaults, P: 0.2}, r, Options{})
+		},
+		"fastbc": func() (Result, error) {
+			return FASTBC(top, Config{Fault: Faultless}, r, Options{})
+		},
+		"robust": func() (Result, error) {
+			return RobustFASTBC(top, Config{Fault: SenderFaults, P: 0.2}, r, Options{}, RobustParams{})
+		},
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !res.Success {
+			t.Fatalf("%s failed: %+v", name, res)
+		}
+	}
+}
+
+func TestFacadeMultiMessage(t *testing.T) {
+	top := Path(8)
+	r := NewRand(2)
+	msgs := RandomMessages(4, 8, r)
+	res, got, err := RLNCBroadcast(top, Config{Fault: ReceiverFaults, P: 0.2}, msgs, RLNCDecay, r, RLNCOptions{})
+	if err != nil || !res.Success {
+		t.Fatalf("%v %+v", err, res)
+	}
+	if len(got) != 4 {
+		t.Fatalf("decoded %d messages", len(got))
+	}
+}
+
+func TestFacadeSchedules(t *testing.T) {
+	r := NewRand(3)
+	cfg := Config{Fault: ReceiverFaults, P: 0.5}
+	if res, err := StarRouting(16, 4, cfg, r, Options{}); err != nil || !res.Success {
+		t.Fatalf("star routing: %v %+v", err, res)
+	}
+	if res, err := StarCoding(16, 4, cfg, r, Options{}); err != nil || !res.Success {
+		t.Fatalf("star coding: %v %+v", err, res)
+	}
+	if res, err := SingleLinkAdaptive(16, cfg, r, Options{}); err != nil || !res.Success {
+		t.Fatalf("single link: %v %+v", err, res)
+	}
+	w := NewWCT(DefaultWCTParams(256), r)
+	if res, err := WCTCoding(w, 4, cfg, r, Options{}); err != nil || !res.Success {
+		t.Fatalf("wct coding: %v %+v", err, res)
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(Experiments()) < 20 {
+		t.Fatalf("registry has %d experiments", len(Experiments()))
+	}
+	tbl, err := RunExperiment("F2", ExperimentConfig{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.ID != "F2" || len(tbl.Rows) == 0 {
+		t.Fatalf("table = %+v", tbl)
+	}
+	_, err = RunExperiment("nope", ExperimentConfig{})
+	var unknown *UnknownExperimentError
+	if !errors.As(err, &unknown) || unknown.ID != "nope" {
+		t.Fatalf("err = %v, want UnknownExperimentError", err)
+	}
+}
+
+func TestFacadeWaveModel(t *testing.T) {
+	rounds, err := WaveTraversalRounds(100, 6, 0, NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 100 {
+		t.Fatalf("faultless wave rounds = %d, want 100", rounds)
+	}
+	if got := WaveTraversalExpectation(100, 6, 0); got != 100 {
+		t.Fatalf("expectation = %v", got)
+	}
+}
