@@ -92,6 +92,45 @@ func BenchmarkSingleBroadcastAlgorithms(b *testing.B) {
 	})
 }
 
+// BenchmarkSingleBroadcastEngines runs Decay on a dense random graph under
+// each execution engine: outputs are bit-identical, so the ratio is pure
+// engine speedup on the library's public entry points.
+func BenchmarkSingleBroadcastEngines(b *testing.B) {
+	top := GNP(512, 0.3, NewRand(11))
+	for _, eng := range []Engine{EngineSparse, EngineDense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			cfg := Config{Fault: ReceiverFaults, P: 0.3, Engine: eng}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Decay(top, cfg, NewRand(uint64(i)), Options{})
+				if err != nil || !res.Success {
+					b.Fatalf("%v %+v", err, res)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStarCodingEngines measures the Lemma 16 Reed–Solomon star
+// schedule under each engine. The star has average degree ~2, so the
+// sparse engine wins here — this is the counterweight benchmark that
+// documents why EngineAuto selects by average degree instead of always
+// going dense.
+func BenchmarkStarCodingEngines(b *testing.B) {
+	for _, eng := range []Engine{EngineSparse, EngineDense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			cfg := Config{Fault: ReceiverFaults, P: 0.5, Engine: eng}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := StarCoding(1024, 16, cfg, NewRand(uint64(i)), Options{})
+				if err != nil || !res.Success {
+					b.Fatalf("%v %+v", err, res)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRLNCGridBroadcast measures the coded multi-message pipeline
 // end-to-end, including Gaussian-elimination decoding at every node.
 func BenchmarkRLNCGridBroadcast(b *testing.B) {

@@ -8,6 +8,12 @@
 //	noisysim -exp all              # run the whole suite (EXPERIMENTS.md data)
 //	noisysim -exp E9 -quick        # reduced sweep for a fast look
 //	noisysim -exp E13 -trials 12 -seed 7 -workers 8
+//	noisysim -exp E9 -engine dense # force the bit-parallel radio engine
+//
+// The -engine flag selects the radio execution engine (auto | sparse |
+// dense). Results are bit-identical across engines — auto picks per graph
+// by average degree, dense forces word-parallel channel resolution, sparse
+// forces CSR neighbour walking. Purely a performance knob.
 //
 // Demo mode traces one small broadcast round by round:
 //
@@ -47,6 +53,7 @@ func run(args []string, out *os.File) error {
 		seed    = fs.Uint64("seed", 1, "base random seed")
 		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		quick   = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		engine  = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
 		asJSON  = fs.Bool("json", false, "emit experiment tables as a JSON array")
 		demo    = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
 		demoN   = fs.Int("n", 24, "demo: path length")
@@ -56,8 +63,12 @@ func run(args []string, out *os.File) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	eng, err := radio.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 	if *demo != "" {
-		return runDemo(out, *demo, *demoN, *demoP, *faultMd, *seed)
+		return runDemo(out, *demo, *demoN, *demoP, *faultMd, *seed, eng)
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -74,6 +85,7 @@ func run(args []string, out *os.File) error {
 		Seed:    *seed,
 		Workers: *workers,
 		Quick:   *quick,
+		Engine:  eng,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -114,18 +126,18 @@ func run(args []string, out *os.File) error {
 
 // runDemo traces one single-message broadcast on a small path and renders
 // the round-by-round timeline.
-func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64) error {
+func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
 	if n < 2 {
 		return fmt.Errorf("demo needs -n >= 2, got %d", n)
 	}
-	var cfg radio.Config
+	cfg := radio.Config{Engine: eng}
 	switch faultName {
 	case "none":
-		cfg = radio.Config{Fault: radio.Faultless}
+		cfg.Fault = radio.Faultless
 	case "sender":
-		cfg = radio.Config{Fault: radio.SenderFaults, P: p}
+		cfg.Fault, cfg.P = radio.SenderFaults, p
 	case "receiver":
-		cfg = radio.Config{Fault: radio.ReceiverFaults, P: p}
+		cfg.Fault, cfg.P = radio.ReceiverFaults, p
 	default:
 		return fmt.Errorf("unknown fault model %q (none|sender|receiver)", faultName)
 	}

@@ -97,6 +97,38 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// The engine selector must not change any output byte: the two engines
+// draw randomness in the same canonical order.
+func TestEngineFlagOutputsIdentical(t *testing.T) {
+	sparse, err := capture(t, "-exp", "E9", "-quick", "-seed", "3", "-json", "-engine", "sparse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := capture(t, "-exp", "E9", "-quick", "-seed", "3", "-json", "-engine", "dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse != dense {
+		t.Fatalf("engine changed experiment output\nsparse:\n%s\ndense:\n%s", sparse, dense)
+	}
+}
+
+func TestEngineFlagValidation(t *testing.T) {
+	if _, err := capture(t, "-exp", "F1", "-quick", "-engine", "turbo"); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestDemoEngineFlag(t *testing.T) {
+	out, err := capture(t, "-demo", "decay", "-n", "12", "-fault", "receiver", "-seed", "4", "-engine", "dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "success=true") {
+		t.Fatalf("dense demo did not succeed:\n%s", out)
+	}
+}
+
 func TestDemoDecay(t *testing.T) {
 	out, err := capture(t, "-demo", "decay", "-n", "12", "-p", "0.2", "-fault", "receiver", "-seed", "4")
 	if err != nil {

@@ -1,0 +1,3 @@
+module noisyradio
+
+go 1.24

@@ -122,6 +122,13 @@ func (s *Set) ForEach(fn func(i int)) {
 	}
 }
 
+// Words exposes the backing word slice: bit i of the set lives at bit
+// i%64 of Words()[i/64]. It aliases internal storage and must be treated
+// as read-only; it exists so word-parallel consumers (the dense radio
+// engine) can AND rows against the set without copying. Bits at positions
+// >= Len() in the last word are always zero.
+func (s *Set) Words() []uint64 { return s.words }
+
 // Next returns the smallest present element >= i, or -1 if none exists.
 func (s *Set) Next(i int) int {
 	if i < 0 {

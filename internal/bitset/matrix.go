@@ -1,0 +1,83 @@
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Matrix is a dense rows×cols bit matrix stored row-major in one
+// contiguous word slice, each row padded to a whole number of 64-bit
+// words. It backs the bit-parallel adjacency view of graph.Graph: row v
+// holds the neighbour set of vertex v, so a word-wise AND of Row(v)
+// against a broadcast bitset resolves 64 potential transmitters at once.
+//
+// Like Set, a Matrix is fixed-size and not safe for concurrent mutation;
+// concurrent reads of a finished matrix are safe.
+type Matrix struct {
+	rows, cols int
+	stride     int // words per row
+	words      []uint64
+}
+
+// NewMatrix returns an all-zero bit matrix with the given dimensions.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 {
+		rows = 0
+	}
+	if cols < 0 {
+		cols = 0
+	}
+	stride := (cols + wordBits - 1) / wordBits
+	return &Matrix{
+		rows:   rows,
+		cols:   cols,
+		stride: stride,
+		words:  make([]uint64, rows*stride),
+	}
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// Stride returns the number of words per row.
+func (m *Matrix) Stride() int { return m.stride }
+
+// Set sets bit (r, c).
+func (m *Matrix) Set(r, c int) {
+	m.check(r, c)
+	m.words[r*m.stride+c/wordBits] |= 1 << (uint(c) % wordBits)
+}
+
+// Test reports whether bit (r, c) is set.
+func (m *Matrix) Test(r, c int) bool {
+	m.check(r, c)
+	return m.words[r*m.stride+c/wordBits]&(1<<(uint(c)%wordBits)) != 0
+}
+
+func (m *Matrix) check(r, c int) {
+	if r < 0 || r >= m.rows || c < 0 || c >= m.cols {
+		panic(fmt.Sprintf("bitset: matrix index (%d,%d) out of range %dx%d", r, c, m.rows, m.cols))
+	}
+}
+
+// Row returns the backing words of row r. The slice aliases internal
+// storage and must be treated as read-only by consumers that share the
+// matrix; its length is Stride().
+func (m *Matrix) Row(r int) []uint64 {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("bitset: matrix row %d out of range %d", r, m.rows))
+	}
+	return m.words[r*m.stride : (r+1)*m.stride : (r+1)*m.stride]
+}
+
+// RowCount returns the number of set bits in row r.
+func (m *Matrix) RowCount(r int) int {
+	c := 0
+	for _, w := range m.Row(r) {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}

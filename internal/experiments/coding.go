@@ -32,7 +32,7 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	top := graph.Grid(side, side)
 	n := top.G.N()
 	logn := float64(graph.Log2Ceil(n))
-	noisy := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
 	for _, pattern := range []broadcast.RLNCPattern{broadcast.RLNCDecay, broadcast.RLNCRobustFASTBC} {
 		for i, k := range ks {
 			k := k

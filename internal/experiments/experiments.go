@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"noisyradio/internal/radio"
 )
 
 // Config controls an experiment run.
@@ -27,6 +29,16 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks sweeps and trial counts for use in tests.
 	Quick bool
+	// Engine selects the radio execution engine for every network the
+	// experiment builds (radio.Auto, the zero value, picks per graph).
+	// Results are bit-identical across engines; this is a speed knob.
+	Engine radio.Engine
+}
+
+// noise builds the radio.Config for one fault environment of this run,
+// carrying the run's engine selection along.
+func (c Config) noise(m radio.FaultModel, p float64) radio.Config {
+	return radio.Config{Fault: m, P: p, Engine: c.Engine}
 }
 
 func (c Config) trials(def, quick int) int {

@@ -49,7 +49,7 @@ func E1DecayFaultless(cfg Config) (Table, error) {
 	if cfg.Quick {
 		lengths = []int{64, 128}
 	}
-	clean := radio.Config{Fault: radio.Faultless}
+	clean := cfg.noise(radio.Faultless, 0)
 	var ds, rounds []float64
 	for i, n := range lengths {
 		top := graph.Path(n)
@@ -85,7 +85,7 @@ func E2FASTBCFaultless(cfg Config) (Table, error) {
 	if cfg.Quick {
 		lengths = []int{64, 128}
 	}
-	clean := radio.Config{Fault: radio.Faultless}
+	clean := cfg.noise(radio.Faultless, 0)
 	for i, n := range lengths {
 		top := graph.Path(n)
 		fast, _, err := meanRounds(cfg, trials, uint64(200+i), func(r *rng.Stream) (broadcast.Result, error) {
@@ -123,7 +123,7 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 	}
 	top := graph.Path(n)
 	base, _, err := meanRounds(cfg, trials, 300, func(r *rng.Stream) (broadcast.Result, error) {
-		return broadcast.Decay(top, radio.Config{Fault: radio.Faultless}, r, broadcast.Options{})
+		return broadcast.Decay(top, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
 	})
 	if err != nil {
 		return t, err
@@ -135,7 +135,7 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 			ps = []float64{0.3, 0.5}
 		}
 		for i, p := range ps {
-			ncfg := radio.Config{Fault: model, P: p}
+			ncfg := cfg.noise(model, p)
 			mean, ci, err := meanRounds(cfg, trials, uint64(310+10*int(model)+i), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
 			})
@@ -199,8 +199,8 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 	}
 	top := graph.Lollipop(depth, pathLen)
 	diam := float64(top.G.Eccentricity(top.Source))
-	clean := radio.Config{Fault: radio.Faultless}
-	noisy := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	clean := cfg.noise(radio.Faultless, 0)
+	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
 
 	type entry struct {
 		name string
@@ -254,7 +254,7 @@ func A1BlockSizeAblation(cfg Config) (Table, error) {
 		depth, pathLen = 6, 96
 	}
 	top := graph.Lollipop(depth, pathLen)
-	noisy := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
 	sizes := []int{1, 2, 4, 8, 16}
 	if cfg.Quick {
 		sizes = []int{1, 4, 8}
@@ -290,9 +290,9 @@ func A3UnknownNDecay(cfg Config) (Table, error) {
 	for i, n := range sizes {
 		top := graph.Path(n)
 		for j, p := range []float64{0, 0.3} {
-			ncfg := radio.Config{Fault: radio.Faultless}
+			ncfg := cfg.noise(radio.Faultless, 0)
 			if p > 0 {
-				ncfg = radio.Config{Fault: radio.ReceiverFaults, P: p}
+				ncfg = cfg.noise(radio.ReceiverFaults, p)
 			}
 			known, _, err := meanRounds(cfg, trials, uint64(970+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})

@@ -26,7 +26,7 @@ func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
 		Columns: []string{"k", "repeats/msg", "success rate", "tau", "tau·log2(k)"},
 	}
 	trials := cfg.trials(60, 15)
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	for i, k := range singleLinkKs(cfg.Quick) {
 		k := k
 		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
@@ -54,7 +54,7 @@ func E17SingleLinkAdaptive(cfg Config) (Table, error) {
 		Columns: []string{"schedule", "k", "rounds", "tau", "1-p"},
 	}
 	trials := cfg.trials(60, 15)
-	ncfg := radio.Config{Fault: radio.SenderFaults, P: 0.5}
+	ncfg := cfg.noise(radio.SenderFaults, 0.5)
 	for i, k := range singleLinkKs(cfg.Quick) {
 		k := k
 		coding, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1650+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
@@ -86,7 +86,7 @@ func E18SingleLinkGap(cfg Config) (Table, error) {
 		Columns: []string{"k", "gap vs non-adaptive", "log2(k)", "gap vs adaptive"},
 	}
 	trials := cfg.trials(60, 15)
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	var logs, gapsNA []float64
 	for i, k := range singleLinkKs(cfg.Quick) {
 		k := k

@@ -31,7 +31,7 @@ func E7StarRouting(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 16
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	var logs, perMsg []float64
 	for i, leaves := range starSizes(cfg.Quick) {
 		leaves := leaves
@@ -66,7 +66,7 @@ func E8StarCoding(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 16
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	for i, leaves := range starSizes(cfg.Quick) {
 		leaves := leaves
 		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(750+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
@@ -95,7 +95,7 @@ func E9StarGap(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 16
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	var logs, gaps []float64
 	for i, leaves := range starSizes(cfg.Quick) {
 		leaves := leaves

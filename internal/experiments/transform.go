@@ -26,7 +26,7 @@ func E14SenderTransformRouting(cfg Config) (Table, error) {
 		pathLen, k = 6, 1500
 	}
 	base, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+1400, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.PathPipelineRouting(pathLen, k, radio.Config{Fault: radio.Faultless}, r, broadcast.Options{})
+		return broadcast.PathPipelineRouting(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
 	})
 	if err != nil {
 		return t, err
@@ -37,7 +37,7 @@ func E14SenderTransformRouting(cfg Config) (Table, error) {
 		ps = []float64{0.4}
 	}
 	for i, p := range ps {
-		ncfg := radio.Config{Fault: radio.SenderFaults, P: p}
+		ncfg := cfg.noise(radio.SenderFaults, p)
 		adaptive, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1410+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.PathPipelineRouting(pathLen, k, ncfg, r, broadcast.Options{})
 		})
@@ -73,7 +73,7 @@ func E19PipelinedBatchRouting(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 8
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	type workload struct {
 		depth, width int
 	}
@@ -117,7 +117,7 @@ func E15SenderTransformCoding(cfg Config) (Table, error) {
 		pathLen, k = 6, 1500
 	}
 	base, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+1500, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.TransformedPathCoding(pathLen, k, radio.Config{Fault: radio.Faultless}, r, broadcast.TransformParams{}, broadcast.Options{})
+		return broadcast.TransformedPathCoding(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.TransformParams{}, broadcast.Options{})
 	})
 	if err != nil {
 		return t, err
@@ -130,7 +130,7 @@ func E15SenderTransformCoding(cfg Config) (Table, error) {
 	}
 	for mi, model := range models {
 		for i, p := range ps {
-			ncfg := radio.Config{Fault: model, P: p}
+			ncfg := cfg.noise(model, p)
 			meta, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1510+10*mi+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.TransformedPathCoding(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
 			})

@@ -70,7 +70,7 @@ func E11WCTRouting(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(6, 2)
 	k := 8
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	for i, n := range wctSizes(cfg.Quick) {
 		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1100+i), 0))
 		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1150+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
@@ -101,7 +101,7 @@ func E12WCTCoding(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 8
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	for i, n := range wctSizes(cfg.Quick) {
 		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1200+i), 0))
 		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1250+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
@@ -135,7 +135,7 @@ func E13WorstCaseGap(cfg Config) (Table, error) {
 	if cfg.Quick {
 		k = 8
 	}
-	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
 	var logs, gaps []float64
 	for i, n := range wctSizes(cfg.Quick) {
 		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1300+i), 0))

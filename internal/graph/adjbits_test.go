@@ -1,0 +1,65 @@
+package graph
+
+import (
+	"sync"
+	"testing"
+
+	"noisyradio/internal/rng"
+)
+
+func TestAdjacencyBitsMatchesNeighbors(t *testing.T) {
+	tops := []Topology{
+		Path(1),
+		Path(7),
+		Star(65),
+		Grid(9, 13),
+		Complete(67),
+		GNP(130, 0.15, rng.New(5)),
+	}
+	for _, top := range tops {
+		g := top.G
+		m := g.AdjacencyBits()
+		if m.Rows() != g.N() || m.Cols() != g.N() {
+			t.Fatalf("%s: bit view is %dx%d, graph has %d nodes", top.Name, m.Rows(), m.Cols(), g.N())
+		}
+		for v := 0; v < g.N(); v++ {
+			if m.RowCount(v) != g.Degree(v) {
+				t.Fatalf("%s: row %d has %d bits, degree %d", top.Name, v, m.RowCount(v), g.Degree(v))
+			}
+			for _, u := range g.Neighbors(v) {
+				if !m.Test(v, int(u)) {
+					t.Fatalf("%s: edge (%d,%d) missing from bit view", top.Name, v, u)
+				}
+			}
+		}
+	}
+}
+
+func TestAdjacencyBitsCachedAndConcurrent(t *testing.T) {
+	g := GNP(200, 0.1, rng.New(9)).G
+	const goroutines = 8
+	views := make([]interface{}, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			views[i] = g.AdjacencyBits()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if views[i] != views[0] {
+			t.Fatal("AdjacencyBits returned distinct views across goroutines")
+		}
+	}
+}
+
+func TestAvgDegree(t *testing.T) {
+	if got := Complete(10).G.AvgDegree(); got != 9 {
+		t.Fatalf("Complete(10) AvgDegree = %v, want 9", got)
+	}
+	if got := Path(2).G.AvgDegree(); got != 1 {
+		t.Fatalf("Path(2) AvgDegree = %v, want 1", got)
+	}
+}

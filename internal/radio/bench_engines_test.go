@@ -1,0 +1,74 @@
+package radio
+
+import (
+	"testing"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// benchStep measures Step on top with a fixed broadcast pattern (each node
+// transmits with probability txFrac, drawn once up front) under the given
+// engine. Per-round allocations must be zero for both engines.
+func benchStep(b *testing.B, top graph.Topology, cfg Config, txFrac float64) {
+	b.Helper()
+	net := MustNew[int32](top.G, cfg, rng.New(2))
+	driver := rng.New(3)
+	bc := make([]bool, top.G.N())
+	payload := make([]int32, top.G.N())
+	for v := range bc {
+		bc[v] = driver.Bool(txFrac)
+		payload[v] = int32(v)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Step(bc, payload, nil)
+	}
+}
+
+// BenchmarkStepDenseComplete pins the headline acceptance number: on
+// graph.Complete(1024) the dense engine must be >= 3x faster per round
+// than the sparse engine, with zero per-round allocations.
+func BenchmarkStepDenseComplete(b *testing.B) {
+	top := graph.Complete(1024)
+	for _, eng := range []Engine{Sparse, Dense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStep(b, top, Config{Fault: ReceiverFaults, P: 0.3, Engine: eng}, 0.1)
+		})
+	}
+}
+
+// BenchmarkStepDenseGNP compares the engines on a dense random graph.
+func BenchmarkStepDenseGNP(b *testing.B) {
+	top := graph.GNP(1024, 0.5, rng.New(1))
+	for _, eng := range []Engine{Sparse, Dense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStep(b, top, Config{Fault: SenderFaults, P: 0.3, Engine: eng}, 0.1)
+		})
+	}
+}
+
+// BenchmarkStepDenseWCT compares the engines on the worst-case topology of
+// Section 5.1.2, whose cluster layers are the dense regime the coding
+// schedules exercise.
+func BenchmarkStepDenseWCT(b *testing.B) {
+	w := graph.NewWCT(graph.DefaultWCTParams(1024), rng.New(4))
+	top := graph.Topology{G: w.G, Source: w.Source, Name: "wct"}
+	for _, eng := range []Engine{Sparse, Dense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStep(b, top, Config{Fault: ReceiverFaults, P: 0.3, Engine: eng}, 0.1)
+		})
+	}
+}
+
+// BenchmarkStepDenseSilent measures the empty-round fast path: no
+// broadcasters at all.
+func BenchmarkStepDenseSilent(b *testing.B) {
+	top := graph.Complete(1024)
+	for _, eng := range []Engine{Sparse, Dense} {
+		b.Run(eng.String(), func(b *testing.B) {
+			benchStep(b, top, Config{Fault: Faultless, Engine: eng}, 0)
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package radio
+
+import (
+	"reflect"
+	"testing"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// The differential harness: run the same (graph, config, seed, schedule)
+// execution on the sparse and dense engines and require bit-identical
+// deliveries, Stats and trace callbacks. This is the determinism contract
+// every reproduced table stands on.
+
+// traceRecord is one TraceFunc invocation, deep-copied.
+type traceRecord struct {
+	round int
+	tx    []int32
+	rx    []int32
+}
+
+// execution is everything observable about a run.
+type execution struct {
+	deliveries []Delivery[int32]
+	stats      Stats
+	traces     []traceRecord
+}
+
+// executeEngine runs rounds broadcast rounds on g under cfg with the
+// given engine, recording everything observable. schedule is consulted
+// once per (round, node) pair in ascending order, so a deterministic
+// schedule function yields identical inputs for both engines.
+func executeEngine(t testing.TB, g *graph.Graph, cfg Config, eng Engine, netSeed uint64, rounds int, schedule func(round, v int) bool) execution {
+	t.Helper()
+	cfg.Engine = eng
+	net, err := New[int32](g, cfg, rng.New(netSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Engine() != eng {
+		t.Fatalf("engine resolved to %v, want %v", net.Engine(), eng)
+	}
+	var ex execution
+	net.SetTrace(func(round int, broadcasters, receivers []int32) {
+		ex.traces = append(ex.traces, traceRecord{
+			round: round,
+			tx:    append([]int32(nil), broadcasters...),
+			rx:    append([]int32(nil), receivers...),
+		})
+	})
+	n := g.N()
+	bc := make([]bool, n)
+	payload := make([]int32, n)
+	for round := 0; round < rounds; round++ {
+		for v := 0; v < n; v++ {
+			bc[v] = schedule(round, v)
+			payload[v] = int32(round*n + v)
+		}
+		net.Step(bc, payload, func(d Delivery[int32]) {
+			ex.deliveries = append(ex.deliveries, d)
+		})
+	}
+	ex.stats = net.Stats()
+	return ex
+}
+
+// runEngine is executeEngine with a Bernoulli(txProb) schedule drawn from
+// driverSeed — the schedule is a pure function of (driverSeed, txProb), so
+// two engines given the same seeds see identical inputs.
+func runEngine(t *testing.T, g *graph.Graph, cfg Config, eng Engine, netSeed, driverSeed uint64, rounds int, txProb float64) execution {
+	t.Helper()
+	driver := rng.New(driverSeed)
+	return executeEngine(t, g, cfg, eng, netSeed, rounds, func(round, v int) bool {
+		return driver.Bool(txProb)
+	})
+}
+
+// diffConfigs are the fault environments the differential suite sweeps.
+func diffConfigs(n int) []Config {
+	perNode := make([]float64, n)
+	for v := range perNode {
+		perNode[v] = float64(v%10) / 10 * 0.9
+	}
+	return []Config{
+		{Fault: Faultless},
+		{Fault: SenderFaults, P: 0.3},
+		{Fault: ReceiverFaults, P: 0.3},
+		{Fault: SenderFaults, P: 0.5, PerNodeP: perNode},
+		{Fault: ReceiverFaults, P: 0.5, PerNodeP: perNode},
+	}
+}
+
+func TestDifferentialEnginesAcrossTopologies(t *testing.T) {
+	wct := graph.NewWCT(graph.DefaultWCTParams(160), rng.New(11))
+	tops := []graph.Topology{
+		graph.Path(40),
+		graph.Grid(7, 9),
+		graph.GNP(90, 0.05, rng.New(5)),
+		graph.GNP(90, 0.4, rng.New(6)),
+		graph.Complete(70),
+		graph.Star(50),
+		{G: wct.G, Source: wct.Source, Name: "wct(n=160)"},
+	}
+	for _, top := range tops {
+		for _, cfg := range diffConfigs(top.G.N()) {
+			for _, txProb := range []float64{0.05, 0.3, 0.8} {
+				name := top.Name + "/" + cfg.Fault.String()
+				sparse := runEngine(t, top.G, cfg, Sparse, 42, 77, 60, txProb)
+				dense := runEngine(t, top.G, cfg, Dense, 42, 77, 60, txProb)
+				if sparse.stats != dense.stats {
+					t.Fatalf("%s txProb=%v: stats diverged\nsparse %+v\ndense  %+v", name, txProb, sparse.stats, dense.stats)
+				}
+				if !reflect.DeepEqual(sparse.deliveries, dense.deliveries) {
+					t.Fatalf("%s txProb=%v: deliveries diverged (%d vs %d events)",
+						name, txProb, len(sparse.deliveries), len(dense.deliveries))
+				}
+				if !reflect.DeepEqual(sparse.traces, dense.traces) {
+					t.Fatalf("%s txProb=%v: traces diverged", name, txProb)
+				}
+			}
+		}
+	}
+}
+
+// Random graphs, random configurations, random schedules: a seed sweep of
+// the same differential property.
+func TestDifferentialEnginesRandomSweep(t *testing.T) {
+	models := []FaultModel{Faultless, SenderFaults, ReceiverFaults}
+	for seed := uint64(0); seed < 25; seed++ {
+		r := rng.New(seed)
+		n := 2 + r.Intn(120)
+		top := graph.GNP(n, r.Float64(), r.Split())
+		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95}
+		txProb := r.Float64()
+		sparse := runEngine(t, top.G, cfg, Sparse, seed+1000, seed+2000, 40, txProb)
+		dense := runEngine(t, top.G, cfg, Dense, seed+1000, seed+2000, 40, txProb)
+		if sparse.stats != dense.stats || !reflect.DeepEqual(sparse.deliveries, dense.deliveries) || !reflect.DeepEqual(sparse.traces, dense.traces) {
+			t.Fatalf("seed %d (%s, %v, txProb=%.2f): engines diverged\nsparse %+v\ndense  %+v",
+				seed, top.Name, cfg.Fault, txProb, sparse.stats, dense.stats)
+		}
+	}
+}
+
+// The delivery callback order is part of the contract: ascending receiver
+// id within a round, for both engines.
+func TestDeliveryOrderAscendingWithinRound(t *testing.T) {
+	for _, eng := range []Engine{Sparse, Dense} {
+		top := graph.Complete(40)
+		net := MustNew[int32](top.G, Config{Fault: Faultless, Engine: eng}, rng.New(1))
+		bc := make([]bool, 40)
+		payload := make([]int32, 40)
+		bc[17] = true
+		last := -1
+		net.Step(bc, payload, func(d Delivery[int32]) {
+			if d.To <= last {
+				t.Fatalf("%v engine: delivery to %d after %d (not ascending)", eng, d.To, last)
+			}
+			last = d.To
+		})
+		if last == -1 {
+			t.Fatalf("%v engine: no deliveries", eng)
+		}
+	}
+}

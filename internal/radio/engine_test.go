@@ -1,0 +1,103 @@
+package radio
+
+import (
+	"testing"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+func TestEngineString(t *testing.T) {
+	if Auto.String() != "auto" || Sparse.String() != "sparse" || Dense.String() != "dense" {
+		t.Fatal("Engine String names wrong")
+	}
+	if Engine(99).String() == "" {
+		t.Fatal("unknown engine should still stringify")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tt := range []struct {
+		in      string
+		want    Engine
+		wantErr bool
+	}{
+		{in: "auto", want: Auto},
+		{in: "", want: Auto},
+		{in: "sparse", want: Sparse},
+		{in: "dense", want: Dense},
+		{in: "turbo", wantErr: true},
+	} {
+		got, err := ParseEngine(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("ParseEngine(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+		if err == nil && got != tt.want {
+			t.Fatalf("ParseEngine(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownEngine(t *testing.T) {
+	cfg := Config{Fault: Faultless, Engine: Engine(7)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestAutoEngineSelection(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+		want Engine
+	}{
+		{name: "path stays sparse", g: graph.Path(1024).G, want: Sparse},
+		{name: "small complete stays sparse", g: graph.Complete(32).G, want: Sparse},
+		{name: "large complete goes dense", g: graph.Complete(128).G, want: Dense},
+		{name: "dense gnp goes dense", g: graph.GNP(256, 0.5, rng.New(1)).G, want: Dense},
+		{name: "sparse gnp stays sparse", g: graph.GNP(256, 0.01, rng.New(1)).G, want: Sparse},
+		{name: "star stays sparse", g: graph.Star(512).G, want: Sparse},
+	} {
+		net := MustNew[int32](tt.g, Config{Fault: Faultless}, rng.New(1))
+		if net.Engine() != tt.want {
+			t.Fatalf("%s: Auto resolved to %v, want %v", tt.name, net.Engine(), tt.want)
+		}
+	}
+}
+
+func TestEngineOverride(t *testing.T) {
+	g := graph.Path(16).G
+	dense := MustNew[int32](g, Config{Fault: Faultless, Engine: Dense}, rng.New(1))
+	if dense.Engine() != Dense {
+		t.Fatalf("explicit Dense resolved to %v", dense.Engine())
+	}
+	sparse := MustNew[int32](graph.Complete(256).G, Config{Fault: Faultless, Engine: Sparse}, rng.New(1))
+	if sparse.Engine() != Sparse {
+		t.Fatalf("explicit Sparse resolved to %v", sparse.Engine())
+	}
+}
+
+// The dense engine must satisfy the same model definition as the sparse
+// one on a fixed example.
+func TestDenseEngineModelSemantics(t *testing.T) {
+	top := graph.Complete(5)
+	net := MustNew[int32](top.G, Config{Fault: Faultless, Engine: Dense}, rng.New(1))
+	bc := []bool{true, false, false, false, false}
+	payload := []int32{11, 0, 0, 0, 0}
+	got := map[int]Delivery[int32]{}
+	net.Step(bc, payload, func(d Delivery[int32]) { got[d.To] = d })
+	if len(got) != 4 {
+		t.Fatalf("deliveries = %d, want 4", len(got))
+	}
+	for v := 1; v < 5; v++ {
+		if d := got[v]; d.From != 0 || d.Payload != 11 {
+			t.Fatalf("node %d delivery %+v", v, d)
+		}
+	}
+	// Two broadcasters: everybody else collides.
+	bc[1] = true
+	net.Step(bc, payload, nil)
+	if c := net.Stats().Collisions; c != 3 {
+		t.Fatalf("Collisions = %d, want 3", c)
+	}
+}

@@ -17,16 +17,44 @@
 //
 // In all cases noise is never mistaken for a packet.
 //
+// # Determinism
+//
 // The engine is deterministic: all randomness comes from the rng.Stream
-// passed at construction, and random draws happen in a documented fixed
-// order (ascending node id), so a (graph, seed, driver) triple always yields
-// the identical execution. The engine is not safe for concurrent use; run
+// passed at construction, and random draws happen in a canonical order that
+// is a pure function of the graph and the broadcasting set — first
+// sender-fault flags for broadcasting nodes in ascending node id (sender
+// model only), then receiver-fault flags for eligible listeners in
+// ascending node id (receiver model only). Deliveries and trace callbacks
+// follow the same ascending-id order. A (graph, seed, driver) triple
+// therefore always yields the identical execution, regardless of the
+// execution engine below. The engine is not safe for concurrent use; run
 // independent trials on independent Network values.
+//
+// # Execution engines
+//
+// Two engines implement the model with bit-identical results:
+//
+//   - Sparse walks the CSR neighbour lists of the broadcasters, doing
+//     O(Σ deg(broadcaster)) work per round — best for bounded-degree
+//     topologies (paths, grids, trees).
+//   - Dense resolves the channel word-parallel: the broadcasting set is a
+//     bitset and a listener's transmitting-neighbour count is
+//     popcount(adj[u] & tx), 64 candidate senders per machine word, doing
+//     O(n²/64) work per round — best for dense topologies (complete
+//     graphs, high-p GNP, WCT cluster layers, star coding schedules).
+//
+// Config.Engine selects the engine; the default Auto picks by average
+// degree. Because the two engines consume the rng.Stream in the same
+// canonical order, Stats, deliveries and traces are bit-identical across
+// engines (enforced by differential and fuzz tests).
 package radio
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/rng"
 )
@@ -57,6 +85,53 @@ func (m FaultModel) String() string {
 	}
 }
 
+// Engine selects the round-execution strategy. Both engines produce
+// bit-identical executions; they differ only in speed and memory.
+type Engine int
+
+const (
+	// Auto picks Sparse or Dense from the graph's average degree: Dense
+	// when the graph is large enough and dense enough that word-parallel
+	// channel resolution wins (avg degree ≥ n/8, n ≥ 64), Sparse
+	// otherwise. The zero value, so existing configurations keep their
+	// behaviour.
+	Auto Engine = iota
+	// Sparse walks CSR neighbour lists of the broadcasters.
+	Sparse
+	// Dense resolves receptions word-parallel over bitset adjacency rows.
+	// It materialises the graph's Θ(n²/8)-byte bit-matrix adjacency view
+	// on construction (cached on the graph, shared across networks).
+	Dense
+)
+
+// String returns a short human-readable name of the engine.
+func (e Engine) String() string {
+	switch e {
+	case Auto:
+		return "auto"
+	case Sparse:
+		return "sparse"
+	case Dense:
+		return "dense"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine converts a string produced by Engine.String back to the
+// engine value, for command-line flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "auto", "":
+		return Auto, nil
+	case "sparse":
+		return Sparse, nil
+	case "dense":
+		return Dense, nil
+	}
+	return Auto, fmt.Errorf("radio: unknown engine %q (auto|sparse|dense)", s)
+}
+
 // Config describes the noise environment of a network.
 type Config struct {
 	Fault FaultModel
@@ -69,6 +144,10 @@ type Config struct {
 	// constant p; the paper's bounds hold with p = max over nodes. Must be
 	// nil or of length N.
 	PerNodeP []float64
+	// Engine selects the execution engine; the zero value Auto picks by
+	// average degree. Purely a performance knob: results are bit-identical
+	// across engines.
+	Engine Engine
 }
 
 // Validate returns an error for inconsistent configurations.
@@ -86,6 +165,11 @@ func (c Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("radio: unknown fault model %d", int(c.Fault))
+	}
+	switch c.Engine {
+	case Auto, Sparse, Dense:
+	default:
+		return fmt.Errorf("radio: unknown engine %d", int(c.Engine))
 	}
 	return nil
 }
@@ -112,21 +196,41 @@ type Stats struct {
 // payload type carried by packets (message ids for routing, coded packets
 // for network coding).
 type Network[P any] struct {
-	g   *graph.Graph
-	cfg Config
-	rnd *rng.Stream
+	g      *graph.Graph
+	cfg    Config
+	rnd    *rng.Stream
+	engine Engine // resolved engine: Sparse or Dense, never Auto
 
 	stats Stats
 
 	trace TraceFunc
 
-	// Per-round scratch, reused across rounds to avoid allocation.
-	txCount     []int32 // broadcasting-neighbour count per node
-	txFrom      []int32 // some broadcasting neighbour (unique when txCount==1)
-	touched     []int32 // nodes with txCount > 0 this round, for cheap reset
+	// Sparse-engine per-round scratch, reused across rounds to avoid
+	// allocation.
+	txCount []int32 // broadcasting-neighbour count per node
+	txFrom  []int32 // some broadcasting neighbour (unique when txCount==1)
+	touched []int32 // nodes with txCount > 0 this round, for cheap reset
+
+	// Dense-engine state: bitset adjacency rows (cached on the graph) and
+	// the per-round broadcast bitset.
+	adjBits *bitset.Matrix
+	tx      *bitset.Set
+
+	// Shared per-round scratch.
 	senderNoise []bool  // per-node sender-fault flags this round
 	traceTx     []int32 // broadcasters this round (tracing only)
 	traceRx     []int32 // receivers this round (tracing only)
+}
+
+// autoEngine picks the engine for g: Dense when word-parallel resolution
+// pays for itself (the graph is dense enough that scanning all n bitset
+// rows beats walking the broadcasters' neighbour lists), Sparse otherwise.
+func autoEngine(g *graph.Graph) Engine {
+	n := g.N()
+	if n >= 64 && g.AvgDegree() >= float64(n)/8 {
+		return Dense
+	}
+	return Sparse
 }
 
 // New creates a network over g with the given noise configuration and
@@ -138,15 +242,27 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 	if cfg.PerNodeP != nil && len(cfg.PerNodeP) != g.N() {
 		return nil, fmt.Errorf("radio: PerNodeP has length %d, graph has %d nodes", len(cfg.PerNodeP), g.N())
 	}
-	return &Network[P]{
+	engine := cfg.Engine
+	if engine == Auto {
+		engine = autoEngine(g)
+	}
+	n := &Network[P]{
 		g:           g,
 		cfg:         cfg,
 		rnd:         rnd,
-		txCount:     make([]int32, g.N()),
-		txFrom:      make([]int32, g.N()),
-		touched:     make([]int32, 0, g.N()),
+		engine:      engine,
 		senderNoise: make([]bool, g.N()),
-	}, nil
+	}
+	switch engine {
+	case Dense:
+		n.adjBits = g.AdjacencyBits()
+		n.tx = bitset.New(g.N())
+	default:
+		n.txCount = make([]int32, g.N())
+		n.txFrom = make([]int32, g.N())
+		n.touched = make([]int32, 0, g.N())
+	}
+	return n, nil
 }
 
 // MustNew is New but panics on error, for configurations known valid.
@@ -163,6 +279,10 @@ func (n *Network[P]) Graph() *graph.Graph { return n.g }
 
 // Config returns the noise configuration.
 func (n *Network[P]) Config() Config { return n.cfg }
+
+// Engine returns the resolved execution engine (Sparse or Dense, never
+// Auto).
+func (n *Network[P]) Engine() Engine { return n.engine }
 
 // Stats returns a copy of the accumulated statistics.
 func (n *Network[P]) Stats() Stats { return n.stats }
@@ -193,33 +313,71 @@ type Delivery[P any] struct {
 // transmits if selected. deliver is invoked once per successful reception.
 // Both slices must have length N.
 //
-// Random draws happen in a fixed order that is a pure function of the graph
-// and the broadcasting set: first sender-fault flags for broadcasting nodes
-// in ascending id (sender model only), then receiver-fault flags for
-// eligible listeners in first-touched order (receiver model only). The
-// delivery callback order follows the same deterministic order.
+// Random draws happen in the canonical order documented in the package
+// comment — sender-fault flags for broadcasting nodes in ascending id,
+// then receiver-fault flags for eligible listeners in ascending id — and
+// the delivery callback runs in ascending receiver id order. Both engines
+// honour this contract, so executions are bit-identical across engines.
 func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
 	nn := n.g.N()
 	if len(broadcasting) != nn || len(payload) != nn {
 		panic(fmt.Sprintf("radio: Step slice lengths (%d,%d) != N (%d)", len(broadcasting), len(payload), nn))
 	}
 	n.stats.Rounds++
+	if n.engine == Dense {
+		n.stepDense(broadcasting, payload, deliver)
+	} else {
+		n.stepSparse(broadcasting, payload, deliver)
+	}
+	n.finishRound(broadcasting)
+}
 
-	// Mark transmissions and draw sender faults.
+// markBroadcaster performs the per-broadcaster bookkeeping shared by both
+// engines: accounting, tracing and the canonical sender-fault draw.
+func (n *Network[P]) markBroadcaster(v int) {
+	n.stats.Broadcasts++
+	if n.trace != nil {
+		n.traceTx = append(n.traceTx, int32(v))
+	}
+	if n.cfg.Fault == SenderFaults {
+		n.senderNoise[v] = n.rnd.Bool(n.cfg.probFor(int32(v)))
+		if n.senderNoise[v] {
+			n.stats.SenderFaults++
+		}
+	}
+}
+
+// resolveUnique handles listener u whose unique transmitting neighbour is
+// from: the canonical receiver-fault draw, delivery accounting, tracing
+// and the delivery callback. Shared by both engines.
+func (n *Network[P]) resolveUnique(u, from int32, payload []P, deliver func(d Delivery[P])) {
+	if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
+		return // content destroyed at the sender
+	}
+	if n.cfg.Fault == ReceiverFaults && n.rnd.Bool(n.cfg.probFor(u)) {
+		n.stats.ReceiverFaults++
+		return
+	}
+	n.stats.Deliveries++
+	if n.trace != nil {
+		n.traceRx = append(n.traceRx, u)
+	}
+	if deliver != nil {
+		deliver(Delivery[P]{To: int(u), From: int(from), Payload: payload[from]})
+	}
+}
+
+// stepSparse is the CSR engine: walk the neighbour lists of the
+// broadcasters, then resolve the touched listeners in ascending id order.
+func (n *Network[P]) stepSparse(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
+	nn := n.g.N()
+
+	// Mark transmissions and draw sender faults in ascending id order.
 	for v := 0; v < nn; v++ {
 		if !broadcasting[v] {
 			continue
 		}
-		n.stats.Broadcasts++
-		if n.trace != nil {
-			n.traceTx = append(n.traceTx, int32(v))
-		}
-		if n.cfg.Fault == SenderFaults {
-			n.senderNoise[v] = n.rnd.Bool(n.cfg.probFor(int32(v)))
-			if n.senderNoise[v] {
-				n.stats.SenderFaults++
-			}
-		}
+		n.markBroadcaster(v)
 		for _, u := range n.g.Neighbors(v) {
 			if n.txCount[u] == 0 {
 				n.touched = append(n.touched, u)
@@ -229,7 +387,10 @@ func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Deliv
 		}
 	}
 
-	// Resolve receptions in ascending receiver id order for determinism.
+	// Resolve receptions in ascending receiver id order (the canonical
+	// draw order shared with the dense engine); touched accumulates in
+	// first-touched order, so sort first.
+	slices.Sort(n.touched)
 	for _, u := range n.touched {
 		if broadcasting[u] {
 			continue // transmitting nodes do not listen
@@ -238,21 +399,7 @@ func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Deliv
 		case n.txCount[u] > 1:
 			n.stats.Collisions++
 		case n.txCount[u] == 1:
-			from := n.txFrom[u]
-			if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
-				break // content destroyed at the sender
-			}
-			if n.cfg.Fault == ReceiverFaults && n.rnd.Bool(n.cfg.probFor(u)) {
-				n.stats.ReceiverFaults++
-				break
-			}
-			n.stats.Deliveries++
-			if n.trace != nil {
-				n.traceRx = append(n.traceRx, u)
-			}
-			if deliver != nil {
-				deliver(Delivery[P]{To: int(u), From: int(from), Payload: payload[from]})
-			}
+			n.resolveUnique(u, n.txFrom[u], payload, deliver)
 		}
 	}
 
@@ -261,9 +408,70 @@ func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Deliv
 		n.txCount[u] = 0
 	}
 	n.touched = n.touched[:0]
+}
+
+// stepDense is the word-parallel engine: the broadcasting set becomes a
+// bitset and each listener's transmitting-neighbour count is
+// popcount(adj[u] & tx), 64 candidates per word, with the unique sender
+// recovered from the single surviving intersection word.
+func (n *Network[P]) stepDense(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
+	nn := n.g.N()
+
+	// Mark transmissions and draw sender faults in ascending id order.
+	anyTx := false
+	for v := 0; v < nn; v++ {
+		if !broadcasting[v] {
+			continue
+		}
+		anyTx = true
+		n.markBroadcaster(v)
+		n.tx.Set(v)
+	}
+	if !anyTx {
+		return
+	}
+
+	// Resolve receptions in ascending receiver id order, counting
+	// transmitting neighbours word-wise with an early exit once a
+	// collision is certain.
+	txw := n.tx.Words()
+	for u := 0; u < nn; u++ {
+		if broadcasting[u] {
+			continue // transmitting nodes do not listen
+		}
+		row := n.adjBits.Row(u)
+		count := 0
+		var hit uint64 // the intersection word containing the unique bit
+		var hitBase int
+		for w, t := range txw {
+			x := row[w] & t
+			if x == 0 {
+				continue
+			}
+			count += bits.OnesCount64(x)
+			if count > 1 {
+				break
+			}
+			hit, hitBase = x, w*64
+		}
+		switch {
+		case count > 1:
+			n.stats.Collisions++
+		case count == 1:
+			n.resolveUnique(int32(u), int32(hitBase+bits.TrailingZeros64(hit)), payload, deliver)
+		}
+	}
+
+	n.tx.Reset()
+}
+
+// finishRound clears the shared per-round scratch and flushes the trace.
+func (n *Network[P]) finishRound(broadcasting []bool) {
 	if n.cfg.Fault == SenderFaults {
-		for v := 0; v < nn; v++ {
-			n.senderNoise[v] = false
+		for v := range broadcasting {
+			if broadcasting[v] {
+				n.senderNoise[v] = false
+			}
 		}
 	}
 	if n.trace != nil {

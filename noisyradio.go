@@ -5,7 +5,11 @@
 // It provides:
 //
 //   - the noisy radio network model (sender faults / receiver faults) as a
-//     deterministic round simulator;
+//     deterministic round simulator with two interchangeable execution
+//     engines — a sparse CSR walker and a bit-parallel dense engine that
+//     resolves the channel 64 nodes per machine word — selected by
+//     Config.Engine (EngineAuto picks per graph) and proven bit-identical
+//     by a differential test harness;
 //   - the paper's single-message broadcast algorithms — Decay, FASTBC and
 //     the new Robust FASTBC — and their multi-message extensions via random
 //     linear network coding;
@@ -38,8 +42,15 @@ type (
 	Topology = graph.Topology
 	// FaultModel selects faultless / sender-fault / receiver-fault noise.
 	FaultModel = radio.FaultModel
-	// Config is the noise environment (model + fault probability p).
+	// Config is the noise environment (model + fault probability p) plus
+	// the execution-engine selector.
 	Config = radio.Config
+	// Engine selects the round-execution strategy of the radio simulator:
+	// EngineAuto picks per graph by average degree, EngineSparse walks CSR
+	// neighbour lists, EngineDense resolves the channel word-parallel over
+	// bitset adjacency rows (64 candidate senders per machine word).
+	// Executions are bit-identical across engines; only speed differs.
+	Engine = radio.Engine
 	// Rand is the deterministic random stream driving every execution.
 	Rand = rng.Stream
 )
@@ -50,6 +61,17 @@ const (
 	SenderFaults   = radio.SenderFaults
 	ReceiverFaults = radio.ReceiverFaults
 )
+
+// Execution engines re-exported from the radio engine.
+const (
+	EngineAuto   = radio.Auto
+	EngineSparse = radio.Sparse
+	EngineDense  = radio.Dense
+)
+
+// ParseEngine converts "auto" | "sparse" | "dense" to an Engine, for
+// command-line flags.
+func ParseEngine(s string) (Engine, error) { return radio.ParseEngine(s) }
 
 // Algorithm result and option types.
 type (
