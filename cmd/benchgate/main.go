@@ -1,0 +1,83 @@
+// Command benchgate compares a fresh `noisysim -benchjson` report against
+// a checked-in baseline and fails (exit 1) when suite wall clock regresses
+// beyond the allowed fraction. CI runs it after the quick-suite benchmark
+// so a PR that slows the whole experiment pipeline down breaks the build.
+//
+// Usage:
+//
+//	benchgate -baseline .github/bench/BENCH_sweep.baseline.json -current BENCH_sweep.json
+//	benchgate -baseline a.json -current b.json -max-regression 0.30
+//
+// Wall-clock baselines are machine-relative, so the gate only hard-fails
+// when the baseline was recorded on the same machine class (equal
+// gomaxprocs). On a class mismatch it reports the comparison, asks for the
+// baseline to be regenerated from this runner's artifact, and exits 0 —
+// a baseline recorded on a different box must not fail unrelated PRs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"noisyradio/internal/benchreport"
+)
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "", "checked-in baseline BENCH_sweep.json")
+		currentPath  = flag.String("current", "", "freshly generated BENCH_sweep.json")
+		maxReg       = flag.Float64("max-regression", 0.30, "maximum allowed fractional wall-clock regression")
+	)
+	flag.Parse()
+	if *baselinePath == "" || *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	baseline, err := benchreport.Load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	current, err := benchreport.Load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	verdict, err := gate(baseline, current, *maxReg)
+	fmt.Println("benchgate:", verdict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+		os.Exit(1)
+	}
+}
+
+// gate returns a human-readable verdict and a non-nil error when current
+// regresses more than maxReg (a fraction, e.g. 0.30 for 30%) against a
+// comparable baseline. Reports from different machine classes (gomaxprocs
+// mismatch) never fail: the verdict asks for a baseline refresh instead.
+func gate(baseline, current benchreport.Report, maxReg float64) (string, error) {
+	if baseline.WallSeconds <= 0 {
+		return "", fmt.Errorf("baseline wall clock %.3fs is not positive — regenerate the baseline", baseline.WallSeconds)
+	}
+	if current.WallSeconds <= 0 {
+		return "", fmt.Errorf("current wall clock %.3fs is not positive", current.WallSeconds)
+	}
+	if baseline.Suite != current.Suite || baseline.Quick != current.Quick {
+		return "", fmt.Errorf("reports not comparable: baseline (suite=%q quick=%v) vs current (suite=%q quick=%v)",
+			baseline.Suite, baseline.Quick, current.Suite, current.Quick)
+	}
+	summary := fmt.Sprintf("wall %.2fs vs baseline %.2fs (%+.0f%%, budget %.0f%%), %.0f rows/s, %.1f allocs/trial",
+		current.WallSeconds, baseline.WallSeconds,
+		100*(current.WallSeconds/baseline.WallSeconds-1), 100*maxReg,
+		current.RowsPerSec, current.AllocsPerTrial)
+	if baseline.GoMaxProcs != current.GoMaxProcs {
+		return fmt.Sprintf("SKIPPED (machine class changed: baseline gomaxprocs=%d, current=%d) — regenerate the baseline from this runner's BENCH_sweep.json artifact; %s",
+			baseline.GoMaxProcs, current.GoMaxProcs, summary), nil
+	}
+	if ratio := current.WallSeconds / baseline.WallSeconds; ratio > 1+maxReg {
+		return summary, fmt.Errorf("wall clock %.2fs is %.0f%% over the %.2fs baseline (budget %.0f%%)",
+			current.WallSeconds, 100*(ratio-1), baseline.WallSeconds, 100*maxReg)
+	}
+	return "ok — " + summary, nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"noisyradio/internal/benchreport"
+)
+
+func rep(wall float64) benchreport.Report {
+	return benchreport.Report{Suite: "all", Quick: true, GoMaxProcs: 4, WallSeconds: wall}
+}
+
+func TestGateWithinBudget(t *testing.T) {
+	if _, err := gate(rep(10), rep(12.9), 0.30); err != nil {
+		t.Fatalf("29%% regression rejected at 30%% budget: %v", err)
+	}
+}
+
+func TestGateOverBudget(t *testing.T) {
+	_, err := gate(rep(10), rep(13.1), 0.30)
+	if err == nil {
+		t.Fatal("31% regression accepted at 30% budget")
+	}
+	if !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestGateImprovementAlwaysPasses(t *testing.T) {
+	if _, err := gate(rep(10), rep(3), 0.30); err != nil {
+		t.Fatalf("improvement rejected: %v", err)
+	}
+}
+
+func TestGateMachineClassMismatchSkips(t *testing.T) {
+	baseline := rep(1)
+	baseline.GoMaxProcs = 1
+	current := rep(10) // 10x slower but on a different machine class
+	verdict, err := gate(baseline, current, 0.30)
+	if err != nil {
+		t.Fatalf("cross-machine comparison failed the gate: %v", err)
+	}
+	if !strings.Contains(verdict, "SKIPPED") || !strings.Contains(verdict, "regenerate") {
+		t.Fatalf("verdict should ask for a baseline refresh: %q", verdict)
+	}
+}
+
+func TestGateIncomparableReports(t *testing.T) {
+	other := rep(10)
+	other.Suite = "E9"
+	if _, err := gate(rep(10), other, 0.30); err == nil {
+		t.Fatal("different suites compared")
+	}
+	full := rep(10)
+	full.Quick = false
+	if _, err := gate(rep(10), full, 0.30); err == nil {
+		t.Fatal("quick vs full compared")
+	}
+}
+
+func TestGateRejectsEmptyBaseline(t *testing.T) {
+	if _, err := gate(benchreport.Report{}, rep(1), 0.30); err == nil {
+		t.Fatal("zero baseline accepted")
+	}
+}

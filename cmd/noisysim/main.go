@@ -9,11 +9,31 @@
 //	noisysim -exp E9 -quick        # reduced sweep for a fast look
 //	noisysim -exp E13 -trials 12 -seed 7 -workers 8
 //	noisysim -exp E9 -engine dense # force the bit-parallel radio engine
+//	noisysim -exp all -quick -benchjson BENCH_sweep.json
+//
+// Every experiment schedules all of its table rows on one shared worker
+// pool (the sim.Sweep row-parallel scheduler): trials from every row
+// interleave, so rows with tiny trial counts cannot serialise the table.
+// Two knobs tune the scheduler, neither of which changes any output:
+//
+//   - -workers sets the pool size (0 = GOMAXPROCS);
+//   - -rowworkers bounds how many rows are in flight at once (0 = all),
+//     trading peak scratch memory against row-level parallelism.
+//
+// Tables are bit-identical at every -workers/-rowworkers setting and
+// across engines; a regression test (internal/experiments golden test) and
+// a CI determinism job enforce this.
 //
 // The -engine flag selects the radio execution engine (auto | sparse |
 // dense). Results are bit-identical across engines — auto picks per graph
 // by average degree, dense forces word-parallel channel resolution, sparse
 // forces CSR neighbour walking. Purely a performance knob.
+//
+// The -benchjson flag writes a machine-readable performance report (suite
+// wall clock, per-experiment seconds, rows/sec, allocations per trial) to
+// the given path after the run. CI runs the quick suite with -benchjson on
+// every push and fails if wall clock regresses more than the gate
+// threshold against the checked-in baseline (see cmd/benchgate).
 //
 // Demo mode traces one small broadcast round by round:
 //
@@ -26,14 +46,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"noisyradio/internal/benchreport"
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/experiments"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
+	"noisyradio/internal/sim"
 	"noisyradio/internal/trace"
 )
 
@@ -47,18 +70,20 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("noisysim", flag.ContinueOnError)
 	var (
-		exp     = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
-		list    = fs.Bool("list", false, "list available experiments")
-		trials  = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
-		seed    = fs.Uint64("seed", 1, "base random seed")
-		workers = fs.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
-		quick   = fs.Bool("quick", false, "reduced sweeps and trial counts")
-		engine  = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
-		asJSON  = fs.Bool("json", false, "emit experiment tables as a JSON array")
-		demo    = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
-		demoN   = fs.Int("n", 24, "demo: path length")
-		demoP   = fs.Float64("p", 0.3, "demo: fault probability")
-		faultMd = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
+		exp      = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
+		list     = fs.Bool("list", false, "list available experiments")
+		trials   = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		workers  = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
+		rowWkrs  = fs.Int("rowworkers", 0, "max table rows in flight at once (0 = all); memory/scheduling knob, output identical")
+		quick    = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		engine   = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
+		asJSON   = fs.Bool("json", false, "emit experiment tables as a JSON array")
+		benchOut = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial) to this path")
+		demo     = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
+		demoN    = fs.Int("n", 24, "demo: path length")
+		demoP    = fs.Float64("p", 0.3, "demo: fault probability")
+		faultMd  = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,11 +106,12 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("missing -exp (or -list)")
 	}
 	cfg := experiments.Config{
-		Trials:  *trials,
-		Seed:    *seed,
-		Workers: *workers,
-		Quick:   *quick,
-		Engine:  eng,
+		Trials:     *trials,
+		Seed:       *seed,
+		Workers:    *workers,
+		RowWorkers: *rowWkrs,
+		Quick:      *quick,
+		Engine:     eng,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -99,27 +125,72 @@ func run(args []string, out *os.File) error {
 			entries = append(entries, e)
 		}
 	}
-	if *asJSON {
-		tables := make([]experiments.Table, 0, len(entries))
-		for _, e := range entries {
-			tbl, err := e.Run(cfg)
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.ID, err)
-			}
-			tables = append(tables, tbl)
-		}
-		enc := json.NewEncoder(out)
-		enc.SetIndent("", "  ")
-		return enc.Encode(tables)
+
+	bench := benchreport.Report{
+		Suite:      *exp,
+		Quick:      *quick,
+		Engine:     eng.String(),
+		Seed:       *seed,
+		Workers:    *workers,
+		RowWorkers: *rowWkrs,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
+	var memBefore runtime.MemStats
+	var benchFile *os.File
+	if *benchOut != "" {
+		// Open the report file before the suite runs: an unwritable path
+		// must fail fast, not after minutes of Monte-Carlo work.
+		f, err := os.Create(*benchOut)
+		if err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
+		benchFile = f
+		defer benchFile.Close()
+		runtime.ReadMemStats(&memBefore)
+	}
+	trialsBefore := sim.TotalTrials()
+	suiteStart := time.Now()
+
+	tables := make([]experiments.Table, 0, len(entries))
 	for _, e := range entries {
 		start := time.Now()
 		tbl, err := e.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
-		fmt.Fprint(out, tbl.String())
-		fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		elapsed := time.Since(start).Seconds()
+		bench.Experiments = append(bench.Experiments, benchreport.ExpSeconds{ID: e.ID, Seconds: elapsed, Rows: len(tbl.Rows)})
+		bench.Rows += len(tbl.Rows)
+		tables = append(tables, tbl)
+		if !*asJSON {
+			fmt.Fprint(out, tbl.String())
+			fmt.Fprintf(out, "(%s in %.1fs)\n\n", e.ID, elapsed)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tables); err != nil {
+			return err
+		}
+	}
+
+	if benchFile != nil {
+		bench.WallSeconds = time.Since(suiteStart).Seconds()
+		bench.Tables = len(tables)
+		if bench.WallSeconds > 0 {
+			bench.RowsPerSec = float64(bench.Rows) / bench.WallSeconds
+		}
+		bench.Trials = sim.TotalTrials() - trialsBefore
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		if bench.Trials > 0 {
+			bench.AllocsPerTrial = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(bench.Trials)
+			bench.BytesPerTrial = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(bench.Trials)
+		}
+		if err := bench.Write(benchFile); err != nil {
+			return fmt.Errorf("benchjson: %w", err)
+		}
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"noisyradio/internal/benchreport"
 )
 
 // capture runs the CLI entry with args and returns its stdout.
@@ -164,5 +166,78 @@ func TestDemoValidation(t *testing.T) {
 	}
 	if _, err := capture(t, "-demo", "decay", "-n", "1"); err == nil {
 		t.Fatal("n=1 accepted")
+	}
+}
+
+// The scheduling knobs must not change any output byte: -workers sizes the
+// shared pool and -rowworkers bounds row admission, nothing else.
+func TestRowWorkersFlagOutputsIdentical(t *testing.T) {
+	base, err := capture(t, "-exp", "E3,F1", "-quick", "-seed", "3", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-workers", "1", "-rowworkers", "1"},
+		{"-workers", "8", "-rowworkers", "2"},
+		{"-workers", "3", "-rowworkers", "5"},
+	} {
+		got, err := capture(t, append([]string{"-exp", "E3,F1", "-quick", "-seed", "3", "-json"}, args...)...)
+		if err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if got != base {
+			t.Fatalf("%v changed experiment output", args)
+		}
+	}
+}
+
+func TestBenchJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	if _, err := capture(t, "-exp", "F1,F2", "-quick", "-seed", "1", "-benchjson", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchreport.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid bench report: %v\n%s", err, data)
+	}
+	if rep.Suite != "F1,F2" || !rep.Quick || rep.Tables != 2 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Rows == 0 || rep.WallSeconds <= 0 || rep.RowsPerSec <= 0 {
+		t.Fatalf("report metrics missing: %+v", rep)
+	}
+	if len(rep.Experiments) != 2 || rep.Experiments[0].ID != "F1" {
+		t.Fatalf("per-experiment timings wrong: %+v", rep.Experiments)
+	}
+}
+
+func TestBenchJSONCountsTrials(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := capture(t, "-exp", "E4", "-quick", "-seed", "1", "-benchjson", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchreport.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trials <= 0 {
+		t.Fatalf("trial count not recorded: %+v", rep)
+	}
+	if rep.AllocsPerTrial <= 0 {
+		t.Fatalf("allocs/trial not recorded: %+v", rep)
+	}
+}
+
+func TestBenchJSONBadPath(t *testing.T) {
+	if _, err := capture(t, "-exp", "F1", "-quick", "-benchjson", filepath.Join(t.TempDir(), "missing", "dir", "b.json")); err == nil {
+		t.Fatal("unwritable benchjson path accepted")
 	}
 }

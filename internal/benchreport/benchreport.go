@@ -1,0 +1,57 @@
+// Package benchreport defines the machine-readable performance record
+// shared by its producer (`noisysim -benchjson`) and consumer
+// (`benchgate`), so the two binaries cannot drift apart on field names.
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report is one suite run's performance record.
+type Report struct {
+	Suite          string       `json:"suite"`
+	Quick          bool         `json:"quick"`
+	Engine         string       `json:"engine"`
+	Seed           uint64       `json:"seed"`
+	Workers        int          `json:"workers"`
+	RowWorkers     int          `json:"rowworkers"`
+	GoMaxProcs     int          `json:"gomaxprocs"`
+	WallSeconds    float64      `json:"wall_seconds"`
+	Tables         int          `json:"tables"`
+	Rows           int          `json:"rows"`
+	RowsPerSec     float64      `json:"rows_per_sec"`
+	Trials         int64        `json:"trials"`
+	AllocsPerTrial float64      `json:"allocs_per_trial"`
+	BytesPerTrial  float64      `json:"bytes_per_trial"`
+	Experiments    []ExpSeconds `json:"experiments"`
+}
+
+// ExpSeconds is one experiment's contribution to a Report.
+type ExpSeconds struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Rows    int     `json:"rows"`
+}
+
+// Write encodes r as indented JSON to w.
+func (r Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Load reads a Report from the JSON file at path.
+func Load(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,44 @@
+package benchreport
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	want := Report{
+		Suite: "all", Quick: true, Engine: "auto", Seed: 1,
+		GoMaxProcs: 4, WallSeconds: 1.5, Tables: 2, Rows: 8,
+		RowsPerSec: 5.33, Trials: 120, AllocsPerTrial: 25.1,
+		Experiments: []ExpSeconds{{ID: "E1", Seconds: 0.7, Rows: 4}},
+	}
+	var buf bytes.Buffer
+	if err := want.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "b.json")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Suite != want.Suite || got.WallSeconds != want.WallSeconds ||
+		len(got.Experiments) != 1 || got.Experiments[0] != want.Experiments[0] {
+		t.Fatalf("round trip: %+v != %+v", got, want)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("malformed json loaded")
+	}
+}

@@ -100,7 +100,7 @@ type singleRunner struct {
 }
 
 func newSingleRunner(g *graph.Graph, src int, cfg radio.Config, r *rng.Stream) (*singleRunner, error) {
-	net, err := radio.New[struct{}](g, cfg, r)
+	net, err := sigPool.Get(g, cfg, r)
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +155,17 @@ func (s *singleRunner) run(maxRounds int, schedule func(round int)) Result {
 		}
 		s.cleared = s.cleared[:0]
 	}
-	return Result{
+	res := Result{
 		Rounds:   round,
 		Success:  len(s.informedList) == n,
 		Informed: len(s.informedList),
 		Channel:  s.net.Stats(),
 	}
+	// The runner drives exactly one execution; recycle the network for the
+	// next trial over this graph.
+	sigPool.Put(s.net)
+	s.net = nil
+	return res
 }
 
 // validateTopology rejects graphs on which broadcast cannot terminate.

@@ -136,7 +136,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 	g := top.G
 	n := g.N()
 
-	net, err := radio.New[rlnc.Packet](g, cfg, r)
+	net, err := rlncPool.Get(g, cfg, r)
 	if err != nil {
 		return MultiResult{}, nil, err
 	}
@@ -272,6 +272,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 		Done:    decoded,
 		Channel: net.Stats(),
 	}
+	rlncPool.Put(net)
 	if !res.Success {
 		return res, nil, nil
 	}

@@ -48,7 +48,7 @@ func PipelinedBatchRouting(top graph.Topology, k int, cfg radio.Config, r *rng.S
 		return MultiResult{Rounds: 0, Success: true, Done: n}, nil
 	}
 
-	net, err := radio.New[int32](g, cfg, r)
+	net, err := idPool.Get(g, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -119,12 +119,14 @@ func PipelinedBatchRouting(top graph.Topology, k int, cfg radio.Config, r *rng.S
 			done += len(layers[i])
 		}
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: layerHave[L] == int32(k),
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 func pipelinedBatchDefaultMaxRounds(n, depth, k int, cfg radio.Config) int {

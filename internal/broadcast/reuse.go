@@ -1,0 +1,50 @@
+package broadcast
+
+import (
+	"fmt"
+	"sync"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rlnc"
+)
+
+// Network pools, one per payload type. Monte-Carlo trials re-execute the
+// same schedule over the same (graph, config) thousands of times; pooling
+// lets a trial inherit the previous trial's network scratch (Θ(n) of
+// adjacency counters and fault buffers) instead of reallocating it.
+// radio.Network.Reset guarantees a pooled network is observably identical
+// to a fresh one, so results are unchanged (see the radio pool tests).
+var (
+	sigPool  radio.Pool[struct{}]
+	idPool   radio.Pool[int32]
+	rlncPool radio.Pool[rlnc.Packet]
+)
+
+// topoCache memoizes the deterministic topologies that the multi-message
+// schedules otherwise rebuild from scratch on every trial (stars, paths,
+// the single link). Values are graph.Topology; graphs are immutable and
+// safe to share across concurrent trials. The cache only ever holds one
+// entry per distinct size actually swept, so growth is bounded by the
+// experiment configurations in play.
+var topoCache sync.Map // string -> graph.Topology
+
+func cachedTopology(key string, build func() graph.Topology) graph.Topology {
+	if v, ok := topoCache.Load(key); ok {
+		return v.(graph.Topology)
+	}
+	v, _ := topoCache.LoadOrStore(key, build())
+	return v.(graph.Topology)
+}
+
+func cachedStar(leaves int) graph.Topology {
+	return cachedTopology(fmt.Sprintf("star/%d", leaves), func() graph.Topology { return graph.Star(leaves) })
+}
+
+func cachedPath(n int) graph.Topology {
+	return cachedTopology(fmt.Sprintf("path/%d", n), func() graph.Topology { return graph.Path(n) })
+}
+
+func cachedSingleLink() graph.Topology {
+	return cachedTopology("single-link", graph.SingleLink)
+}

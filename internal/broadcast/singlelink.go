@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 )
@@ -38,8 +37,8 @@ func SingleLinkNonAdaptive(k, repeats int, cfg radio.Config, r *rng.Stream) (Mul
 	if k < 1 || repeats < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: single-link non-adaptive needs k >= 1 and repeats >= 1, got (%d,%d)", k, repeats)
 	}
-	top := graph.SingleLink()
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedSingleLink()
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -62,12 +61,14 @@ func SingleLinkNonAdaptive(k, repeats int, cfg radio.Config, r *rng.Stream) (Mul
 	if received == k {
 		done = 2
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  k * repeats,
 		Success: received == k,
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // SingleLinkAdaptive runs the adaptive routing (ARQ) schedule of Lemma 32:
@@ -78,8 +79,8 @@ func SingleLinkAdaptive(k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 	if k < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: single-link adaptive needs k >= 1, got %d", k)
 	}
-	top := graph.SingleLink()
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedSingleLink()
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -101,12 +102,14 @@ func SingleLinkAdaptive(k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 	if current == k {
 		done = 2
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: current == k,
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // SingleLinkCoding runs the coding schedule of Lemma 30: the source
@@ -117,8 +120,8 @@ func SingleLinkCoding(k int, cfg radio.Config, r *rng.Stream, opts Options) (Mul
 	if k < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: single-link coding needs k >= 1, got %d", k)
 	}
-	top := graph.SingleLink()
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedSingleLink()
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -140,12 +143,14 @@ func SingleLinkCoding(k int, cfg radio.Config, r *rng.Stream, opts Options) (Mul
 	if received >= k {
 		done = 2
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: received >= k,
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 func singleLinkDefaultMaxRounds(k int, cfg radio.Config) int {

@@ -18,8 +18,8 @@ func StarRouting(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (
 	if leaves < 1 || k < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: star routing needs leaves >= 1 and k >= 1, got (%d,%d)", leaves, k)
 	}
-	top := graph.Star(leaves)
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedStar(leaves)
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -52,12 +52,14 @@ func StarRouting(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (
 			missing = leaves
 		}
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: current == int32(k),
 		Done:    doneCountStar(current, k, leaves, missing),
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // doneCountStar reports how many leaves hold all k messages at termination:
@@ -87,8 +89,8 @@ func StarCoding(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 	if leaves < 1 || k < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: star coding needs leaves >= 1 and k >= 1, got (%d,%d)", leaves, k)
 	}
-	top := graph.Star(leaves)
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedStar(leaves)
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -114,12 +116,14 @@ func StarCoding(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 			}
 		})
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: done == leaves,
 		Done:    done + 1,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // starDefaultMaxRounds bounds both star schedules comfortably above their

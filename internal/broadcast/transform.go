@@ -30,8 +30,8 @@ func PathPipelineRouting(pathLen, k int, cfg radio.Config, r *rng.Stream, opts O
 	if pathLen < 1 || k < 1 {
 		return MultiResult{}, fmt.Errorf("broadcast: path pipeline needs pathLen >= 1 and k >= 1, got (%d,%d)", pathLen, k)
 	}
-	top := graph.Path(pathLen + 1)
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedPath(pathLen + 1)
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -71,12 +71,14 @@ func PathPipelineRouting(pathLen, k int, cfg radio.Config, r *rng.Stream, opts O
 			done++
 		}
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: have[n-1] == int32(k),
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // TransformParams tunes the Lemma 25/26 meta-round transformations.
@@ -140,8 +142,8 @@ func transformedPath(pathLen, k int, cfg radio.Config, r *rng.Stream, params Tra
 	batches := (k + pr.Batch - 1) / pr.Batch
 	mlen := metaRoundLen(pr.Batch, cfg, pr.Eta)
 
-	top := graph.Path(pathLen + 1)
-	net, err := radio.New[int32](top.G, cfg, r)
+	top := cachedPath(pathLen + 1)
+	net, err := idPool.Get(top.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -210,12 +212,14 @@ func transformedPath(pathLen, k int, cfg radio.Config, r *rng.Stream, params Tra
 			done++
 		}
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  totalRounds,
 		Success: batchHave[n-1] == int32(batches),
 		Done:    done,
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 func pipelineDefaultMaxRounds(pathLen, k int, cfg radio.Config) int {

@@ -29,7 +29,7 @@ func WCTRouting(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Optio
 	if err := validateWCTArgs(w, k); err != nil {
 		return MultiResult{}, err
 	}
-	net, err := radio.New[int32](w.G, cfg, r)
+	net, err := idPool.Get(w.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -70,12 +70,14 @@ func WCTRouting(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Optio
 			missing = members
 		}
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: current == int32(k),
 		Done:    wctDoneCount(w, current, k, missing),
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // WCTCoding runs the coding schedule behind Lemma 23: every sender
@@ -89,7 +91,7 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 	if err := validateWCTArgs(w, k); err != nil {
 		return MultiResult{}, err
 	}
-	net, err := radio.New[int32](w.G, cfg, r)
+	net, err := idPool.Get(w.G, cfg, r)
 	if err != nil {
 		return MultiResult{}, err
 	}
@@ -130,12 +132,14 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 		})
 		clearSenders(w, bc)
 	}
-	return MultiResult{
+	res := MultiResult{
 		Rounds:  round,
 		Success: done == members,
 		Done:    done + 1 + len(w.Senders),
 		Channel: net.Stats(),
-	}, nil
+	}
+	idPool.Put(net)
+	return res, nil
 }
 
 // markSenderSample sets each sender to broadcast independently with

@@ -6,7 +6,6 @@ import (
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 	"noisyradio/internal/sim"
-	"noisyradio/internal/stats"
 )
 
 // E6RLNCThroughput reproduces Lemmas 12–13: Decay and Robust FASTBC with
@@ -33,11 +32,13 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	n := top.G.N()
 	logn := float64(graph.Log2Ceil(n))
 	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
-	for _, pattern := range []broadcast.RLNCPattern{broadcast.RLNCDecay, broadcast.RLNCRobustFASTBC} {
+	patterns := []broadcast.RLNCPattern{broadcast.RLNCDecay, broadcast.RLNCRobustFASTBC}
+	sw := cfg.newSweep()
+	coded := make([][]*sim.Row, len(patterns))
+	for pi, pattern := range patterns {
+		coded[pi] = make([]*sim.Row, len(ks))
 		for i, k := range ks {
-			k := k
-			pattern := pattern
-			vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
+			coded[pi][i] = sw.Add(trials, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
 				msgs := broadcast.RandomMessages(k, 8, r)
 				res, _, err := broadcast.RLNCBroadcast(top, noisy, msgs, pattern, r, broadcast.RLNCOptions{})
 				if err != nil {
@@ -48,20 +49,13 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 				}
 				return float64(res.Rounds), nil
 			})
-			if err != nil {
-				return t, err
-			}
-			mean := stats.Mean(vals)
-			ci := stats.CI95(vals)
-			tau := float64(k) / mean
-			t.AddRow(pattern.String(), d(k), f(mean), f(ci), f(tau), f(tau*logn))
 		}
 	}
 	// Routing baseline: k sequential Decay broadcasts, Θ(1/(D log n))
 	// throughput — what coding is buying over naive routing here.
+	routing := make([]*sim.Row, len(ks))
 	for i, k := range ks {
-		k := k
-		vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
+		routing[i] = sw.Add(trials, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
 			res, err := broadcast.SequentialDecayRouting(top, noisy, k, r, broadcast.Options{})
 			if err != nil {
 				return 0, err
@@ -71,12 +65,22 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 			}
 			return float64(res.Rounds), nil
 		})
-		if err != nil {
-			return t, err
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for pi, pattern := range patterns {
+		for i, k := range ks {
+			mean := coded[pi][i].Mean()
+			ci := coded[pi][i].CI95()
+			tau := float64(k) / mean
+			t.AddRow(pattern.String(), d(k), f(mean), f(ci), f(tau), f(tau*logn))
 		}
-		mean := stats.Mean(vals)
+	}
+	for i, k := range ks {
+		mean := routing[i].Mean()
 		tau := float64(k) / mean
-		t.AddRow("sequential-decay (routing)", d(k), f(mean), f(stats.CI95(vals)), f(tau), f(tau*logn))
+		t.AddRow("sequential-decay (routing)", d(k), f(mean), f(routing[i].CI95()), f(tau), f(tau*logn))
 	}
 	t.AddNote("tau·log2(n) stabilises to a constant as k grows: throughput Θ(1/log n) up to the log log n factor of Lemma 13")
 	t.AddNote("sequential routing pays Θ(D log n) per message — the coded patterns amortise the diameter away")

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"noisyradio/internal/radio"
+	"noisyradio/internal/sim"
 )
 
 // Config controls an experiment run.
@@ -23,8 +24,13 @@ type Config struct {
 	// Trials is the Monte-Carlo repetition count per table row; 0 selects
 	// the experiment's default.
 	Trials int
-	// Workers bounds trial parallelism; 0 selects GOMAXPROCS.
+	// Workers is the size of the shared worker pool every row of a table
+	// runs on; 0 selects GOMAXPROCS.
 	Workers int
+	// RowWorkers bounds how many table rows may be in flight at once on
+	// that pool; 0 admits every row immediately. Purely a scheduling and
+	// memory knob: tables are bit-identical at every setting.
+	RowWorkers int
 	// Seed makes the whole table deterministic.
 	Seed uint64
 	// Quick shrinks sweeps and trial counts for use in tests.
@@ -33,6 +39,13 @@ type Config struct {
 	// experiment builds (radio.Auto, the zero value, picks per graph).
 	// Results are bit-identical across engines; this is a speed knob.
 	Engine radio.Engine
+}
+
+// newSweep builds the shared row/trial scheduler for one table. Every
+// runner registers all of its rows up front and then runs the sweep once,
+// so trial- and row-level parallelism share one worker pool.
+func (c Config) newSweep() *sim.Sweep {
+	return sim.NewSweep(sim.SweepConfig{Workers: c.Workers, RowWorkers: c.RowWorkers})
 }
 
 // noise builds the radio.Config for one fault environment of this run,
@@ -173,13 +186,6 @@ func IDs() []string {
 	}
 	sort.Strings(ids)
 	return ids
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // f formats a float compactly for table cells.

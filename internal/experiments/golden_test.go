@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"noisyradio/internal/radio"
+)
+
+// encodeTables renders tables exactly as `noisysim -exp all -quick -json`
+// does, so the golden file can be regenerated with the binary.
+func encodeTables(t *testing.T, tables []Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tables); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func runAll(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	tables := make([]Table, 0, len(Registry()))
+	for _, e := range Registry() {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		tables = append(tables, tbl)
+	}
+	return encodeTables(t, tables)
+}
+
+// TestGoldenTablesBitIdentical pins the entire quick suite to the output
+// of the pre-sweep-scheduler harness (testdata/golden_quick.json, produced
+// by `noisysim -exp all -quick -json -seed 1` before the row-parallel
+// refactor): every (Workers, RowWorkers, Engine) combination must
+// reproduce it byte for byte. This is the contract that parallelism and
+// streaming statistics are pure speed knobs.
+//
+// Regenerate the golden (only when a deliberate semantic change to an
+// experiment is made):
+//
+//	go run ./cmd/noisysim -exp all -quick -json -seed 1 > internal/experiments/testdata/golden_quick.json
+func TestGoldenTablesBitIdentical(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []Config{
+		{Quick: true, Seed: 1},                                                 // library defaults
+		{Quick: true, Seed: 1, Workers: 1, RowWorkers: 1},                      // fully serial
+		{Quick: true, Seed: 1, Workers: 8, RowWorkers: 2},                      // oversubscribed pool, admission-limited rows
+		{Quick: true, Seed: 1, Workers: 5, RowWorkers: 3},                      // deliberately awkward split
+		{Quick: true, Seed: 1, Workers: 8, Engine: radio.Sparse},               // forced sparse engine
+		{Quick: true, Seed: 1, Workers: 2, RowWorkers: 1, Engine: radio.Dense}, // forced dense engine
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		name := fmt.Sprintf("workers=%d,rowworkers=%d,engine=%s", cfg.Workers, cfg.RowWorkers, cfg.Engine)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := runAll(t, cfg)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("suite output diverged from the pre-refactor golden at %s (%d vs %d bytes)", name, len(got), len(want))
+			}
+		})
+	}
+}

@@ -25,12 +25,10 @@ func singleRun(run func(r *rng.Stream) (broadcast.Result, error)) func(int, *rng
 	}
 }
 
-func meanRounds(cfg Config, trials int, seed uint64, run func(r *rng.Stream) (broadcast.Result, error)) (mean, ci float64, err error) {
-	vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+seed, singleRun(run))
-	if err != nil {
-		return 0, 0, err
-	}
-	return stats.Mean(vals), stats.CI95(vals), nil
+// deferMeanRounds registers a rounds-valued broadcast row on the table's
+// sweep; read Mean/CI95 off the returned row after the sweep has run.
+func deferMeanRounds(sw *sim.Sweep, cfg Config, trials int, seed uint64, run func(r *rng.Stream) (broadcast.Result, error)) *sim.Row {
+	return sw.Add(trials, cfg.Seed+seed, singleRun(run))
 }
 
 // E1DecayFaultless reproduces Lemma 6: Decay broadcasts in
@@ -50,17 +48,27 @@ func E1DecayFaultless(cfg Config) (Table, error) {
 		lengths = []int{64, 128}
 	}
 	clean := cfg.noise(radio.Faultless, 0)
-	var ds, rounds []float64
+	sw := cfg.newSweep()
+	type rowData struct {
+		n   int
+		top graph.Topology
+		row *sim.Row
+	}
+	rows := make([]rowData, 0, len(lengths))
 	for i, n := range lengths {
 		top := graph.Path(n)
-		mean, ci, err := meanRounds(cfg, trials, uint64(100+i), func(r *rng.Stream) (broadcast.Result, error) {
+		rows = append(rows, rowData{n, top, deferMeanRounds(sw, cfg, trials, uint64(100+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.Decay(top, clean, r, broadcast.Options{})
-		})
-		if err != nil {
-			return t, err
-		}
-		diam := n - 1
-		t.AddRow(top.Name, d(n), d(diam), f(mean), f(ci), f(mean/float64(diam)), d(graph.Log2Ceil(n)))
+		})})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var ds, rounds []float64
+	for _, rd := range rows {
+		mean, ci := rd.row.Mean(), rd.row.CI95()
+		diam := rd.n - 1
+		t.AddRow(rd.top.Name, d(rd.n), d(diam), f(mean), f(ci), f(mean/float64(diam)), d(graph.Log2Ceil(rd.n)))
 		ds = append(ds, float64(diam))
 		rounds = append(rounds, mean)
 	}
@@ -86,22 +94,30 @@ func E2FASTBCFaultless(cfg Config) (Table, error) {
 		lengths = []int{64, 128}
 	}
 	clean := cfg.noise(radio.Faultless, 0)
+	sw := cfg.newSweep()
+	type rowData struct {
+		n           int
+		top         graph.Topology
+		fast, decay *sim.Row
+	}
+	rows := make([]rowData, 0, len(lengths))
 	for i, n := range lengths {
 		top := graph.Path(n)
-		fast, _, err := meanRounds(cfg, trials, uint64(200+i), func(r *rng.Stream) (broadcast.Result, error) {
+		fast := deferMeanRounds(sw, cfg, trials, uint64(200+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.FASTBC(top, clean, r, broadcast.Options{})
 		})
-		if err != nil {
-			return t, err
-		}
-		decay, _, err := meanRounds(cfg, trials, uint64(250+i), func(r *rng.Stream) (broadcast.Result, error) {
+		decay := deferMeanRounds(sw, cfg, trials, uint64(250+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.Decay(top, clean, r, broadcast.Options{})
 		})
-		if err != nil {
-			return t, err
-		}
-		diam := float64(n - 1)
-		t.AddRow(top.Name, d(n), d(n-1), f(fast), f(decay), f(fast/diam), f(decay/fast))
+		rows = append(rows, rowData{n, top, fast, decay})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for _, rd := range rows {
+		fast, decay := rd.fast.Mean(), rd.decay.Mean()
+		diam := float64(rd.n - 1)
+		t.AddRow(rd.top.Name, d(rd.n), d(rd.n-1), f(fast), f(decay), f(fast/diam), f(decay/fast))
 	}
 	t.AddNote("fastbc/D flat (~2, the even-round wave) while decay/fastbc grows ~log n: FASTBC is diameter-linear")
 	return t, nil
@@ -122,13 +138,16 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 		n = 96
 	}
 	top := graph.Path(n)
-	base, _, err := meanRounds(cfg, trials, 300, func(r *rng.Stream) (broadcast.Result, error) {
+	sw := cfg.newSweep()
+	baseRow := deferMeanRounds(sw, cfg, trials, 300, func(r *rng.Stream) (broadcast.Result, error) {
 		return broadcast.Decay(top, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
 	})
-	if err != nil {
-		return t, err
+	type rowData struct {
+		model radio.FaultModel
+		p     float64
+		row   *sim.Row
 	}
-	t.AddRow("faultless", "0", f(base), "-", "1.00", "1.00")
+	var rows []rowData
 	for _, model := range []radio.FaultModel{radio.SenderFaults, radio.ReceiverFaults} {
 		ps := []float64{0.1, 0.3, 0.5, 0.7}
 		if cfg.Quick {
@@ -136,14 +155,19 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 		}
 		for i, p := range ps {
 			ncfg := cfg.noise(model, p)
-			mean, ci, err := meanRounds(cfg, trials, uint64(310+10*int(model)+i), func(r *rng.Stream) (broadcast.Result, error) {
+			rows = append(rows, rowData{model, p, deferMeanRounds(sw, cfg, trials, uint64(310+10*int(model)+i), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
-			})
-			if err != nil {
-				return t, err
-			}
-			t.AddRow(model.String(), f(p), f(mean), f(ci), f(mean/base), f(1/(1-p)))
+			})})
 		}
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	base := baseRow.Mean()
+	t.AddRow("faultless", "0", f(base), "-", "1.00", "1.00")
+	for _, rd := range rows {
+		mean, ci := rd.row.Mean(), rd.row.CI95()
+		t.AddRow(rd.model.String(), f(rd.p), f(mean), f(ci), f(mean/base), f(1/(1-rd.p)))
 	}
 	t.AddNote("slowdown tracks 1/(1-p) for both fault models, matching Lemma 9 (n=%d path)", n)
 	return t, nil
@@ -164,19 +188,29 @@ func E4FASTBCWave(cfg Config) (Table, error) {
 	if cfg.Quick {
 		D = 128
 	}
+	sw := cfg.newSweep()
+	type rowData struct {
+		period int
+		p      float64
+		row    *sim.Row
+	}
+	var rows []rowData
 	for _, period := range []int{6, 30, 60, 120} {
 		for _, p := range []float64{0, 0.1, 0.3, 0.5} {
-			vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(400+period+int(100*p)), func(trial int, r *rng.Stream) (float64, error) {
+			row := sw.Add(trials, cfg.Seed+uint64(400+period+int(100*p)), func(trial int, r *rng.Stream) (float64, error) {
 				rounds, err := broadcast.WaveTraversalRounds(D, period, p, r)
 				return float64(rounds), err
 			})
-			if err != nil {
-				return t, err
-			}
-			mean := stats.Mean(vals)
-			want := broadcast.WaveTraversalExpectation(D, period, p)
-			t.AddRow(d(D), d(period), f(p), f(mean), f(want), f(mean/want))
+			rows = append(rows, rowData{period, p, row})
 		}
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for _, rd := range rows {
+		mean := rd.row.Mean()
+		want := broadcast.WaveTraversalExpectation(D, rd.period, rd.p)
+		t.AddRow(d(D), d(rd.period), f(rd.p), f(mean), f(want), f(mean/want))
 	}
 	t.AddNote("measured/closed-form ≈ 1 everywhere: the wave pays p/(1-p)·period per edge, i.e. a Θ(log n) factor")
 	return t, nil
@@ -217,21 +251,28 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 			return broadcast.RobustFASTBC(top, c, r, broadcast.Options{}, broadcast.RobustParams{})
 		}},
 	}
-	var det []float64
+	sw := cfg.newSweep()
+	type rowData struct {
+		name               string
+		cleanRow, noisyRow *sim.Row
+	}
+	rows := make([]rowData, 0, len(algos))
 	for i, a := range algos {
-		cleanMean, _, err := meanRounds(cfg, trials, uint64(500+2*i), func(r *rng.Stream) (broadcast.Result, error) {
+		cleanRow := deferMeanRounds(sw, cfg, trials, uint64(500+2*i), func(r *rng.Stream) (broadcast.Result, error) {
 			return a.run(top, clean, r)
 		})
-		if err != nil {
-			return t, err
-		}
-		noisyMean, _, err := meanRounds(cfg, trials, uint64(501+2*i), func(r *rng.Stream) (broadcast.Result, error) {
+		noisyRow := deferMeanRounds(sw, cfg, trials, uint64(501+2*i), func(r *rng.Stream) (broadcast.Result, error) {
 			return a.run(top, noisy, r)
 		})
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(a.name, f(cleanMean), f(noisyMean), f(noisyMean/cleanMean), f(noisyMean/diam))
+		rows = append(rows, rowData{a.name, cleanRow, noisyRow})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var det []float64
+	for _, rd := range rows {
+		cleanMean, noisyMean := rd.cleanRow.Mean(), rd.noisyRow.Mean()
+		t.AddRow(rd.name, f(cleanMean), f(noisyMean), f(noisyMean/cleanMean), f(noisyMean/diam))
 		det = append(det, noisyMean/cleanMean)
 	}
 	t.AddNote("lollipop(depth=%d, path=%d): FASTBC deteriorates %.1fx vs Robust FASTBC %.1fx — the Θ(log n) vs Θ(1) of Lemma 10 / Theorem 11",
@@ -259,14 +300,18 @@ func A1BlockSizeAblation(cfg Config) (Table, error) {
 	if cfg.Quick {
 		sizes = []int{1, 4, 8}
 	}
+	sw := cfg.newSweep()
+	rows := make([]*sim.Row, 0, len(sizes))
 	for i, s := range sizes {
-		mean, ci, err := meanRounds(cfg, trials, uint64(900+i), func(r *rng.Stream) (broadcast.Result, error) {
+		rows = append(rows, deferMeanRounds(sw, cfg, trials, uint64(900+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.RobustFASTBC(top, noisy, r, broadcast.Options{}, broadcast.RobustParams{BlockSize: s})
-		})
-		if err != nil {
-			return t, err
-		}
-		t.AddRow(d(s), f(mean), f(ci))
+		}))
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, s := range sizes {
+		t.AddRow(d(s), f(rows[i].Mean()), f(rows[i].CI95()))
 	}
 	t.AddNote("default S for this n is ~log log n = %d", graph.Log2Ceil(graph.Log2Ceil(top.G.N())+1)+1)
 	return t, nil
@@ -287,6 +332,13 @@ func A3UnknownNDecay(cfg Config) (Table, error) {
 	if cfg.Quick {
 		sizes = []int{64, 128}
 	}
+	sw := cfg.newSweep()
+	type rowData struct {
+		n              int
+		p              float64
+		known, unknown *sim.Row
+	}
+	var rows []rowData
 	for i, n := range sizes {
 		top := graph.Path(n)
 		for j, p := range []float64{0, 0.3} {
@@ -294,21 +346,22 @@ func A3UnknownNDecay(cfg Config) (Table, error) {
 			if p > 0 {
 				ncfg = cfg.noise(radio.ReceiverFaults, p)
 			}
-			known, _, err := meanRounds(cfg, trials, uint64(970+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
+			known := deferMeanRounds(sw, cfg, trials, uint64(970+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
 			})
-			if err != nil {
-				return t, err
-			}
-			unknown, _, err := meanRounds(cfg, trials, uint64(975+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
+			unknown := deferMeanRounds(sw, cfg, trials, uint64(975+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.DecayUnknownN(top, ncfg, r, broadcast.Options{})
 			})
-			if err != nil {
-				return t, err
-			}
-			logn := float64(graph.Log2Ceil(n))
-			t.AddRow(d(n), f(p), f(known), f(unknown), f(unknown/known), f(62/logn))
+			rows = append(rows, rowData{n, p, known, unknown})
 		}
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for _, rd := range rows {
+		known, unknown := rd.known.Mean(), rd.unknown.Mean()
+		logn := float64(graph.Log2Ceil(rd.n))
+		t.AddRow(d(rd.n), f(rd.p), f(known), f(unknown), f(unknown/known), f(62/logn))
 	}
 	t.AddNote("overhead stays below the 62/log n worst case because the growing sweep is cheap while informed sets are small")
 	return t, nil
@@ -335,16 +388,25 @@ func A2RepetitionAblation(cfg Config) (Table, error) {
 	logn := 10
 	loglogn := graph.Log2Ceil(logn + 1)
 	repeats := []int{1, 2, loglogn, 6, logn, 2 * logn}
+	sw := cfg.newSweep()
+	repeatRows := make([]*sim.Row, 0, len(repeats))
 	for i, c := range repeats {
-		c := c
-		vals, err := sim.Run(trials, cfg.Workers, cfg.Seed+uint64(950+i), func(trial int, r *rng.Stream) (float64, error) {
+		repeatRows = append(repeatRows, sw.Add(trials, cfg.Seed+uint64(950+i), func(trial int, r *rng.Stream) (float64, error) {
 			rounds, err := broadcast.RepetitionWaveRounds(D, period, c, p, r)
 			return float64(rounds), err
-		})
-		if err != nil {
-			return t, err
-		}
-		mean := stats.Mean(vals)
+		}))
+	}
+	// Reference: Robust FASTBC's block wave rides at ~3/(1-p) fast rounds
+	// per level and parks with probability ~p^Θ(S) — effectively O(D).
+	blockRow := sw.Add(trials, cfg.Seed+990, func(trial int, r *rng.Stream) (float64, error) {
+		rounds, err := broadcast.WaveTraversalRounds(D, 1, p, r) // per-level geometric retries, no period penalty
+		return float64(rounds), err
+	})
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, c := range repeats {
+		mean := repeatRows[i].Mean()
 		name := fmt.Sprintf("repeat x%d", c)
 		switch c {
 		case loglogn:
@@ -354,16 +416,7 @@ func A2RepetitionAblation(cfg Config) (Table, error) {
 		}
 		t.AddRow(name, f(mean), f(broadcast.RepetitionWaveExpectation(D, period, c, p)), f(mean/float64(D)))
 	}
-	// Reference: Robust FASTBC's block wave rides at ~3/(1-p) fast rounds
-	// per level and parks with probability ~p^Θ(S) — effectively O(D).
-	blockVals, err := sim.Run(trials, cfg.Workers, cfg.Seed+990, func(trial int, r *rng.Stream) (float64, error) {
-		rounds, err := broadcast.WaveTraversalRounds(D, 1, p, r) // per-level geometric retries, no period penalty
-		return float64(rounds), err
-	})
-	if err != nil {
-		return t, err
-	}
-	blockMean := stats.Mean(blockVals) * 3 // one broadcast slot every 3 fast rounds inside a block
+	blockMean := blockRow.Mean() * 3 // one broadcast slot every 3 fast rounds inside a block
 	t.AddRow("block wave (Robust FASTBC)", f(blockMean), f(3*float64(D)/(1-p)), f(blockMean/float64(D)))
 	t.AddNote("U-shape over c with minimum near log log n; only block waves stay at O(D) per the Theorem 11 design")
 	return t, nil

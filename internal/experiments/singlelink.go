@@ -27,17 +27,27 @@ func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(60, 15)
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	for i, k := range singleLinkKs(cfg.Quick) {
-		k := k
-		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1600+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
+	ks := singleLinkKs(cfg.Quick)
+	sw := cfg.newSweep()
+	repeats := make([]int, len(ks))
+	pending := make([]*throughput.Pending, len(ks))
+	for i, k := range ks {
+		repeats[i] = broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
+		reps := repeats[i]
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1600+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkNonAdaptive(k, reps, ncfg, r)
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, k := range ks {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
 		logk := float64(log2c(k))
-		t.AddRow(d(k), d(repeats), f(est.SuccessRate), f(est.Tau), f(est.Tau*logk))
+		t.AddRow(d(k), d(repeats[i]), f(est.SuccessRate), f(est.Tau), f(est.Tau*logk))
 	}
 	t.AddNote("tau decays like 1/log k while success stays ~1-1/k: the Lemma 29 trade-off")
 	return t, nil
@@ -55,22 +65,32 @@ func E17SingleLinkAdaptive(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(60, 15)
 	ncfg := cfg.noise(radio.SenderFaults, 0.5)
-	for i, k := range singleLinkKs(cfg.Quick) {
-		k := k
-		coding, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1650+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+	ks := singleLinkKs(cfg.Quick)
+	sw := cfg.newSweep()
+	coding := make([]*throughput.Pending, len(ks))
+	adaptive := make([]*throughput.Pending, len(ks))
+	for i, k := range ks {
+		coding[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1650+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
 		})
-		if err != nil {
-			return t, err
-		}
-		t.AddRow("coding (RS)", d(k), f(coding.MeanRounds), f(coding.Tau), f(1-ncfg.P))
-		adaptive, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1670+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+		adaptive[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1670+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, k := range ks {
+		codingEst, err := coding[i].Estimate()
 		if err != nil {
 			return t, err
 		}
-		t.AddRow("adaptive (ARQ)", d(k), f(adaptive.MeanRounds), f(adaptive.Tau), f(1-ncfg.P))
+		t.AddRow("coding (RS)", d(k), f(codingEst.MeanRounds), f(codingEst.Tau), f(1-ncfg.P))
+		adaptiveEst, err := adaptive[i].Estimate()
+		if err != nil {
+			return t, err
+		}
+		t.AddRow("adaptive (ARQ)", d(k), f(adaptiveEst.MeanRounds), f(adaptiveEst.Tau), f(1-ncfg.P))
 	}
 	t.AddNote("both schedules sit at tau ≈ 1-p independent of k")
 	return t, nil
@@ -87,34 +107,44 @@ func E18SingleLinkGap(cfg Config) (Table, error) {
 	}
 	trials := cfg.trials(60, 15)
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	var logs, gapsNA []float64
-	for i, k := range singleLinkKs(cfg.Quick) {
-		k := k
+	ks := singleLinkKs(cfg.Quick)
+	sw := cfg.newSweep()
+	gapNA := make([]*throughput.PendingGap, len(ks))
+	gapA := make([]*throughput.PendingGap, len(ks))
+	for i, k := range ks {
 		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
-		gapNA, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(1700+2*i),
+		gapNA[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1700+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
 			})
-		if err != nil {
-			return t, err
-		}
-		gapA, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(1750+2*i),
+		gapA[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1750+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
 			})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var logs, gapsNA []float64
+	for i, k := range ks {
+		na, err := gapNA[i].Gap()
+		if err != nil {
+			return t, err
+		}
+		a, err := gapA[i].Gap()
 		if err != nil {
 			return t, err
 		}
 		logk := float64(log2c(k))
-		t.AddRow(d(k), f(gapNA.Ratio), f(logk), f(gapA.Ratio))
+		t.AddRow(d(k), f(na.Ratio), f(logk), f(a.Ratio))
 		logs = append(logs, logk)
-		gapsNA = append(gapsNA, gapNA.Ratio)
+		gapsNA = append(gapsNA, na.Ratio)
 	}
 	if fit, err := stats.LinearFit(logs, gapsNA); err == nil {
 		t.AddNote("non-adaptive gap grows ~%.2f·log2(k) (R²=%.3f); adaptive gap flat at ~1", fit.Slope, fit.R2)

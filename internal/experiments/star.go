@@ -32,12 +32,20 @@ func E7StarRouting(cfg Config) (Table, error) {
 		k = 16
 	}
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	var logs, perMsg []float64
-	for i, leaves := range starSizes(cfg.Quick) {
-		leaves := leaves
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(700+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+	sizes := starSizes(cfg.Quick)
+	sw := cfg.newSweep()
+	pending := make([]*throughput.Pending, len(sizes))
+	for i, leaves := range sizes {
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(700+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var logs, perMsg []float64
+	for i, leaves := range sizes {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
@@ -67,11 +75,19 @@ func E8StarCoding(cfg Config) (Table, error) {
 		k = 16
 	}
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	for i, leaves := range starSizes(cfg.Quick) {
-		leaves := leaves
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(750+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+	sizes := starSizes(cfg.Quick)
+	sw := cfg.newSweep()
+	pending := make([]*throughput.Pending, len(sizes))
+	for i, leaves := range sizes {
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(750+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, leaves := range sizes {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
@@ -96,16 +112,24 @@ func E9StarGap(cfg Config) (Table, error) {
 		k = 16
 	}
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	var logs, gaps []float64
-	for i, leaves := range starSizes(cfg.Quick) {
-		leaves := leaves
-		gap, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(800+2*i),
+	sizes := starSizes(cfg.Quick)
+	sw := cfg.newSweep()
+	pending := make([]*throughput.PendingGap, len(sizes))
+	for i, leaves := range sizes {
+		pending[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(800+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
 			})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var logs, gaps []float64
+	for i, leaves := range sizes {
+		gap, err := pending[i].Gap()
 		if err != nil {
 			return t, err
 		}

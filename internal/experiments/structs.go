@@ -17,6 +17,9 @@ func F1GBST(cfg Config) (Table, error) {
 		Claim:   "Figure 1 / Lemma 7: every graph admits a GBST; rmax = O(log n)",
 		Columns: []string{"graph", "n", "D", "rmax", "fast nodes", "verified"},
 	}
+	// Topology construction consumes the shared stream sequentially (the
+	// GNP instances split it in sweep order), so it stays out of the
+	// parallel phase; only the per-graph build+verify work is swept.
 	r := rng.NewFrom(cfg.Seed+1900, 0)
 	sizes := []int{128, 512, 2048}
 	if cfg.Quick {
@@ -31,22 +34,39 @@ func F1GBST(cfg Config) (Table, error) {
 	for _, n := range sizes {
 		tops = append(tops, graph.GNP(n, 3.0/float64(n), r.Split()))
 	}
-	for _, top := range tops {
-		tree, err := gbst.Build(top.G, top.Source)
-		if err != nil {
-			return t, err
-		}
-		verified := "yes"
-		if err := tree.Verify(top.G); err != nil {
-			verified = "NO: " + err.Error()
-		}
-		fast := 0
-		for v := 0; v < top.G.N(); v++ {
-			if tree.IsFast(v) {
-				fast++
+	type rowData struct {
+		tree     *gbst.Tree
+		verified string
+		fast     int
+	}
+	rows := make([]rowData, len(tops))
+	sw := cfg.newSweep()
+	for i, top := range tops {
+		sw.Go(func() error {
+			tree, err := gbst.Build(top.G, top.Source)
+			if err != nil {
+				return err
 			}
-		}
-		t.AddRow(top.Name, d(top.G.N()), d(tree.Depth), d(tree.MaxRank), d(fast), verified)
+			verified := "yes"
+			if err := tree.Verify(top.G); err != nil {
+				verified = "NO: " + err.Error()
+			}
+			fast := 0
+			for v := 0; v < top.G.N(); v++ {
+				if tree.IsFast(v) {
+					fast++
+				}
+			}
+			rows[i] = rowData{tree: tree, verified: verified, fast: fast}
+			return nil
+		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, top := range tops {
+		rd := rows[i]
+		t.AddRow(top.Name, d(top.G.N()), d(rd.tree.Depth), d(rd.tree.MaxRank), d(rd.fast), rd.verified)
 	}
 	t.AddNote("every instance passes the full GBST verifier; rmax stays within the O(log n) envelope")
 	return t, nil
@@ -73,14 +93,37 @@ func F2WCT(cfg Config) (Table, error) {
 		Claim:   "Figure 2: source + Θ(√n) senders + Θ̃(√n) clusters of Θ̃(√n) duplicated receivers",
 		Columns: []string{"target n", "realised n", "senders", "scales", "clusters", "cluster size", "radius"},
 	}
-	for i, n := range wctSizes(cfg.Quick) {
-		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1950+i), 0))
-		scales := graph.Log2Floor(len(w.Senders))
-		size := 0
-		if len(w.Clusters) > 0 {
-			size = len(w.Clusters[0])
-		}
-		t.AddRow(d(n), d(w.G.N()), d(len(w.Senders)), d(scales), d(w.NumClusters()), d(size), d(w.G.Eccentricity(w.Source)))
+	sizes := wctSizes(cfg.Quick)
+	type rowData struct {
+		w      *graph.WCT
+		scales int
+		size   int
+		radius int
+	}
+	rows := make([]rowData, len(sizes))
+	sw := cfg.newSweep()
+	for i := range sizes {
+		sw.Go(func() error {
+			w := graph.NewWCT(graph.DefaultWCTParams(sizes[i]), rng.NewFrom(cfg.Seed+uint64(1950+i), 0))
+			size := 0
+			if len(w.Clusters) > 0 {
+				size = len(w.Clusters[0])
+			}
+			rows[i] = rowData{
+				w:      w,
+				scales: graph.Log2Floor(len(w.Senders)),
+				size:   size,
+				radius: w.G.Eccentricity(w.Source),
+			}
+			return nil
+		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, n := range sizes {
+		rd := rows[i]
+		t.AddRow(d(n), d(rd.w.G.N()), d(len(rd.w.Senders)), d(rd.scales), d(rd.w.NumClusters()), d(rd.size), d(rd.radius))
 	}
 	t.AddNote("senders ~ √n, clusters ~ √n split over log √n degree scales, all at distance 2 from the source")
 	return t, nil

@@ -25,33 +25,44 @@ func E14SenderTransformRouting(cfg Config) (Table, error) {
 	if cfg.Quick {
 		pathLen, k = 6, 1500
 	}
-	base, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+1400, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.PathPipelineRouting(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
-	})
-	if err != nil {
-		return t, err
-	}
-	t.AddRow("pipeline (faultless)", "0", f(base.Tau), "1.00", "1.00")
 	ps := []float64{0.2, 0.4, 0.6}
 	if cfg.Quick {
 		ps = []float64{0.4}
 	}
+	sw := cfg.newSweep()
+	basePending := throughput.Defer(sw, k, trials, cfg.Seed+1400, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.PathPipelineRouting(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
+	})
+	adaptive := make([]*throughput.Pending, len(ps))
+	meta := make([]*throughput.Pending, len(ps))
 	for i, p := range ps {
 		ncfg := cfg.noise(radio.SenderFaults, p)
-		adaptive, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1410+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+		adaptive[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1410+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.PathPipelineRouting(pathLen, k, ncfg, r, broadcast.Options{})
 		})
-		if err != nil {
-			return t, err
-		}
-		t.AddRow("adaptive pipeline", f(p), f(adaptive.Tau), f(adaptive.Tau/base.Tau), f(1-p))
-		meta, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1420+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+		meta[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1420+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.TransformedPathRouting(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	base, err := basePending.Estimate()
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("pipeline (faultless)", "0", f(base.Tau), "1.00", "1.00")
+	for i, p := range ps {
+		adaptiveEst, err := adaptive[i].Estimate()
 		if err != nil {
 			return t, err
 		}
-		t.AddRow("meta-round transform", f(p), f(meta.Tau), f(meta.Tau/base.Tau), f(1-p))
+		t.AddRow("adaptive pipeline", f(p), f(adaptiveEst.Tau), f(adaptiveEst.Tau/base.Tau), f(1-p))
+		metaEst, err := meta[i].Estimate()
+		if err != nil {
+			return t, err
+		}
+		t.AddRow("meta-round transform", f(p), f(metaEst.Tau), f(metaEst.Tau/base.Tau), f(1-p))
 	}
 	t.AddNote("adaptive pipeline tracks (1-p); the meta-round transform tracks (1-p)/(1+η) with η=0.25 plus batch padding, exactly the lemma's overhead (path=%d, k=%d)", pathLen, k)
 	return t, nil
@@ -81,17 +92,27 @@ func E19PipelinedBatchRouting(cfg Config) (Table, error) {
 	if cfg.Quick {
 		sweeps = []workload{{depth: 4, width: 4}, {depth: 6, width: 8}}
 	}
+	sw := cfg.newSweep()
+	tops := make([]graph.Topology, len(sweeps))
+	pending := make([]*throughput.Pending, len(sweeps))
 	for i, wl := range sweeps {
 		top := pipelineTopology(wl.depth, wl.width)
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1800+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+		tops[i] = top
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1800+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.PipelinedBatchRouting(top, k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i, wl := range sweeps {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
-		logn := float64(log2c(top.G.N()))
+		logn := float64(log2c(tops[i].G.N()))
 		perMsg := est.MeanRounds / float64(k)
-		t.AddRow(top.Name, d(top.G.N()), d(wl.depth), d(k), f(perMsg), f(logn*logn), f(perMsg/(logn*logn)))
+		t.AddRow(tops[i].Name, d(tops[i].G.N()), d(wl.depth), d(k), f(perMsg), f(logn*logn), f(perMsg/(logn*logn)))
 	}
 	t.AddNote("normalised per-message cost is size-stable: the O((k+D)·log²n) pipelining of Lemma 21 holds on every swept shape")
 	return t, nil
@@ -116,28 +137,40 @@ func E15SenderTransformCoding(cfg Config) (Table, error) {
 	if cfg.Quick {
 		pathLen, k = 6, 1500
 	}
-	base, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+1500, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.TransformedPathCoding(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.TransformParams{}, broadcast.Options{})
-	})
-	if err != nil {
-		return t, err
-	}
-	t.AddRow("RS meta-rounds", "faultless", "0", f(base.Tau), "1.00", "1.00")
 	models := []radio.FaultModel{radio.SenderFaults, radio.ReceiverFaults}
 	ps := []float64{0.2, 0.4, 0.6}
 	if cfg.Quick {
 		ps = []float64{0.4}
 	}
+	sw := cfg.newSweep()
+	basePending := throughput.Defer(sw, k, trials, cfg.Seed+1500, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.TransformedPathCoding(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.TransformParams{}, broadcast.Options{})
+	})
+	pending := make([][]*throughput.Pending, len(models))
 	for mi, model := range models {
+		pending[mi] = make([]*throughput.Pending, len(ps))
 		for i, p := range ps {
 			ncfg := cfg.noise(model, p)
-			meta, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1510+10*mi+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+			pending[mi][i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1510+10*mi+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.TransformedPathCoding(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
 			})
+		}
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	base, err := basePending.Estimate()
+	if err != nil {
+		return t, err
+	}
+	t.AddRow("RS meta-rounds", "faultless", "0", f(base.Tau), "1.00", "1.00")
+	for mi, model := range models {
+		for i, p := range ps {
+			metaEst, err := pending[mi][i].Estimate()
 			if err != nil {
 				return t, err
 			}
-			t.AddRow("RS meta-rounds", model.String(), f(p), f(meta.Tau), f(meta.Tau/base.Tau), f(1-p))
+			t.AddRow("RS meta-rounds", model.String(), f(p), f(metaEst.Tau), f(metaEst.Tau/base.Tau), f(1-p))
 		}
 	}
 	t.AddNote("the coding transform needs no feedback and handles both fault models, as Lemma 26 states")

@@ -30,30 +30,47 @@ func E10WCTCollisionFree(cfg Config) (Table, error) {
 		Columns: []string{"n(wct)", "senders", "clusters", "best fraction", "1/scales", "ratio"},
 	}
 	samples := cfg.trials(50, 10)
-	for i, n := range wctSizes(cfg.Quick) {
-		r := rng.NewFrom(cfg.Seed+uint64(1000+i), 0)
-		w := graph.NewWCT(graph.DefaultWCTParams(n), r)
-		scales := graph.Log2Floor(len(w.Senders))
-		best := 0.0
-		for j := 0; j <= scales; j++ {
-			p := math.Pow(2, -float64(j))
-			frac := 0.0
-			for s := 0; s < samples; s++ {
-				var active []int
-				for _, snd := range w.Senders {
-					if r.Bool(p) {
-						active = append(active, int(snd))
+	sizes := wctSizes(cfg.Quick)
+	sw := cfg.newSweep()
+	type rowData struct {
+		w      *graph.WCT
+		scales int
+		best   float64
+	}
+	rows := make([]rowData, len(sizes))
+	for i, n := range sizes {
+		sw.Go(func() error {
+			r := rng.NewFrom(cfg.Seed+uint64(1000+i), 0)
+			w := graph.NewWCT(graph.DefaultWCTParams(n), r)
+			scales := graph.Log2Floor(len(w.Senders))
+			best := 0.0
+			for j := 0; j <= scales; j++ {
+				p := math.Pow(2, -float64(j))
+				frac := 0.0
+				for s := 0; s < samples; s++ {
+					var active []int
+					for _, snd := range w.Senders {
+						if r.Bool(p) {
+							active = append(active, int(snd))
+						}
 					}
+					frac += float64(w.CollisionFreeClusters(active)) / float64(w.NumClusters())
 				}
-				frac += float64(w.CollisionFreeClusters(active)) / float64(w.NumClusters())
+				frac /= float64(samples)
+				if frac > best {
+					best = frac
+				}
 			}
-			frac /= float64(samples)
-			if frac > best {
-				best = frac
-			}
-		}
-		ideal := 1.0 / float64(scales)
-		t.AddRow(d(w.G.N()), d(len(w.Senders)), d(w.NumClusters()), f(best), f(ideal), f(best/ideal))
+			rows[i] = rowData{w: w, scales: scales, best: best}
+			return nil
+		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for _, rd := range rows {
+		ideal := 1.0 / float64(rd.scales)
+		t.AddRow(d(rd.w.G.N()), d(len(rd.w.Senders)), d(rd.w.NumClusters()), f(rd.best), f(ideal), f(rd.best/ideal))
 	}
 	t.AddNote("best achievable fraction stays within a small constant of 1/scales = Θ(1/log n)")
 	return t, nil
@@ -71,17 +88,32 @@ func E11WCTRouting(cfg Config) (Table, error) {
 	trials := cfg.trials(6, 2)
 	k := 8
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	for i, n := range wctSizes(cfg.Quick) {
-		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1100+i), 0))
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1150+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+	sizes := wctSizes(cfg.Quick)
+	// Topologies are built once up front (milliseconds, independent rng
+	// per size) and shared read-only by every trial of their row.
+	ws := make([]*graph.WCT, len(sizes))
+	for i, n := range sizes {
+		ws[i] = graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1100+i), 0))
+	}
+	sw := cfg.newSweep()
+	pending := make([]*throughput.Pending, len(sizes))
+	for i := range sizes {
+		w := ws[i]
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1150+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i := range sizes {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
-		logn := float64(graph.Log2Ceil(w.G.N()))
+		logn := float64(graph.Log2Ceil(ws[i].G.N()))
 		perMsg := est.MeanRounds / float64(k)
-		t.AddRow(d(w.G.N()), d(k), f(perMsg), f(logn*logn), f(perMsg/(logn*logn)))
+		t.AddRow(d(ws[i].G.N()), d(k), f(perMsg), f(logn*logn), f(perMsg/(logn*logn)))
 	}
 	t.AddNote("per-message cost tracks log²n: one log from the Lemma 18 ceiling, one from the per-cluster star (Lemma 15)")
 	return t, nil
@@ -102,17 +134,30 @@ func E12WCTCoding(cfg Config) (Table, error) {
 		k = 8
 	}
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	for i, n := range wctSizes(cfg.Quick) {
-		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1200+i), 0))
-		est, err := throughput.Measure(k, trials, cfg.Workers, cfg.Seed+uint64(1250+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
+	sizes := wctSizes(cfg.Quick)
+	ws := make([]*graph.WCT, len(sizes))
+	for i, n := range sizes {
+		ws[i] = graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1200+i), 0))
+	}
+	sw := cfg.newSweep()
+	pending := make([]*throughput.Pending, len(sizes))
+	for i := range sizes {
+		w := ws[i]
+		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1250+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
 			return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
 		})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	for i := range sizes {
+		est, err := pending[i].Estimate()
 		if err != nil {
 			return t, err
 		}
-		logn := float64(graph.Log2Ceil(w.G.N()))
+		logn := float64(graph.Log2Ceil(ws[i].G.N()))
 		perMsg := est.MeanRounds / float64(k)
-		t.AddRow(d(w.G.N()), d(k), f(perMsg), f(logn), f(perMsg/logn))
+		t.AddRow(d(ws[i].G.N()), d(k), f(perMsg), f(logn), f(perMsg/logn))
 	}
 	t.AddNote("per-message cost tracks a single log n: each cluster needs only k receptions total (MDS), not k·log n")
 	return t, nil
@@ -136,21 +181,34 @@ func E13WorstCaseGap(cfg Config) (Table, error) {
 		k = 8
 	}
 	ncfg := cfg.noise(radio.ReceiverFaults, 0.5)
-	var logs, gaps []float64
-	for i, n := range wctSizes(cfg.Quick) {
-		w := graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1300+i), 0))
-		gap, err := throughput.MeasureGap(k, trials, cfg.Workers, cfg.Seed+uint64(1350+2*i),
+	sizes := wctSizes(cfg.Quick)
+	ws := make([]*graph.WCT, len(sizes))
+	for i, n := range sizes {
+		ws[i] = graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(cfg.Seed+uint64(1300+i), 0))
+	}
+	sw := cfg.newSweep()
+	pending := make([]*throughput.PendingGap, len(sizes))
+	for i := range sizes {
+		w := ws[i]
+		pending[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1350+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
 			})
+	}
+	if err := sw.Run(); err != nil {
+		return t, err
+	}
+	var logs, gaps []float64
+	for i := range sizes {
+		gap, err := pending[i].Gap()
 		if err != nil {
 			return t, err
 		}
-		logn := float64(graph.Log2Ceil(w.G.N()))
-		t.AddRow(d(w.G.N()), f(gap.Routing.Tau), f(gap.Coding.Tau), f(gap.Ratio), f(logn), f(gap.Ratio/logn))
+		logn := float64(graph.Log2Ceil(ws[i].G.N()))
+		t.AddRow(d(ws[i].G.N()), f(gap.Routing.Tau), f(gap.Coding.Tau), f(gap.Ratio), f(logn), f(gap.Ratio/logn))
 		logs = append(logs, logn)
 		gaps = append(gaps, gap.Ratio)
 	}

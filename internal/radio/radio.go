@@ -274,6 +274,34 @@ func MustNew[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) *Network[P] {
 	return n
 }
 
+// Reset returns the network to its just-constructed state over the same
+// graph, configuration and engine, with rnd as its randomness stream: round
+// and channel statistics are zeroed, the trace callback is removed, and
+// the per-round scratch is cleared. A Reset network behaves exactly like a
+// fresh New one — this is what lets a worker reuse one Network's adjacency
+// scratch and fault buffers across many Monte-Carlo trials instead of
+// reallocating them (see Pool).
+func (n *Network[P]) Reset(rnd *rng.Stream) {
+	n.rnd = rnd
+	n.stats = Stats{}
+	n.trace = nil
+	n.traceTx = n.traceTx[:0]
+	n.traceRx = n.traceRx[:0]
+	// Step maintains the scratch clean between rounds; clear it anyway so
+	// a network abandoned in an unexpected state cannot leak into the next
+	// trial.
+	for _, u := range n.touched {
+		n.txCount[u] = 0
+	}
+	n.touched = n.touched[:0]
+	if n.tx != nil {
+		n.tx.Reset()
+	}
+	for v := range n.senderNoise {
+		n.senderNoise[v] = false
+	}
+}
+
 // Graph returns the underlying graph.
 func (n *Network[P]) Graph() *graph.Graph { return n.g }
 

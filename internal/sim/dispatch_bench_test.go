@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"noisyradio/internal/rng"
+)
+
+// cheapTrial is the worst case for dispatch overhead: the trial body is a
+// few nanoseconds, so any per-trial scheduling cost dominates.
+func cheapTrial(trial int, r *rng.Stream) (float64, error) {
+	return float64(trial&1) + r.Float64()*0, nil
+}
+
+// runUnbuffered is the pre-chunking dispatcher (one unbuffered channel
+// send per trial), kept here as the benchmark baseline so the win from
+// chunked atomic dispatch stays measurable in `go test -bench Dispatch`.
+func runUnbuffered(trials, workers int, seed uint64, fn TrialFunc) []float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	results := make([]float64, trials)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range next {
+				v, _ := fn(trial, rng.NewFrom(seed, uint64(trial)))
+				results[trial] = v
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// BenchmarkDispatchChunked measures Run's per-trial cost for a
+// sub-microsecond trial function: chunked atomic dispatch should push the
+// scheduling overhead to a few nanoseconds per trial.
+func BenchmarkDispatchChunked(b *testing.B) {
+	const trials = 1 << 14
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(trials, 0, 1, cheapTrial); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/trials, "ns/trial")
+}
+
+// BenchmarkDispatchUnbuffered is the old per-trial channel handoff on the
+// same workload — the baseline the chunked dispatcher replaces.
+func BenchmarkDispatchUnbuffered(b *testing.B) {
+	const trials = 1 << 14
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		runUnbuffered(trials, 0, 1, cheapTrial)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/trials, "ns/trial")
+}
+
+// BenchmarkSweepQuickTableShape mimics a quick experiment table: many rows
+// with tiny trial counts on one shared pool — the row-parallel case the
+// sweep exists for.
+func BenchmarkSweepQuickTableShape(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sw := NewSweep(SweepConfig{})
+		for row := 0; row < 24; row++ {
+			sw.Add(4, uint64(row), variableTrial)
+		}
+		if err := sw.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -4,21 +4,83 @@
 // rng.Stream derived from (seed, trial index), so results are identical at
 // any worker count — parallelism changes wall-clock time only, never
 // output. This is the concurrency backbone of the experiment harness.
+//
+// Two entry points are provided. Run executes one batch of trials and
+// buffers every value. Sweep schedules many batches ("rows" of an
+// experiment table) on one shared worker pool with streaming, chunk-ordered
+// statistics — the row-parallel path the experiment harness uses so that
+// rows with tiny trial counts still saturate the machine.
 package sim
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"noisyradio/internal/rng"
 )
 
+// TrialFunc is one Monte-Carlo trial: a pure function of the trial index
+// and its private randomness stream.
+type TrialFunc func(trial int, r *rng.Stream) (float64, error)
+
+// totalTrials counts trials executed process-wide, for the benchmark
+// harness (see TotalTrials).
+var totalTrials atomic.Int64
+
+// TotalTrials returns the number of Monte-Carlo trials executed by this
+// process so far, across Run and Sweep. It only ever grows; benchmark
+// harnesses read it before and after a suite to derive per-trial costs.
+func TotalTrials() int64 { return totalTrials.Load() }
+
+// dispatchChunk picks how many trials a worker claims per handoff: large
+// enough that the atomic-counter dispatch cost vanishes for cheap trial
+// functions, small enough that the tail stays balanced across workers.
+func dispatchChunk(trials, workers int) int {
+	c := trials / (workers * 8)
+	if c < 1 {
+		return 1
+	}
+	if c > 1024 {
+		return 1024
+	}
+	return c
+}
+
+// trialError records the failure of the lowest-indexed failing trial, so
+// the reported error is deterministic at every worker count.
+type trialError struct {
+	mu    sync.Mutex
+	trial int
+	err   error
+}
+
+func (e *trialError) record(trial int, err error) {
+	e.mu.Lock()
+	if e.err == nil || trial < e.trial {
+		e.trial, e.err = trial, err
+	}
+	e.mu.Unlock()
+}
+
+func (e *trialError) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		return nil
+	}
+	return fmt.Errorf("sim: trial %d: %w", e.trial, e.err)
+}
+
 // Run executes fn for trial indices 0..trials-1 across workers goroutines
 // and returns the per-trial values in trial order. A workers value <= 0
-// selects GOMAXPROCS. The first error encountered is returned (all started
-// trials still run to completion; no goroutines leak).
-func Run(trials, workers int, seed uint64, fn func(trial int, r *rng.Stream) (float64, error)) ([]float64, error) {
+// selects GOMAXPROCS. Workers claim trials in chunks off an atomic counter
+// (no per-trial channel handoff), so dispatch overhead is negligible even
+// for sub-microsecond trial functions. The lowest-indexed failing trial's
+// error is returned (all trials still run to completion; no goroutines
+// leak).
+func Run(trials, workers int, seed uint64, fn TrialFunc) ([]float64, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("sim: trials = %d, need > 0", trials)
 	}
@@ -34,36 +96,41 @@ func Run(trials, workers int, seed uint64, fn func(trial int, r *rng.Stream) (fl
 
 	results := make([]float64, trials)
 	var (
-		mu       sync.Mutex
-		firstErr error
+		firstErr trialError
+		next     atomic.Int64
 	)
-	next := make(chan int)
+	chunk := int64(dispatchChunk(trials, workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for trial := range next {
-				v, err := fn(trial, rng.NewFrom(seed, uint64(trial)))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("sim: trial %d: %w", trial, err)
-					}
-					mu.Unlock()
-					continue
+			for {
+				start := next.Add(chunk) - chunk
+				if start >= int64(trials) {
+					return
 				}
-				results[trial] = v
+				end := start + chunk
+				if end > int64(trials) {
+					end = int64(trials)
+				}
+				for trial := int(start); trial < int(end); trial++ {
+					v, err := fn(trial, rng.NewFrom(seed, uint64(trial)))
+					if err != nil {
+						firstErr.record(trial, err)
+						continue
+					}
+					results[trial] = v
+				}
+				// One shared-counter touch per chunk, not per trial — the
+				// same contention argument as the chunked dispatch itself.
+				totalTrials.Add(end - start)
 			}
 		}()
 	}
-	for t := 0; t < trials; t++ {
-		next <- t
-	}
-	close(next)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := firstErr.get(); err != nil {
+		return nil, err
 	}
 	return results, nil
 }

@@ -1,0 +1,298 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"noisyradio/internal/rng"
+	"noisyradio/internal/stats"
+)
+
+// SweepConfig tunes a Sweep. The zero value selects sensible defaults.
+type SweepConfig struct {
+	// Workers is the size of the shared worker pool; <= 0 selects
+	// GOMAXPROCS. Every row's trials run on this one pool.
+	Workers int
+	// RowWorkers bounds how many rows may be in flight at once; <= 0
+	// admits every row immediately. Lower values bound the live scratch
+	// memory (each in-flight row keeps its own networks and chunk buffers
+	// warm); the output is identical at every setting.
+	RowWorkers int
+	// ChunkSize overrides the trials-per-handoff chunking; <= 0 picks
+	// automatically from the row's trial count and the pool size.
+	ChunkSize int
+}
+
+// Sweep schedules the Monte-Carlo rows of one experiment table on a single
+// shared worker pool. Usage is two-phase: register every row with Add (or
+// Go for coarse row-level tasks), call Run once, then read each Row's
+// accumulator and error.
+//
+// Rows are independent: each trial draws its rng.Stream from the row's
+// (seed, trial index) pair, and each row's values are folded into its
+// stats.Accumulator in strict trial order (workers hand completed chunks
+// to an in-order folder), so every statistic — including the running-sum
+// mean and the order-sensitive P² quantiles — is bit-identical at every
+// Workers/RowWorkers/ChunkSize setting. Memory per row is O(chunk size ×
+// (workers + maxPendingChunks)), independent of the trial count: the
+// folder's out-of-order backlog is capped, so even a pathologically slow
+// early chunk cannot make a million-trial row buffer its values.
+type Sweep struct {
+	cfg  SweepConfig
+	rows []*Row
+	ran  bool
+}
+
+// NewSweep returns an empty sweep with the given configuration.
+func NewSweep(cfg SweepConfig) *Sweep {
+	return &Sweep{cfg: cfg}
+}
+
+// Row is one registered unit of sweep work: either a batch of trials
+// feeding an accumulator, or a coarse task. Its accessors are valid only
+// after the owning Sweep.Run returns.
+type Row struct {
+	sweep  *Sweep
+	trials int
+	seed   uint64
+	fn     TrialFunc
+	task   func() error
+
+	chunk   int // trials per work unit
+	nchunks int
+
+	mu      sync.Mutex
+	cond    sync.Cond // signalled when next advances; bounds the pending backlog
+	acc     stats.Accumulator
+	next    int // next chunk index to fold, guarded by mu
+	pending map[int][]float64
+	done    chan struct{}
+
+	err     trialError
+	taskErr error // error of a Go task row, reported unwrapped
+}
+
+// Add registers a row of trials. fn runs once per trial index in
+// [0, trials) with a deterministic per-(seed, trial) stream, exactly like
+// Run. It panics on invalid arguments (a programming error in the caller,
+// not a data condition).
+func (s *Sweep) Add(trials int, seed uint64, fn TrialFunc) *Row {
+	if trials <= 0 {
+		panic(fmt.Sprintf("sim: Sweep.Add trials = %d, need > 0", trials))
+	}
+	if fn == nil {
+		panic("sim: Sweep.Add nil trial function")
+	}
+	if s.ran {
+		panic("sim: Sweep.Add after Run")
+	}
+	row := &Row{sweep: s, trials: trials, seed: seed, fn: fn}
+	s.rows = append(s.rows, row)
+	return row
+}
+
+// Go registers a coarse row-level task: one function executed once on the
+// shared pool, for table rows that are not Monte-Carlo shaped (structural
+// constructions, inline sampling loops). The task must confine its side
+// effects to its own captures; tasks from different rows run concurrently.
+func (s *Sweep) Go(task func() error) *Row {
+	if task == nil {
+		panic("sim: Sweep.Go nil task")
+	}
+	if s.ran {
+		panic("sim: Sweep.Go after Run")
+	}
+	row := &Row{sweep: s, task: task}
+	s.rows = append(s.rows, row)
+	return row
+}
+
+// chunkTask is one unit of pool work: a contiguous slice of a row's trials
+// (or the row's whole coarse task when the row was registered with Go).
+type chunkTask struct {
+	row        *Row
+	idx        int // chunk index within the row, for in-order folding
+	start, end int // trial range [start, end)
+}
+
+// Run executes every registered row on the shared pool and returns the
+// first error in row-registration order (every row still runs to
+// completion). It must be called exactly once.
+func (s *Sweep) Run() error {
+	if s.ran {
+		return fmt.Errorf("sim: Sweep.Run called twice")
+	}
+	s.ran = true
+	if len(s.rows) == 0 {
+		return nil
+	}
+	workers := s.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rowWorkers := s.cfg.RowWorkers
+	if rowWorkers <= 0 || rowWorkers > len(s.rows) {
+		rowWorkers = len(s.rows)
+	}
+
+	for _, row := range s.rows {
+		row.pending = make(map[int][]float64)
+		row.done = make(chan struct{})
+		row.cond.L = &row.mu
+		if row.task != nil {
+			row.chunk, row.nchunks = 1, 1
+			continue
+		}
+		row.chunk = s.cfg.ChunkSize
+		if row.chunk <= 0 {
+			row.chunk = dispatchChunk(row.trials, workers)
+		}
+		row.nchunks = (row.trials + row.chunk - 1) / row.chunk
+	}
+
+	work := make(chan chunkTask)
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for t := range work {
+				t.row.runChunk(t)
+			}
+		}()
+	}
+
+	// Admit rows in registration order, at most rowWorkers in flight. The
+	// admission goroutine of a row streams its chunks into the shared work
+	// channel and holds the row's slot until the row is fully folded.
+	sem := make(chan struct{}, rowWorkers)
+	var admitted sync.WaitGroup
+	for _, row := range s.rows {
+		sem <- struct{}{}
+		admitted.Add(1)
+		go func(row *Row) {
+			defer admitted.Done()
+			for idx := 0; idx < row.nchunks; idx++ {
+				start := idx * row.chunk
+				end := start + row.chunk
+				if end > row.trials {
+					end = row.trials
+				}
+				work <- chunkTask{row: row, idx: idx, start: start, end: end}
+			}
+			<-row.done
+			<-sem
+		}(row)
+	}
+	admitted.Wait()
+	close(work)
+	pool.Wait()
+
+	for _, row := range s.rows {
+		if err := row.errOut(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errOut returns the row's error: the lowest-trial failure for trial rows,
+// the task's own error (unwrapped) for Go rows.
+func (row *Row) errOut() error {
+	if row.task != nil {
+		return row.taskErr
+	}
+	return row.err.get()
+}
+
+// runChunk executes one work unit on a pool worker.
+func (row *Row) runChunk(t chunkTask) {
+	if row.task != nil {
+		if err := row.task(); err != nil {
+			row.taskErr = err
+		}
+		row.fold(0, nil)
+		return
+	}
+	vals := make([]float64, 0, t.end-t.start)
+	for trial := t.start; trial < t.end; trial++ {
+		v, err := row.fn(trial, rng.NewFrom(row.seed, uint64(trial)))
+		if err != nil {
+			row.err.record(trial, err)
+			v = 0
+		}
+		vals = append(vals, v)
+	}
+	totalTrials.Add(int64(t.end - t.start)) // one counter touch per chunk
+	row.fold(t.idx, vals)
+}
+
+// maxPendingChunks bounds the out-of-order backlog a row may buffer while
+// one slow early chunk holds up in-order folding, keeping the row's
+// memory O(maxPendingChunks × chunk size) even for heavy-tailed trial
+// costs. Workers holding a later chunk wait; the worker executing the
+// in-order chunk never does (chunks are dispatched in index order, so the
+// in-order chunk is always already running), which rules out deadlock.
+const maxPendingChunks = 32
+
+// fold hands a completed chunk to the row's in-order folder: chunks are
+// buffered until every earlier chunk has arrived, then folded into the
+// accumulator in trial order. This is what keeps streaming statistics
+// bit-identical at every worker count.
+func (row *Row) fold(idx int, vals []float64) {
+	row.mu.Lock()
+	for idx > row.next && len(row.pending) >= maxPendingChunks {
+		row.cond.Wait()
+	}
+	row.pending[idx] = vals
+	advanced := false
+	for {
+		v, ok := row.pending[row.next]
+		if !ok {
+			break
+		}
+		delete(row.pending, row.next)
+		for _, x := range v {
+			row.acc.Add(x)
+		}
+		row.next++
+		advanced = true
+	}
+	complete := row.next == row.nchunks
+	if advanced {
+		row.cond.Broadcast()
+	}
+	row.mu.Unlock()
+	if complete {
+		close(row.done)
+	}
+}
+
+// ready panics unless the owning sweep has run; reading a Row before
+// Sweep.Run is a phase error in the caller.
+func (row *Row) ready() {
+	if !row.sweep.ran {
+		panic("sim: Row read before Sweep.Run")
+	}
+}
+
+// Acc returns the row's accumulator. Valid after Sweep.Run.
+func (row *Row) Acc() *stats.Accumulator {
+	row.ready()
+	return &row.acc
+}
+
+// Err returns the row's first (lowest trial index) error, or nil. Valid
+// after Sweep.Run.
+func (row *Row) Err() error {
+	row.ready()
+	return row.errOut()
+}
+
+// Mean returns the row's mean value — identical to stats.Mean over the
+// row's values in trial order. Valid after Sweep.Run.
+func (row *Row) Mean() float64 { return row.Acc().Mean() }
+
+// CI95 returns the row's 95% confidence half-width. Valid after Sweep.Run.
+func (row *Row) CI95() float64 { return row.Acc().CI95() }

@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"noisyradio/internal/rng"
+	"noisyradio/internal/stats"
+)
+
+// sweepShape is the scheduling matrix the determinism tests sweep: the
+// contract is identical output at every point.
+var sweepShapes = []SweepConfig{
+	{Workers: 1, RowWorkers: 1},
+	{Workers: 1, RowWorkers: 1, ChunkSize: 1},
+	{Workers: 4, RowWorkers: 1},
+	{Workers: 4, RowWorkers: 2, ChunkSize: 3},
+	{Workers: 16, RowWorkers: 0, ChunkSize: 1},
+	{Workers: 16, RowWorkers: 3, ChunkSize: 7},
+	{Workers: 0, RowWorkers: 0},
+}
+
+func sweepRowStats(t *testing.T, cfg SweepConfig, rows, trials int) [][6]float64 {
+	t.Helper()
+	sw := NewSweep(cfg)
+	handles := make([]*Row, rows)
+	for i := 0; i < rows; i++ {
+		handles[i] = sw.Add(trials+i*7, uint64(100+i), variableTrial)
+	}
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out := make([][6]float64, rows)
+	for i, row := range handles {
+		acc := row.Acc()
+		out[i] = [6]float64{acc.Mean(), acc.CI95(), acc.Min(), acc.Max(), acc.Median(), acc.P90()}
+	}
+	return out
+}
+
+// TestSweepDeterministicAcrossSchedules is the core sweep contract: every
+// statistic of every row — including the order-sensitive P² quantiles —
+// is bit-identical at every Workers/RowWorkers/ChunkSize combination.
+func TestSweepDeterministicAcrossSchedules(t *testing.T) {
+	const rows, trials = 5, 60
+	want := sweepRowStats(t, sweepShapes[0], rows, trials)
+	for _, cfg := range sweepShapes[1:] {
+		got := sweepRowStats(t, cfg, rows, trials)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%+v: row %d stats = %v, want %v (serial values)", cfg, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSweepMatchesRun pins the sweep's streaming statistics to the buffered
+// Run path: same trial values, same insertion-order mean.
+func TestSweepMatchesRun(t *testing.T) {
+	const trials = 123
+	vals, err := Run(trials, 4, 42, variableTrial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := NewSweep(SweepConfig{Workers: 8, ChunkSize: 5})
+	row := sw.Add(trials, 42, variableTrial)
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := row.Acc().N(), trials; got != want {
+		t.Fatalf("N = %d, want %d", got, want)
+	}
+	if got, want := row.Mean(), stats.Mean(vals); got != want {
+		t.Fatalf("Mean = %v, want %v (bitwise)", got, want)
+	}
+	if got, want := row.CI95(), stats.CI95(vals); !closeEnough(got, want) {
+		t.Fatalf("CI95 = %v, want ~%v", got, want)
+	}
+}
+
+func closeEnough(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := b
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= 1e-9*(1+scale)
+}
+
+// TestSweepErrorIsLowestTrialOfEarliestRow: errors surface
+// deterministically — first failing row in registration order, lowest
+// failing trial within it — at every schedule.
+func TestSweepErrorDeterministic(t *testing.T) {
+	for _, cfg := range sweepShapes {
+		sw := NewSweep(cfg)
+		sw.Add(40, 1, func(trial int, r *rng.Stream) (float64, error) { return 1, nil })
+		sw.Add(40, 2, func(trial int, r *rng.Stream) (float64, error) {
+			if trial == 11 || trial == 31 {
+				return 0, errors.New("boom")
+			}
+			return 1, nil
+		})
+		err := sw.Run()
+		if err == nil {
+			t.Fatalf("%+v: error swallowed", cfg)
+		}
+		if !strings.Contains(err.Error(), "trial 11") {
+			t.Fatalf("%+v: err = %v, want lowest failing trial 11", cfg, err)
+		}
+	}
+}
+
+// TestSweepRowErr: per-row error accessors isolate the failing row.
+func TestSweepRowErr(t *testing.T) {
+	sw := NewSweep(SweepConfig{Workers: 4})
+	good := sw.Add(10, 1, func(trial int, r *rng.Stream) (float64, error) { return 2, nil })
+	bad := sw.Add(10, 2, func(trial int, r *rng.Stream) (float64, error) { return 0, fmt.Errorf("always") })
+	if err := sw.Run(); err == nil {
+		t.Fatal("expected error")
+	}
+	if err := good.Err(); err != nil {
+		t.Fatalf("good row err = %v", err)
+	}
+	if err := bad.Err(); err == nil {
+		t.Fatal("bad row err = nil")
+	}
+	if got := good.Mean(); got != 2 {
+		t.Fatalf("good row mean = %v", got)
+	}
+}
+
+// TestSweepAllTrialsExecuteDespiteError mirrors the Run guarantee.
+func TestSweepAllTrialsExecuteDespiteError(t *testing.T) {
+	var count int64
+	sw := NewSweep(SweepConfig{Workers: 4, ChunkSize: 3})
+	sw.Add(40, 1, func(trial int, r *rng.Stream) (float64, error) {
+		atomic.AddInt64(&count, 1)
+		if trial == 0 {
+			return 0, errors.New("early failure")
+		}
+		return 0, nil
+	})
+	if err := sw.Run(); err == nil {
+		t.Fatal("expected error")
+	}
+	if got := atomic.LoadInt64(&count); got != 40 {
+		t.Fatalf("executed %d trials, want 40", got)
+	}
+}
+
+// TestSweepGoTasks: coarse tasks run once each, in parallel, with errors
+// propagated in registration order.
+func TestSweepGoTasks(t *testing.T) {
+	sw := NewSweep(SweepConfig{Workers: 4, RowWorkers: 2})
+	results := make([]int, 6)
+	for i := 0; i < 6; i++ {
+		sw.Go(func() error {
+			results[i] = i * i
+			return nil
+		})
+	}
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*i {
+			t.Fatalf("task %d result = %d", i, v)
+		}
+	}
+}
+
+func TestSweepGoTaskError(t *testing.T) {
+	sw := NewSweep(SweepConfig{Workers: 2})
+	sw.Go(func() error { return nil })
+	sw.Go(func() error { return errors.New("task failed") })
+	err := sw.Run()
+	if err == nil || !strings.Contains(err.Error(), "task failed") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestSweepMixedRowsAndTasks: Add and Go rows coexist on one pool.
+func TestSweepMixedRowsAndTasks(t *testing.T) {
+	sw := NewSweep(SweepConfig{Workers: 3, RowWorkers: 2})
+	var taskRan atomic.Bool
+	row := sw.Add(30, 7, func(trial int, r *rng.Stream) (float64, error) { return float64(trial), nil })
+	sw.Go(func() error { taskRan.Store(true); return nil })
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !taskRan.Load() {
+		t.Fatal("task skipped")
+	}
+	if got, want := row.Mean(), 14.5; got != want {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestSweepEmptyRuns(t *testing.T) {
+	if err := NewSweep(SweepConfig{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRunTwice(t *testing.T) {
+	sw := NewSweep(SweepConfig{})
+	sw.Go(func() error { return nil })
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Run(); err == nil {
+		t.Fatal("second Run accepted")
+	}
+}
+
+func TestSweepMisusePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	sw := NewSweep(SweepConfig{})
+	expectPanic("Add trials=0", func() { sw.Add(0, 1, variableTrial) })
+	expectPanic("Add nil fn", func() { sw.Add(1, 1, nil) })
+	expectPanic("Go nil task", func() { sw.Go(nil) })
+	row := sw.Add(1, 1, variableTrial)
+	expectPanic("Row read before Run", func() { row.Acc() })
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	expectPanic("Add after Run", func() { sw.Add(1, 1, variableTrial) })
+	expectPanic("Go after Run", func() { sw.Go(func() error { return nil }) })
+}
+
+// TestSweepNaNSentinel: NaN trial values are dropped from the moments but
+// counted, the contract the throughput layer's success rate relies on.
+func TestSweepNaNSentinel(t *testing.T) {
+	sw := NewSweep(SweepConfig{Workers: 4, ChunkSize: 2})
+	row := sw.Add(30, 1, func(trial int, r *rng.Stream) (float64, error) {
+		if trial%3 == 0 {
+			return nan(), nil
+		}
+		return float64(trial), nil
+	})
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	acc := row.Acc()
+	if acc.N() != 20 || acc.Dropped() != 10 {
+		t.Fatalf("N=%d Dropped=%d, want 20/10", acc.N(), acc.Dropped())
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}
+
+// TestSweepSlowEarlyChunkNoDeadlockAndBounded: a pathologically slow first
+// chunk must not deadlock the bounded folder, and the row's statistics
+// stay bit-identical to the serial run. (The backlog cap makes the other
+// workers wait once maxPendingChunks chunks are buffered; the worker
+// executing the in-order chunk proceeds regardless.)
+func TestSweepSlowEarlyChunk(t *testing.T) {
+	const trials = 400
+	slow := func(trial int, r *rng.Stream) (float64, error) {
+		if trial == 0 {
+			time.Sleep(150 * time.Millisecond)
+		}
+		return variableTrial(trial, r)
+	}
+	serial := NewSweep(SweepConfig{Workers: 1, ChunkSize: 1})
+	wantRow := serial.Add(trials, 5, variableTrial)
+	if err := serial.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := [2]float64{wantRow.Mean(), wantRow.Acc().Median()}
+
+	sw := NewSweep(SweepConfig{Workers: 8, ChunkSize: 1}) // 400 chunks >> maxPendingChunks
+	row := sw.Add(trials, 5, slow)
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- sw.Run() }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep deadlocked with a slow early chunk")
+	}
+	if got := [2]float64{row.Mean(), row.Acc().Median()}; got != want {
+		t.Fatalf("slow-chunk run stats %v, want %v", got, want)
+	}
+}

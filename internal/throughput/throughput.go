@@ -9,6 +9,7 @@ package throughput
 
 import (
 	"fmt"
+	"math"
 
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/rng"
@@ -30,44 +31,79 @@ type Estimate struct {
 	SuccessRate float64 // fraction of successful trials
 }
 
-// Measure runs the runner `trials` times and summarises rounds-to-success.
-// Failed executions are excluded from MeanRounds but reflected in
-// SuccessRate; an error is returned if every trial failed.
-func Measure(k, trials, workers int, seed uint64, run Runner) (Estimate, error) {
+// Pending is a deferred throughput measurement: a row registered on a
+// shared sweep by Defer, whose Estimate becomes available once the sweep
+// has run. Rows from many Pending measurements execute on one worker pool,
+// which is how the experiment harness keeps every core busy even when a
+// single row has only a handful of trials.
+type Pending struct {
+	k      int
+	trials int
+	row    *sim.Row
+}
+
+// Defer registers a throughput measurement on sw. The streaming row
+// statistics use NaN as the failed-trial sentinel, so MeanRounds averages
+// successful trials only while SuccessRate still sees every trial —
+// exactly the Measure semantics, in O(1) memory per row. It panics on
+// invalid arguments (Measure keeps the error-returning validation).
+func Defer(sw *sim.Sweep, k, trials int, seed uint64, run Runner) *Pending {
 	if k < 1 {
-		return Estimate{}, fmt.Errorf("throughput: k = %d, need >= 1", k)
+		panic(fmt.Sprintf("throughput: k = %d, need >= 1", k))
 	}
-	vals, err := sim.Run(trials, workers, seed, func(trial int, r *rng.Stream) (float64, error) {
+	row := sw.Add(trials, seed, func(trial int, r *rng.Stream) (float64, error) {
 		res, err := run(r)
 		if err != nil {
 			return 0, err
 		}
 		if !res.Success {
-			return -1, nil // sentinel: failed trial
+			return math.NaN(), nil // dropped by the accumulator, counted by SuccessRate
 		}
 		return float64(res.Rounds), nil
 	})
-	if err != nil {
+	return &Pending{k: k, trials: trials, row: row}
+}
+
+// Estimate resolves the deferred measurement. Valid only after the sweep
+// passed to Defer has run. An error is returned if a trial errored or if
+// every trial failed.
+func (p *Pending) Estimate() (Estimate, error) {
+	if err := p.row.Err(); err != nil {
 		return Estimate{}, err
 	}
-	rounds := make([]float64, 0, len(vals))
-	for _, v := range vals {
-		if v >= 0 {
-			rounds = append(rounds, v)
-		}
-	}
+	acc := p.row.Acc()
 	est := Estimate{
-		K:           k,
-		Trials:      trials,
-		SuccessRate: float64(len(rounds)) / float64(trials),
+		K:           p.k,
+		Trials:      p.trials,
+		SuccessRate: float64(acc.N()) / float64(p.trials),
 	}
-	if len(rounds) == 0 {
-		return est, fmt.Errorf("throughput: all %d trials failed", trials)
+	if acc.N() == 0 {
+		return est, fmt.Errorf("throughput: all %d trials failed", p.trials)
 	}
-	est.MeanRounds = stats.Mean(rounds)
-	est.RoundsCI95 = stats.CI95(rounds)
-	est.Tau = float64(k) / est.MeanRounds
+	est.MeanRounds = acc.Mean()
+	est.RoundsCI95 = acc.CI95()
+	est.Tau = float64(p.k) / est.MeanRounds
 	return est, nil
+}
+
+// Measure runs the runner `trials` times and summarises rounds-to-success.
+// Failed executions are excluded from MeanRounds but reflected in
+// SuccessRate; an error is returned if every trial failed. It is Defer +
+// Run on a private single-row sweep; callers measuring several rows should
+// Defer them all on one sweep instead.
+func Measure(k, trials, workers int, seed uint64, run Runner) (Estimate, error) {
+	if k < 1 {
+		return Estimate{}, fmt.Errorf("throughput: k = %d, need >= 1", k)
+	}
+	if trials < 1 {
+		return Estimate{}, fmt.Errorf("throughput: trials = %d, need >= 1", trials)
+	}
+	sw := sim.NewSweep(sim.SweepConfig{Workers: workers})
+	p := Defer(sw, k, trials, seed, run)
+	if err := sw.Run(); err != nil {
+		return Estimate{}, err
+	}
+	return p.Estimate()
 }
 
 // Gap is a coding-versus-routing comparison on one topology: the empirical
@@ -79,15 +115,52 @@ type Gap struct {
 	Ratio float64
 }
 
-// MeasureGap measures both schedules with paired seeds and returns the gap.
-func MeasureGap(k, trials, workers int, seed uint64, coding, routing Runner) (Gap, error) {
-	c, err := Measure(k, trials, workers, seed, coding)
+// PendingGap is a deferred MeasureGap: both sides registered on a shared
+// sweep, resolved by Gap after the sweep has run.
+type PendingGap struct {
+	coding  *Pending
+	routing *Pending
+}
+
+// DeferGap registers both sides of a gap measurement on sw with paired
+// seeds (seed for coding, seed+1 for routing — the MeasureGap pairing).
+func DeferGap(sw *sim.Sweep, k, trials int, seed uint64, coding, routing Runner) *PendingGap {
+	return &PendingGap{
+		coding:  Defer(sw, k, trials, seed, coding),
+		routing: Defer(sw, k, trials, seed+1, routing),
+	}
+}
+
+// Gap resolves the deferred gap measurement. Valid only after the sweep
+// passed to DeferGap has run.
+func (p *PendingGap) Gap() (Gap, error) {
+	c, err := p.coding.Estimate()
 	if err != nil {
 		return Gap{}, fmt.Errorf("coding side: %w", err)
 	}
-	r, err := Measure(k, trials, workers, seed+1, routing)
+	r, err := p.routing.Estimate()
 	if err != nil {
 		return Gap{}, fmt.Errorf("routing side: %w", err)
 	}
 	return Gap{Coding: c, Routing: r, Ratio: stats.Ratio(c.Tau, r.Tau)}, nil
+}
+
+// MeasureGap measures both schedules with paired seeds and returns the gap.
+func MeasureGap(k, trials, workers int, seed uint64, coding, routing Runner) (Gap, error) {
+	if k < 1 {
+		return Gap{}, fmt.Errorf("throughput: k = %d, need >= 1", k)
+	}
+	if trials < 1 {
+		return Gap{}, fmt.Errorf("throughput: trials = %d, need >= 1", trials)
+	}
+	sw := sim.NewSweep(sim.SweepConfig{Workers: workers})
+	p := DeferGap(sw, k, trials, seed, coding, routing)
+	if err := sw.Run(); err != nil {
+		// Resolve through Gap so the failing side is named.
+		if _, gerr := p.Gap(); gerr != nil {
+			return Gap{}, gerr
+		}
+		return Gap{}, err
+	}
+	return p.Gap()
 }

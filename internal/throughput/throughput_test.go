@@ -8,6 +8,7 @@ import (
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
+	"noisyradio/internal/sim"
 )
 
 func TestMeasureSingleLinkAdaptive(t *testing.T) {
@@ -117,4 +118,99 @@ func TestMeasureGapPropagatesSides(t *testing.T) {
 	if _, err := MeasureGap(5, 3, 1, 6, ok, bad); err == nil {
 		t.Fatal("routing error swallowed")
 	}
+}
+
+// TestDeferMatchesMeasure: deferred measurements on a shared sweep resolve
+// to the same Estimate as standalone Measure calls — the contract the
+// row-parallel experiment runners rely on.
+func TestDeferMatchesMeasure(t *testing.T) {
+	const trials = 30
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	runnerFor := func(k int) Runner {
+		return func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkAdaptive(k, cfg, r, broadcast.Options{})
+		}
+	}
+	ks := []int{8, 32, 128}
+	want := make([]Estimate, len(ks))
+	for i, k := range ks {
+		est, err := Measure(k, trials, 4, uint64(50+i), runnerFor(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = est
+	}
+	sw := sim.NewSweep(sim.SweepConfig{Workers: 8, RowWorkers: 2})
+	pending := make([]*Pending, len(ks))
+	for i, k := range ks {
+		pending[i] = Defer(sw, k, trials, uint64(50+i), runnerFor(k))
+	}
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ks {
+		got, err := pending[i].Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Fatalf("k=%d: deferred %+v != standalone %+v", ks[i], got, want[i])
+		}
+	}
+}
+
+func TestDeferGapMatchesMeasureGap(t *testing.T) {
+	const k, trials = 64, 20
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	coding := func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.SingleLinkCoding(k, cfg, r, broadcast.Options{})
+	}
+	routing := func(r *rng.Stream) (broadcast.MultiResult, error) {
+		repeats := broadcast.DefaultSingleLinkRepeats(k, cfg.P)
+		return broadcast.SingleLinkNonAdaptive(k, repeats, cfg, r)
+	}
+	want, err := MeasureGap(k, trials, 4, 9, coding, routing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sim.NewSweep(sim.SweepConfig{Workers: 8})
+	pg := DeferGap(sw, k, trials, 9, coding, routing)
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("deferred gap %+v != standalone %+v", got, want)
+	}
+}
+
+func TestDeferAllFailed(t *testing.T) {
+	sw := sim.NewSweep(sim.SweepConfig{Workers: 2})
+	p := Defer(sw, 4, 6, 1, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{Rounds: 5, Success: false}, nil
+	})
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	est, err := p.Estimate()
+	if err == nil {
+		t.Fatal("all-failed row produced an estimate")
+	}
+	if est.SuccessRate != 0 {
+		t.Fatalf("success rate = %v, want 0", est.SuccessRate)
+	}
+}
+
+func TestDeferPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Defer(k=0) did not panic")
+		}
+	}()
+	Defer(sim.NewSweep(sim.SweepConfig{}), 0, 1, 1, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.MultiResult{}, nil
+	})
 }
