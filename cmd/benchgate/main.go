@@ -1,12 +1,17 @@
 // Command benchgate compares a fresh `noisysim -benchjson` report against
 // a checked-in baseline and fails (exit 1) when suite wall clock regresses
-// beyond the allowed fraction. CI runs it after the quick-suite benchmark
-// so a PR that slows the whole experiment pipeline down breaks the build.
+// beyond the allowed fraction, or when any engine microbenchmark shared
+// with the baseline regresses beyond its own (more generous, since single
+// measurements are noisier) fraction. CI runs it after the quick-suite
+// benchmark so a PR that slows the whole experiment pipeline — or just the
+// per-round engine hot path, which a fast suite can hide — breaks the
+// build. Microbenchmarks present only in the current report (newly added
+// rows) pass: they gate from the next baseline refresh on.
 //
 // Usage:
 //
 //	benchgate -baseline .github/bench/BENCH_sweep.baseline.json -current BENCH_sweep.json
-//	benchgate -baseline a.json -current b.json -max-regression 0.30
+//	benchgate -baseline a.json -current b.json -max-regression 0.30 -max-microbench-regression 0.50
 //
 // Wall-clock baselines are machine-relative, so the gate only hard-fails
 // when the baseline was recorded on the same machine class (equal
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"noisyradio/internal/benchreport"
 )
@@ -28,6 +34,7 @@ func main() {
 		baselinePath = flag.String("baseline", "", "checked-in baseline BENCH_sweep.json")
 		currentPath  = flag.String("current", "", "freshly generated BENCH_sweep.json")
 		maxReg       = flag.Float64("max-regression", 0.30, "maximum allowed fractional wall-clock regression")
+		maxMicroReg  = flag.Float64("max-microbench-regression", 0.50, "maximum allowed fractional ns/round regression per engine microbenchmark")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -44,7 +51,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	verdict, err := gate(baseline, current, *maxReg)
+	verdict, err := gate(baseline, current, *maxReg, *maxMicroReg)
 	fmt.Println("benchgate:", verdict)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
@@ -53,10 +60,12 @@ func main() {
 }
 
 // gate returns a human-readable verdict and a non-nil error when current
-// regresses more than maxReg (a fraction, e.g. 0.30 for 30%) against a
-// comparable baseline. Reports from different machine classes (gomaxprocs
-// mismatch) never fail: the verdict asks for a baseline refresh instead.
-func gate(baseline, current benchreport.Report, maxReg float64) (string, error) {
+// regresses more than maxReg (a fraction, e.g. 0.30 for 30%) in suite wall
+// clock, or more than maxMicroReg in any engine microbenchmark both
+// reports share, against a comparable baseline. Reports from different
+// machine classes (gomaxprocs mismatch) never fail: the verdict asks for a
+// baseline refresh instead.
+func gate(baseline, current benchreport.Report, maxReg, maxMicroReg float64) (string, error) {
 	if baseline.WallSeconds <= 0 {
 		return "", fmt.Errorf("baseline wall clock %.3fs is not positive — regenerate the baseline", baseline.WallSeconds)
 	}
@@ -79,5 +88,40 @@ func gate(baseline, current benchreport.Report, maxReg float64) (string, error) 
 		return summary, fmt.Errorf("wall clock %.2fs is %.0f%% over the %.2fs baseline (budget %.0f%%)",
 			current.WallSeconds, 100*(ratio-1), baseline.WallSeconds, 100*maxReg)
 	}
+	if err := gateMicrobench(baseline.Microbench, current.Microbench, maxMicroReg); err != nil {
+		return summary, err
+	}
 	return "ok — " + summary, nil
+}
+
+// gateMicrobench fails when any microbenchmark present in both reports
+// regresses in ns/round beyond maxMicroReg, or allocates per round where
+// the baseline did not. Rows only one side has are ignored: removing a row
+// is a deliberate edit reviewed with the baseline, and a new row starts
+// gating once a refreshed baseline records it.
+func gateMicrobench(baseline, current []benchreport.Microbench, maxMicroReg float64) error {
+	base := make(map[string]benchreport.Microbench, len(baseline))
+	for _, m := range baseline {
+		base[m.Name] = m
+	}
+	var violations []string
+	for _, m := range current {
+		b, ok := base[m.Name]
+		if !ok || b.NsPerRound <= 0 {
+			continue
+		}
+		if ratio := m.NsPerRound / b.NsPerRound; ratio > 1+maxMicroReg {
+			violations = append(violations, fmt.Sprintf("%s: %.0f ns/round is %.0f%% over the %.0f ns baseline",
+				m.Name, m.NsPerRound, 100*(ratio-1), b.NsPerRound))
+		}
+		if m.AllocsPerRound > b.AllocsPerRound {
+			violations = append(violations, fmt.Sprintf("%s: %.2f allocs/round, baseline had %.2f",
+				m.Name, m.AllocsPerRound, b.AllocsPerRound))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("%d microbenchmark regression(s) (budget %.0f%%):\n  %s",
+			len(violations), 100*maxMicroReg, strings.Join(violations, "\n  "))
+	}
+	return nil
 }

@@ -12,13 +12,13 @@ func rep(wall float64) benchreport.Report {
 }
 
 func TestGateWithinBudget(t *testing.T) {
-	if _, err := gate(rep(10), rep(12.9), 0.30); err != nil {
+	if _, err := gate(rep(10), rep(12.9), 0.30, 0.50); err != nil {
 		t.Fatalf("29%% regression rejected at 30%% budget: %v", err)
 	}
 }
 
 func TestGateOverBudget(t *testing.T) {
-	_, err := gate(rep(10), rep(13.1), 0.30)
+	_, err := gate(rep(10), rep(13.1), 0.30, 0.50)
 	if err == nil {
 		t.Fatal("31% regression accepted at 30% budget")
 	}
@@ -28,7 +28,7 @@ func TestGateOverBudget(t *testing.T) {
 }
 
 func TestGateImprovementAlwaysPasses(t *testing.T) {
-	if _, err := gate(rep(10), rep(3), 0.30); err != nil {
+	if _, err := gate(rep(10), rep(3), 0.30, 0.50); err != nil {
 		t.Fatalf("improvement rejected: %v", err)
 	}
 }
@@ -37,7 +37,7 @@ func TestGateMachineClassMismatchSkips(t *testing.T) {
 	baseline := rep(1)
 	baseline.GoMaxProcs = 1
 	current := rep(10) // 10x slower but on a different machine class
-	verdict, err := gate(baseline, current, 0.30)
+	verdict, err := gate(baseline, current, 0.30, 0.50)
 	if err != nil {
 		t.Fatalf("cross-machine comparison failed the gate: %v", err)
 	}
@@ -49,18 +49,73 @@ func TestGateMachineClassMismatchSkips(t *testing.T) {
 func TestGateIncomparableReports(t *testing.T) {
 	other := rep(10)
 	other.Suite = "E9"
-	if _, err := gate(rep(10), other, 0.30); err == nil {
+	if _, err := gate(rep(10), other, 0.30, 0.50); err == nil {
 		t.Fatal("different suites compared")
 	}
 	full := rep(10)
 	full.Quick = false
-	if _, err := gate(rep(10), full, 0.30); err == nil {
+	if _, err := gate(rep(10), full, 0.30, 0.50); err == nil {
 		t.Fatal("quick vs full compared")
 	}
 }
 
 func TestGateRejectsEmptyBaseline(t *testing.T) {
-	if _, err := gate(benchreport.Report{}, rep(1), 0.30); err == nil {
+	if _, err := gate(benchreport.Report{}, rep(1), 0.30, 0.50); err == nil {
 		t.Fatal("zero baseline accepted")
+	}
+}
+
+func microRep(wall float64, micro ...benchreport.Microbench) benchreport.Report {
+	r := rep(wall)
+	r.Microbench = micro
+	return r
+}
+
+func TestGateMicrobenchWithinBudget(t *testing.T) {
+	baseline := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1000})
+	current := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1490})
+	if _, err := gate(baseline, current, 0.30, 0.50); err != nil {
+		t.Fatalf("49%% microbench regression rejected at 50%% budget: %v", err)
+	}
+}
+
+func TestGateMicrobenchOverBudget(t *testing.T) {
+	baseline := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1000})
+	current := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1510})
+	_, err := gate(baseline, current, 0.30, 0.50)
+	if err == nil {
+		t.Fatal("51% microbench regression accepted at 50% budget")
+	}
+	if !strings.Contains(err.Error(), "stepset/dense") {
+		t.Fatalf("error does not name the regressing row: %v", err)
+	}
+}
+
+func TestGateMicrobenchNewRowPasses(t *testing.T) {
+	baseline := microRep(10)
+	current := microRep(10, benchreport.Microbench{Name: "stepset/new", NsPerRound: 9999})
+	if _, err := gate(baseline, current, 0.30, 0.50); err != nil {
+		t.Fatalf("row missing from baseline failed the gate: %v", err)
+	}
+}
+
+func TestGateMicrobenchAllocRegression(t *testing.T) {
+	baseline := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1000, AllocsPerRound: 0})
+	current := microRep(10, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 1000, AllocsPerRound: 2})
+	if _, err := gate(baseline, current, 0.30, 0.50); err == nil {
+		t.Fatal("new per-round allocations accepted")
+	}
+}
+
+func TestGateMicrobenchSkippedOnMachineMismatch(t *testing.T) {
+	baseline := microRep(1, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 10})
+	baseline.GoMaxProcs = 1
+	current := microRep(1, benchreport.Microbench{Name: "stepset/dense", NsPerRound: 10000})
+	verdict, err := gate(baseline, current, 0.30, 0.50)
+	if err != nil {
+		t.Fatalf("cross-machine microbench comparison failed the gate: %v", err)
+	}
+	if !strings.Contains(verdict, "SKIPPED") {
+		t.Fatalf("verdict should be a skip: %q", verdict)
 	}
 }

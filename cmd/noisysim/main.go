@@ -188,6 +188,12 @@ func run(args []string, out *os.File) error {
 			bench.AllocsPerTrial = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(bench.Trials)
 			bench.BytesPerTrial = float64(memAfter.TotalAlloc-memBefore.TotalAlloc) / float64(bench.Trials)
 		}
+		// Engine microbenchmarks ride along in the report (~0.3s): suite
+		// wall clock mixes scheduling, coding and statistics, so per-round
+		// engine regressions need their own gated numbers. Run after the
+		// wall-clock and allocation windows close so their setup doesn't
+		// pollute the suite's numbers.
+		bench.Microbench = radio.EngineMicrobench()
 		if err := bench.Write(benchFile); err != nil {
 			return fmt.Errorf("benchjson: %w", err)
 		}

@@ -27,6 +27,7 @@ type Report struct {
 	AllocsPerTrial float64      `json:"allocs_per_trial"`
 	BytesPerTrial  float64      `json:"bytes_per_trial"`
 	Experiments    []ExpSeconds `json:"experiments"`
+	Microbench     []Microbench `json:"microbench,omitempty"`
 }
 
 // ExpSeconds is one experiment's contribution to a Report.
@@ -34,6 +35,17 @@ type ExpSeconds struct {
 	ID      string  `json:"id"`
 	Seconds float64 `json:"seconds"`
 	Rows    int     `json:"rows"`
+}
+
+// Microbench is one engine microbenchmark's contribution to a Report:
+// the per-round cost of a radio engine under a fixed schedule. Unlike
+// suite wall clock (which mixes scheduling, coding and statistics),
+// these isolate the round hot path, so the gate catches per-round
+// regressions that a fast suite would hide.
+type Microbench struct {
+	Name           string  `json:"name"`
+	NsPerRound     float64 `json:"ns_per_round"`
+	AllocsPerRound float64 `json:"allocs_per_round"`
 }
 
 // Write encodes r as indented JSON to w.

@@ -79,6 +79,22 @@ func (s *Set) Reset() {
 	}
 }
 
+// ResetWindow clears every word in the word-index window [lo, hi),
+// clamped to the set's word count. Paired with NonzeroRange it clears a
+// mostly-empty set in O(nonzero words) instead of O(Len()/64) — the
+// per-round clear of a frontier scheduler.
+func (s *Set) ResetWindow(lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.words) {
+		hi = len(s.words)
+	}
+	for w := lo; w < hi; w++ {
+		s.words[w] = 0
+	}
+}
+
 // Fill sets all elements in [0, Len()).
 func (s *Set) Fill() {
 	for i := 0; i < s.n; i++ {
@@ -128,6 +144,68 @@ func (s *Set) ForEach(fn func(i int)) {
 // engine) can AND rows against the set without copying. Bits at positions
 // >= Len() in the last word are always zero.
 func (s *Set) Words() []uint64 { return s.words }
+
+// NonzeroRange returns the half-open word-index window [lo, hi) covering
+// every nonzero word of the set: Words()[w] == 0 for all w outside it.
+// An empty set yields (0, 0). Windowed consumers (the dense radio engine)
+// use it to confine per-row intersection scans to the overlap of the
+// broadcast set's window and an adjacency row's window.
+func (s *Set) NonzeroRange() (lo, hi int) {
+	for w := 0; w < len(s.words); w++ {
+		if s.words[w] != 0 {
+			lo = w
+			for hi = len(s.words); s.words[hi-1] == 0; hi-- {
+			}
+			return lo, hi
+		}
+	}
+	return 0, 0
+}
+
+// IntersectsWindow reports whether s and other share an element whose word
+// index lies in [lo, hi). The window is clamped to the sets' word count, so
+// a caller may pass a window computed on either set (or the full range).
+// Both sets must have the same length.
+func (s *Set) IntersectsWindow(other *Set, lo, hi int) bool {
+	if other.n != s.n {
+		panic(fmt.Sprintf("bitset: intersection of mismatched lengths %d and %d", s.n, other.n))
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s.words) {
+		hi = len(s.words)
+	}
+	for w := lo; w < hi; w++ {
+		if s.words[w]&other.words[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FromBools overwrites s with the set {i : b[i]}, assembling whole words so
+// the conversion writes memory once per 64 inputs. len(b) must equal Len().
+// It is the bridge from bool-slice schedules to the set-native Step API.
+func (s *Set) FromBools(b []bool) {
+	if len(b) != s.n {
+		panic(fmt.Sprintf("bitset: FromBools with %d bools, set length %d", len(b), s.n))
+	}
+	for wi := range s.words {
+		var w uint64
+		base := wi * wordBits
+		limit := s.n - base
+		if limit > wordBits {
+			limit = wordBits
+		}
+		for bit := 0; bit < limit; bit++ {
+			if b[base+bit] {
+				w |= 1 << uint(bit)
+			}
+		}
+		s.words[wi] = w
+	}
+}
 
 // Next returns the smallest present element >= i, or -1 if none exists.
 func (s *Set) Next(i int) int {

@@ -17,6 +17,12 @@ type Matrix struct {
 	rows, cols int
 	stride     int // words per row
 	words      []uint64
+
+	// Per-row nonzero word windows, maintained incrementally by Set (the
+	// Matrix API has no per-bit clear, so the windows never shrink and
+	// stay exact). rowHi[r] == 0 encodes an all-zero row. RowRange lets
+	// windowed consumers skip a row's leading and trailing zero words.
+	rowLo, rowHi []int32
 }
 
 // NewMatrix returns an all-zero bit matrix with the given dimensions.
@@ -28,12 +34,18 @@ func NewMatrix(rows, cols int) *Matrix {
 		cols = 0
 	}
 	stride := (cols + wordBits - 1) / wordBits
-	return &Matrix{
+	m := &Matrix{
 		rows:   rows,
 		cols:   cols,
 		stride: stride,
 		words:  make([]uint64, rows*stride),
+		rowLo:  make([]int32, rows),
+		rowHi:  make([]int32, rows),
 	}
+	for r := range m.rowLo {
+		m.rowLo[r] = int32(stride)
+	}
+	return m
 }
 
 // Rows returns the number of rows.
@@ -48,7 +60,14 @@ func (m *Matrix) Stride() int { return m.stride }
 // Set sets bit (r, c).
 func (m *Matrix) Set(r, c int) {
 	m.check(r, c)
-	m.words[r*m.stride+c/wordBits] |= 1 << (uint(c) % wordBits)
+	w := c / wordBits
+	m.words[r*m.stride+w] |= 1 << (uint(c) % wordBits)
+	if int32(w) < m.rowLo[r] {
+		m.rowLo[r] = int32(w)
+	}
+	if int32(w+1) > m.rowHi[r] {
+		m.rowHi[r] = int32(w + 1)
+	}
 }
 
 // Test reports whether bit (r, c) is set.
@@ -72,6 +91,35 @@ func (m *Matrix) Row(r int) []uint64 {
 	}
 	return m.words[r*m.stride : (r+1)*m.stride : (r+1)*m.stride]
 }
+
+// RowRange returns the half-open word-index window [lo, hi) covering every
+// nonzero word of row r: Row(r)[w] == 0 for all w outside it. An all-zero
+// row yields (0, 0). The window is exact — Set maintains it and no per-bit
+// clear exists — so a consumer intersecting row r against another windowed
+// word vector only needs to scan the overlap of the two windows.
+func (m *Matrix) RowRange(r int) (lo, hi int) {
+	if r < 0 || r >= m.rows {
+		panic(fmt.Sprintf("bitset: matrix row %d out of range %d", r, m.rows))
+	}
+	if m.rowHi[r] == 0 {
+		return 0, 0
+	}
+	return int(m.rowLo[r]), int(m.rowHi[r])
+}
+
+// RowRanges exposes the per-row window bounds as parallel slices indexed
+// by row: row r's window is [lo[r], hi[r]), with hi[r] == 0 encoding an
+// all-zero row (whose lo[r] is Stride(), so clamping against any other
+// window yields an empty overlap without a special case). The slices alias
+// internal storage and must be treated as read-only; they exist so
+// per-row hot loops (the dense radio engine) avoid a method call per row.
+func (m *Matrix) RowRanges() (lo, hi []int32) { return m.rowLo, m.rowHi }
+
+// Words exposes the backing row-major word storage: row r occupies words
+// [r*Stride(), (r+1)*Stride()). The slice aliases internal storage and
+// must be treated as read-only; it exists so hot loops over many rows can
+// index directly instead of materialising a sub-slice per row.
+func (m *Matrix) Words() []uint64 { return m.words }
 
 // RowCount returns the number of set bits in row r.
 func (m *Matrix) RowCount(r int) int {

@@ -21,6 +21,7 @@ package broadcast
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
@@ -82,9 +83,11 @@ func decayPhaseLen(n int) int {
 }
 
 // singleRunner drives the shared informed-set loop of the single-message
-// algorithms: per round, a schedule fills the broadcast vector from the
-// informed set; the radio engine resolves receptions; receivers join the
-// informed set.
+// algorithms: per round, a schedule marks broadcasters from the informed
+// set into the tx bitset; the radio engine resolves receptions straight
+// into the rx bitset (no per-delivery closure); receivers join the
+// informed set. The schedule stays a bitset end-to-end — no []bool is
+// filled, scanned or cleared anywhere in the loop.
 //
 // informedList mirrors the informed bitset in arrival order so schedules can
 // Bernoulli-sample broadcasters in O(expected broadcasters) time via
@@ -93,8 +96,8 @@ type singleRunner struct {
 	net          *radio.Network[struct{}]
 	informed     *bitset.Set
 	informedList []int32
-	bc           []bool
-	cleared      []int32 // bc entries set this round, for O(broadcasters) reset
+	tx           *bitset.Set // broadcasters this round
+	rx           *bitset.Set // successful receivers this round
 	payload      []struct{}
 	rnd          *rng.Stream
 }
@@ -110,7 +113,8 @@ func newSingleRunner(g *graph.Graph, src int, cfg radio.Config, r *rng.Stream) (
 		net:          net,
 		informed:     informed,
 		informedList: []int32{int32(src)},
-		bc:           make([]bool, g.N()),
+		tx:           bitset.New(g.N()),
+		rx:           bitset.New(g.N()),
 		payload:      make([]struct{}, g.N()),
 		rnd:          r,
 	}, nil
@@ -118,10 +122,7 @@ func newSingleRunner(g *graph.Graph, src int, cfg radio.Config, r *rng.Stream) (
 
 // mark sets v to broadcast this round.
 func (s *singleRunner) mark(v int32) {
-	if !s.bc[v] {
-		s.bc[v] = true
-		s.cleared = append(s.cleared, v)
-	}
+	s.tx.Set(int(v))
 }
 
 // decayStep marks each informed node with probability p using geometric
@@ -144,16 +145,23 @@ func (s *singleRunner) run(maxRounds int, schedule func(round int)) Result {
 	round := 0
 	for ; round < maxRounds && len(s.informedList) < n; round++ {
 		schedule(round)
-		s.net.Step(s.bc, s.payload, func(d radio.Delivery[struct{}]) {
-			if !s.informed.Test(d.To) {
-				s.informed.Set(d.To)
-				s.informedList = append(s.informedList, int32(d.To))
+		s.net.StepSet(s.tx, s.payload, s.rx, nil)
+		// Fold the round's receivers into the informed set in ascending id
+		// order — the order the delivery callback used to observe them —
+		// then clear tx and rx over their nonzero windows only.
+		rxw := s.rx.Words()
+		lo, hi := s.rx.NonzeroRange()
+		for wi := lo; wi < hi; wi++ {
+			for w := rxw[wi]; w != 0; w &= w - 1 {
+				v := wi*64 + bits.TrailingZeros64(w)
+				if !s.informed.Test(v) {
+					s.informed.Set(v)
+					s.informedList = append(s.informedList, int32(v))
+				}
 			}
-		})
-		for _, v := range s.cleared {
-			s.bc[v] = false
 		}
-		s.cleared = s.cleared[:0]
+		s.rx.ResetWindow(lo, hi)
+		s.tx.ResetWindow(s.tx.NonzeroRange())
 	}
 	res := Result{
 		Rounds:   round,

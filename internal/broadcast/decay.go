@@ -45,6 +45,18 @@ func decayProbabilities(phaseLen int) []float64 {
 	return probs
 }
 
+// decayCoins precomputes the Decay probabilities as integer-threshold
+// Bernoulli samplers, for schedules that draw a per-node coin each round
+// (the pipelined layers) rather than geometric-skip over a frontier list.
+// Draw-for-draw identical to r.Bool(decayProbabilities(...)[i]).
+func decayCoins(phaseLen int) []rng.Bernoulli {
+	coins := make([]rng.Bernoulli, phaseLen)
+	for i := range coins {
+		coins[i] = rng.NewBernoulli(math.Exp2(-float64(i + 1)))
+	}
+	return coins
+}
+
 // DecayUnknownN runs Decay without any knowledge of the network — not even
 // its size. Where the standard algorithm cycles broadcast probabilities
 // 2^-1..2^-⌈log n⌉ (which requires knowing n to size the phase), this

@@ -195,12 +195,12 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 	phaseLen := decayPhaseLen(n)
 	probs := decayProbabilities(phaseLen)
 
-	bc := make([]bool, n)
+	tx := bitset.New(n)
 	payload := make([]rlnc.Packet, n)
 	var marked []int32
 	mark := func(v int32) {
-		if !bc[v] {
-			bc[v] = true
+		if !tx.Test(int(v)) {
+			tx.Set(int(v))
 			marked = append(marked, v)
 		}
 	}
@@ -238,12 +238,12 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 		for _, v := range marked {
 			pkt, ok := decoders[v].RandomCombination(r)
 			if !ok {
-				bc[v] = false
+				tx.Clear(int(v))
 				continue
 			}
 			payload[v] = pkt
 		}
-		net.Step(bc, payload, func(d radio.Delivery[rlnc.Packet]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[rlnc.Packet]) {
 			dec := decoders[d.To]
 			wasDecodable := dec.CanDecode()
 			innovative, insErr := dec.InsertPacket(d.Payload.Clone())
@@ -261,7 +261,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 			}
 		})
 		for _, v := range marked {
-			bc[v] = false
+			tx.Clear(int(v))
 		}
 		marked = marked[:0]
 	}

@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
@@ -70,29 +71,29 @@ func PipelinedBatchRouting(top graph.Topology, k int, cfg radio.Config, r *rng.S
 	gen := make([]int32, n)
 
 	phaseLen := decayPhaseLen(n)
-	probs := decayProbabilities(phaseLen)
-	bc := make([]bool, n)
+	coins := decayCoins(phaseLen)
+	tx := bitset.New(n)
 	payload := make([]int32, n)
 	var marked []int32
 
 	round := 0
 	for ; round < maxRounds && layerHave[L] < int32(k); round++ {
 		mod := round % 3
-		p := probs[(round/3)%phaseLen]
+		coin := coins[(round/3)%phaseLen]
 		for i := 0; i < L; i++ {
 			if i%3 != mod || layerHave[i] <= layerHave[i+1] {
 				continue
 			}
 			msg := layerHave[i+1]
 			for _, v := range layers[i] {
-				if r.Bool(p) {
-					bc[v] = true
+				if coin.Draw(r) {
+					tx.Set(int(v))
 					payload[v] = msg
 					marked = append(marked, v)
 				}
 			}
 		}
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			lv := level[d.To]
 			if level[d.From] != lv-1 {
 				return // sideways or backwards reception; not the pipeline
@@ -108,7 +109,7 @@ func PipelinedBatchRouting(top graph.Topology, k int, cfg radio.Config, r *rng.S
 			}
 		})
 		for _, v := range marked {
-			bc[v] = false
+			tx.Clear(int(v))
 		}
 		marked = marked[:0]
 	}

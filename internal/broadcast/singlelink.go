@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 )
@@ -42,14 +43,14 @@ func SingleLinkNonAdaptive(k, repeats int, cfg radio.Config, r *rng.Stream) (Mul
 	if err != nil {
 		return MultiResult{}, err
 	}
-	bc := []bool{true, false}
+	tx := sourceOnlyTx()
 	payload := []int32{0, 0}
 	got := make([]bool, k)
 	received := 0
 	for m := 0; m < k; m++ {
 		payload[0] = int32(m)
 		for rep := 0; rep < repeats; rep++ {
-			net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 				if !got[d.Payload] {
 					got[d.Payload] = true
 					received++
@@ -88,13 +89,13 @@ func SingleLinkAdaptive(k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 	if maxRounds <= 0 {
 		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
 	}
-	bc := []bool{true, false}
+	tx := sourceOnlyTx()
 	payload := []int32{0, 0}
 	current := 0
 	round := 0
 	for ; round < maxRounds && current < k; round++ {
 		payload[0] = int32(current)
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			current++
 		})
 	}
@@ -129,13 +130,13 @@ func SingleLinkCoding(k int, cfg radio.Config, r *rng.Stream, opts Options) (Mul
 	if maxRounds <= 0 {
 		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
 	}
-	bc := []bool{true, false}
+	tx := sourceOnlyTx()
 	payload := []int32{0, 0}
 	received := 0
 	round := 0
 	for ; round < maxRounds && received < k; round++ {
 		payload[0] = int32(round)
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			received++
 		})
 	}
@@ -151,6 +152,14 @@ func SingleLinkCoding(k int, cfg radio.Config, r *rng.Stream, opts Options) (Mul
 	}
 	idPool.Put(net)
 	return res, nil
+}
+
+// sourceOnlyTx returns the single-link broadcast set {source}: constant
+// for every schedule in this file, so rounds pass it to StepSet untouched.
+func sourceOnlyTx() *bitset.Set {
+	tx := bitset.New(2)
+	tx.Set(0)
+	return tx
 }
 
 func singleLinkDefaultMaxRounds(k int, cfg radio.Config) int {

@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
@@ -29,9 +30,11 @@ func StarRouting(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (
 	}
 
 	n := top.G.N()
-	bc := make([]bool, n)
+	// Only the hub ever broadcasts: the schedule is one constant bitset,
+	// passed to StepSet unchanged every round.
+	tx := bitset.New(n)
+	tx.Set(0)
 	payload := make([]int32, n)
-	bc[0] = true
 
 	// missing counts the leaves still lacking the current message; has[v]
 	// is reset between messages via a generation stamp.
@@ -41,7 +44,7 @@ func StarRouting(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (
 	round := 0
 	for ; round < maxRounds && current < int32(k); round++ {
 		payload[0] = current
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			if gen[d.To] != current+1 {
 				gen[d.To] = current + 1
 				missing--
@@ -100,16 +103,16 @@ func StarCoding(leaves, k int, cfg radio.Config, r *rng.Stream, opts Options) (M
 	}
 
 	n := top.G.N()
-	bc := make([]bool, n)
+	tx := bitset.New(n)
+	tx.Set(0)
 	payload := make([]int32, n)
-	bc[0] = true
 
 	received := make([]int32, n) // distinct coded packets held per leaf
 	done := 0
 	round := 0
 	for ; round < maxRounds && done < leaves; round++ {
 		payload[0] = int32(round) // globally fresh packet index
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			received[d.To]++
 			if received[d.To] == int32(k) {
 				done++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
@@ -44,26 +45,24 @@ func PathPipelineRouting(pathLen, k int, cfg radio.Config, r *rng.Stream, opts O
 	// order, so a prefix count suffices.
 	have := make([]int32, n)
 	have[0] = int32(k)
-	bc := make([]bool, n)
+	tx := bitset.New(n)
 	payload := make([]int32, n)
 	round := 0
 	for ; round < maxRounds && have[n-1] < int32(k); round++ {
 		mod := int32(round % 3)
 		for v := 0; v < n-1; v++ {
 			if int32(v)%3 == mod && have[v] > have[v+1] {
-				bc[v] = true
+				tx.Set(v)
 				payload[v] = have[v+1] // next message the successor lacks
 			}
 		}
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			// In-order delivery: the payload is exactly have[d.To].
 			if d.Payload == have[d.To] && d.From == d.To-1 {
 				have[d.To]++
 			}
 		})
-		for v := range bc {
-			bc[v] = false
-		}
+		tx.ResetWindow(tx.NonzeroRange())
 	}
 	done := 0
 	for v := 0; v < n; v++ {
@@ -155,7 +154,7 @@ func transformedPath(pathLen, k int, cfg radio.Config, r *rng.Stream, params Tra
 	// meta-round: messages delivered (routing) or packets received by the
 	// successor (coding).
 	progress := make([]int32, n)
-	bc := make([]bool, n)
+	tx := bitset.New(n)
 	payload := make([]int32, n)
 
 	// The faultless pipeline takes 3·(batches + pathLen) rounds; each
@@ -172,21 +171,20 @@ func transformedPath(pathLen, k int, cfg radio.Config, r *rng.Stream, params Tra
 			progress[i] = 0
 		}
 		for step := 0; step < mlen; step++ {
+			tx.ResetWindow(tx.NonzeroRange())
 			for v := 0; v < n-1; v++ {
-				bc[v] = false
 				if int32(v)%3 != mod || batchHave[v] <= batchHave[v+1] {
 					continue
 				}
 				if coding {
-					bc[v] = true
+					tx.Set(v)
 					payload[v] = int32(T*mlen + step) // fresh coded packet
 				} else if progress[v] < int32(pr.Batch) {
-					bc[v] = true
+					tx.Set(v)
 					payload[v] = progress[v] // message index within batch
 				}
 			}
-			bc[n-1] = false
-			net.Step(bc, payload, func(d radio.Delivery[int32]) {
+			net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 				if d.From != d.To-1 {
 					return
 				}

@@ -68,13 +68,16 @@ func RepetitionWaveRounds(pathLen, period, repeat int, p float64, r *rng.Stream)
 	if p < 0 || p >= 1 {
 		return 0, fmt.Errorf("broadcast: fault probability %v outside [0,1)", p)
 	}
+	// One coin, many draws: the integer-threshold sampler replaces the
+	// per-draw float compare (bit-identical to r.Bool(p) by test).
+	coin := rng.NewBernoulli(p)
 	rounds := 0
 	for x := 0; x < pathLen; x++ {
 		// One visit = `repeat` transmissions; it succeeds unless all fail.
 		for {
 			success := false
 			for i := 0; i < repeat; i++ {
-				if !r.Bool(p) {
+				if !coin.Draw(r) {
 					success = true
 					break
 				}

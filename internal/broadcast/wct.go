@@ -3,6 +3,7 @@ package broadcast
 import (
 	"fmt"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
@@ -40,7 +41,8 @@ func WCTRouting(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Optio
 	}
 
 	n := w.G.N()
-	bc := make([]bool, n)
+	tx := bitset.New(n)
+	coins := scaleCoins(scales)
 	payload := make([]int32, n)
 	members := 0
 	for _, c := range w.Clusters {
@@ -53,18 +55,17 @@ func WCTRouting(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Optio
 	missing := members
 	round := 0
 	for ; round < maxRounds && current < int32(k); round++ {
-		j := 1 + round%scales
-		markSenderSample(w, r, bc, j)
+		markSenderSample(w, r, tx, coins[1+round%scales])
 		for _, s := range w.Senders {
 			payload[s] = current
 		}
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			if d.To >= firstMember && gen[d.To] != current+1 {
 				gen[d.To] = current + 1
 				missing--
 			}
 		})
-		clearSenders(w, bc)
+		clearSenders(w, tx)
 		if missing == 0 {
 			current++
 			missing = members
@@ -102,7 +103,8 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 	}
 
 	n := w.G.N()
-	bc := make([]bool, n)
+	tx := bitset.New(n)
+	coins := scaleCoins(scales)
 	payload := make([]int32, n)
 	members := 0
 	for _, c := range w.Clusters {
@@ -114,14 +116,13 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 	done := 0
 	round := 0
 	for ; round < maxRounds && done < members; round++ {
-		j := 1 + round%scales
-		markSenderSample(w, r, bc, j)
+		markSenderSample(w, r, tx, coins[1+round%scales])
 		// Fresh packet indices: distinct per (sender, round) pair; a member
 		// can never receive a duplicate, so receptions == distinct packets.
 		for i, s := range w.Senders {
 			payload[s] = int32(round*len(w.Senders) + i)
 		}
-		net.Step(bc, payload, func(d radio.Delivery[int32]) {
+		net.StepSet(tx, payload, nil, func(d radio.Delivery[int32]) {
 			if d.To < firstMember {
 				return
 			}
@@ -130,7 +131,7 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 				done++
 			}
 		})
-		clearSenders(w, bc)
+		clearSenders(w, tx)
 	}
 	res := MultiResult{
 		Rounds:  round,
@@ -142,23 +143,33 @@ func WCTCoding(w *graph.WCT, k int, cfg radio.Config, r *rng.Stream, opts Option
 	return res, nil
 }
 
-// markSenderSample sets each sender to broadcast independently with
-// probability 2^-j.
-func markSenderSample(w *graph.WCT, r *rng.Stream, bc []bool, j int) {
+// scaleCoins precomputes the per-scale Bernoulli samplers 2^-1..2^-scales
+// (indexed by j), hoisting the float compare out of the per-sender,
+// per-round draw; rng.Bernoulli is draw-for-draw identical to
+// r.Bool(2^-j), so schedules are unchanged.
+func scaleCoins(scales int) []rng.Bernoulli {
+	coins := make([]rng.Bernoulli, scales+1)
 	p := 1.0
-	for i := 0; i < j; i++ {
+	for j := 1; j <= scales; j++ {
 		p /= 2
+		coins[j] = rng.NewBernoulli(p)
 	}
+	return coins
+}
+
+// markSenderSample sets each sender to broadcast independently with the
+// coin's probability (2^-j for the round's scale j).
+func markSenderSample(w *graph.WCT, r *rng.Stream, tx *bitset.Set, coin rng.Bernoulli) {
 	for _, s := range w.Senders {
-		if r.Bool(p) {
-			bc[s] = true
+		if coin.Draw(r) {
+			tx.Set(int(s))
 		}
 	}
 }
 
-func clearSenders(w *graph.WCT, bc []bool) {
+func clearSenders(w *graph.WCT, tx *bitset.Set) {
 	for _, s := range w.Senders {
-		bc[s] = false
+		tx.Clear(int(s))
 	}
 }
 

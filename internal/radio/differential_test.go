@@ -1,17 +1,35 @@
 package radio
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
+	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/rng"
 )
 
 // The differential harness: run the same (graph, config, seed, schedule)
-// execution on the sparse and dense engines and require bit-identical
-// deliveries, Stats and trace callbacks. This is the determinism contract
-// every reproduced table stands on.
+// execution on the sparse and dense engines, through both the Step bool
+// adapter and the set-native StepSet entry point, and require
+// bit-identical deliveries, Stats, rx bitsets and trace callbacks. This is
+// the determinism contract every reproduced table stands on.
+
+// stepMode selects the entry point the harness drives.
+type stepMode int
+
+const (
+	viaStep    stepMode = iota // Step([]bool, ...) adapter
+	viaStepSet                 // StepSet(tx, payload, rx, deliver)
+)
+
+func (m stepMode) String() string {
+	if m == viaStepSet {
+		return "stepset"
+	}
+	return "step"
+}
 
 // traceRecord is one TraceFunc invocation, deep-copied.
 type traceRecord struct {
@@ -27,11 +45,14 @@ type execution struct {
 	traces     []traceRecord
 }
 
-// executeEngine runs rounds broadcast rounds on g under cfg with the
-// given engine, recording everything observable. schedule is consulted
-// once per (round, node) pair in ascending order, so a deterministic
-// schedule function yields identical inputs for both engines.
-func executeEngine(t testing.TB, g *graph.Graph, cfg Config, eng Engine, netSeed uint64, rounds int, schedule func(round, v int) bool) execution {
+// executeEngine runs rounds broadcast rounds on g under cfg with the given
+// engine and entry point, recording everything observable. schedule is
+// consulted once per (round, node) pair in ascending order, so a
+// deterministic schedule function yields identical inputs for every
+// (engine, mode) combination. In StepSet mode the harness additionally
+// checks, every round, that the rx bitset exactly matches the delivered
+// receivers and that the engine left the caller's tx set untouched.
+func executeEngine(t testing.TB, g *graph.Graph, cfg Config, eng Engine, mode stepMode, netSeed uint64, rounds int, schedule func(round, v int) bool) execution {
 	t.Helper()
 	cfg.Engine = eng
 	net, err := New[int32](g, cfg, rng.New(netSeed))
@@ -52,28 +73,80 @@ func executeEngine(t testing.TB, g *graph.Graph, cfg Config, eng Engine, netSeed
 	n := g.N()
 	bc := make([]bool, n)
 	payload := make([]int32, n)
+	tx := bitset.New(n)
+	rx := bitset.New(n)
+	rxWant := bitset.New(n)
 	for round := 0; round < rounds; round++ {
 		for v := 0; v < n; v++ {
 			bc[v] = schedule(round, v)
 			payload[v] = int32(round*n + v)
 		}
-		net.Step(bc, payload, func(d Delivery[int32]) {
-			ex.deliveries = append(ex.deliveries, d)
-		})
+		switch mode {
+		case viaStep:
+			net.Step(bc, payload, func(d Delivery[int32]) {
+				ex.deliveries = append(ex.deliveries, d)
+			})
+		case viaStepSet:
+			tx.FromBools(bc)
+			txBefore := tx.Clone()
+			rx.Reset()
+			rxWant.Reset()
+			net.StepSet(tx, payload, rx, func(d Delivery[int32]) {
+				ex.deliveries = append(ex.deliveries, d)
+				rxWant.Set(d.To)
+			})
+			for w, word := range tx.Words() {
+				if word != txBefore.Words()[w] {
+					t.Fatalf("round %d: StepSet mutated the caller's tx set", round)
+				}
+			}
+			for w, word := range rx.Words() {
+				if word != rxWant.Words()[w] {
+					t.Fatalf("round %d: rx bitset %v != delivered receivers %v", round, rx, rxWant)
+				}
+			}
+		}
 	}
 	ex.stats = net.Stats()
 	return ex
 }
 
+// engineModes are the four (engine, entry point) combinations every
+// differential property is checked across.
+var engineModes = []struct {
+	eng  Engine
+	mode stepMode
+}{
+	{Sparse, viaStep},
+	{Sparse, viaStepSet},
+	{Dense, viaStep},
+	{Dense, viaStepSet},
+}
+
 // runEngine is executeEngine with a Bernoulli(txProb) schedule drawn from
 // driverSeed — the schedule is a pure function of (driverSeed, txProb), so
-// two engines given the same seeds see identical inputs.
-func runEngine(t *testing.T, g *graph.Graph, cfg Config, eng Engine, netSeed, driverSeed uint64, rounds int, txProb float64) execution {
+// all engine/mode combinations see identical inputs.
+func runEngine(t *testing.T, g *graph.Graph, cfg Config, eng Engine, mode stepMode, netSeed, driverSeed uint64, rounds int, txProb float64) execution {
 	t.Helper()
 	driver := rng.New(driverSeed)
-	return executeEngine(t, g, cfg, eng, netSeed, rounds, func(round, v int) bool {
+	return executeEngine(t, g, cfg, eng, mode, netSeed, rounds, func(round, v int) bool {
 		return driver.Bool(txProb)
 	})
+}
+
+// requireIdentical fails unless got matches want in stats, deliveries and
+// traces; name labels the diverging combination.
+func requireIdentical(t *testing.T, name string, want, got execution) {
+	t.Helper()
+	if want.stats != got.stats {
+		t.Fatalf("%s: stats diverged\nwant %+v\ngot  %+v", name, want.stats, got.stats)
+	}
+	if !reflect.DeepEqual(want.deliveries, got.deliveries) {
+		t.Fatalf("%s: deliveries diverged (%d vs %d events)", name, len(want.deliveries), len(got.deliveries))
+	}
+	if !reflect.DeepEqual(want.traces, got.traces) {
+		t.Fatalf("%s: traces diverged", name)
+	}
 }
 
 // diffConfigs are the fault environments the differential suite sweeps.
@@ -105,18 +178,11 @@ func TestDifferentialEnginesAcrossTopologies(t *testing.T) {
 	for _, top := range tops {
 		for _, cfg := range diffConfigs(top.G.N()) {
 			for _, txProb := range []float64{0.05, 0.3, 0.8} {
-				name := top.Name + "/" + cfg.Fault.String()
-				sparse := runEngine(t, top.G, cfg, Sparse, 42, 77, 60, txProb)
-				dense := runEngine(t, top.G, cfg, Dense, 42, 77, 60, txProb)
-				if sparse.stats != dense.stats {
-					t.Fatalf("%s txProb=%v: stats diverged\nsparse %+v\ndense  %+v", name, txProb, sparse.stats, dense.stats)
-				}
-				if !reflect.DeepEqual(sparse.deliveries, dense.deliveries) {
-					t.Fatalf("%s txProb=%v: deliveries diverged (%d vs %d events)",
-						name, txProb, len(sparse.deliveries), len(dense.deliveries))
-				}
-				if !reflect.DeepEqual(sparse.traces, dense.traces) {
-					t.Fatalf("%s txProb=%v: traces diverged", name, txProb)
+				ref := runEngine(t, top.G, cfg, engineModes[0].eng, engineModes[0].mode, 42, 77, 60, txProb)
+				for _, em := range engineModes[1:] {
+					name := fmt.Sprintf("%s/%s/%v/%v txProb=%v", top.Name, cfg.Fault, em.eng, em.mode, txProb)
+					got := runEngine(t, top.G, cfg, em.eng, em.mode, 42, 77, 60, txProb)
+					requireIdentical(t, name, ref, got)
 				}
 			}
 		}
@@ -124,7 +190,7 @@ func TestDifferentialEnginesAcrossTopologies(t *testing.T) {
 }
 
 // Random graphs, random configurations, random schedules: a seed sweep of
-// the same differential property.
+// the same differential property across all engine/mode combinations.
 func TestDifferentialEnginesRandomSweep(t *testing.T) {
 	models := []FaultModel{Faultless, SenderFaults, ReceiverFaults}
 	for seed := uint64(0); seed < 25; seed++ {
@@ -133,33 +199,86 @@ func TestDifferentialEnginesRandomSweep(t *testing.T) {
 		top := graph.GNP(n, r.Float64(), r.Split())
 		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95}
 		txProb := r.Float64()
-		sparse := runEngine(t, top.G, cfg, Sparse, seed+1000, seed+2000, 40, txProb)
-		dense := runEngine(t, top.G, cfg, Dense, seed+1000, seed+2000, 40, txProb)
-		if sparse.stats != dense.stats || !reflect.DeepEqual(sparse.deliveries, dense.deliveries) || !reflect.DeepEqual(sparse.traces, dense.traces) {
-			t.Fatalf("seed %d (%s, %v, txProb=%.2f): engines diverged\nsparse %+v\ndense  %+v",
-				seed, top.Name, cfg.Fault, txProb, sparse.stats, dense.stats)
+		ref := runEngine(t, top.G, cfg, engineModes[0].eng, engineModes[0].mode, seed+1000, seed+2000, 40, txProb)
+		for _, em := range engineModes[1:] {
+			name := fmt.Sprintf("seed %d (%s, %v, %v/%v, txProb=%.2f)", seed, top.Name, cfg.Fault, em.eng, em.mode, txProb)
+			got := runEngine(t, top.G, cfg, em.eng, em.mode, seed+1000, seed+2000, 40, txProb)
+			requireIdentical(t, name, ref, got)
 		}
 	}
 }
 
 // The delivery callback order is part of the contract: ascending receiver
-// id within a round, for both engines.
+// id within a round, for both engines and both entry points.
 func TestDeliveryOrderAscendingWithinRound(t *testing.T) {
-	for _, eng := range []Engine{Sparse, Dense} {
+	for _, em := range engineModes {
 		top := graph.Complete(40)
-		net := MustNew[int32](top.G, Config{Fault: Faultless, Engine: eng}, rng.New(1))
+		net := MustNew[int32](top.G, Config{Fault: Faultless, Engine: em.eng}, rng.New(1))
 		bc := make([]bool, 40)
 		payload := make([]int32, 40)
 		bc[17] = true
 		last := -1
-		net.Step(bc, payload, func(d Delivery[int32]) {
+		record := func(d Delivery[int32]) {
 			if d.To <= last {
-				t.Fatalf("%v engine: delivery to %d after %d (not ascending)", eng, d.To, last)
+				t.Fatalf("%v/%v: delivery to %d after %d (not ascending)", em.eng, em.mode, d.To, last)
 			}
 			last = d.To
-		})
+		}
+		if em.mode == viaStep {
+			net.Step(bc, payload, record)
+		} else {
+			tx := bitset.New(40)
+			tx.FromBools(bc)
+			net.StepSet(tx, payload, nil, record)
+		}
 		if last == -1 {
-			t.Fatalf("%v engine: no deliveries", eng)
+			t.Fatalf("%v/%v: no deliveries", em.eng, em.mode)
+		}
+	}
+}
+
+// StepSet's batched-reception path (rx only, no deliver closure) must be
+// interchangeable with the closure path mid-run: alternating them round by
+// round leaves stats and the accumulated receiver set identical to an
+// all-closure run.
+func TestStepSetBatchedReceptionMatchesCallback(t *testing.T) {
+	for _, eng := range []Engine{Sparse, Dense} {
+		for _, cfg := range diffConfigs(60) {
+			cfg.Engine = eng
+			top := graph.GNP(60, 0.2, rng.New(9))
+			driverA := rng.New(33)
+			driverB := rng.New(33)
+			netA, err := New[int32](top.G, cfg, rng.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			netB, err := New[int32](top.G, cfg, rng.New(5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := top.G.N()
+			bc := make([]bool, n)
+			payload := make([]int32, n)
+			tx := bitset.New(n)
+			rxA := bitset.New(n) // accumulated via rx bitset, no closure
+			rxB := bitset.New(n) // accumulated via deliver closure
+			for round := 0; round < 50; round++ {
+				for v := 0; v < n; v++ {
+					bc[v] = driverA.Bool(0.2)
+					driverB.Bool(0.2) // keep the drivers aligned
+				}
+				tx.FromBools(bc)
+				netA.StepSet(tx, payload, rxA, nil)
+				netB.StepSet(tx, payload, nil, func(d Delivery[int32]) { rxB.Set(d.To) })
+			}
+			if netA.Stats() != netB.Stats() {
+				t.Fatalf("%v/%v: stats diverged between rx-only and deliver-only runs", eng, cfg.Fault)
+			}
+			for w, word := range rxA.Words() {
+				if word != rxB.Words()[w] {
+					t.Fatalf("%v/%v: accumulated receiver sets diverged: %v vs %v", eng, cfg.Fault, rxA, rxB)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,149 @@
+package radio
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"noisyradio/internal/benchreport"
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// EngineMicrobench measures the per-round engine microbenchmarks the CI
+// bench gate tracks: ns/round and allocs/round through StepSet for
+// sparse/dense × faultless/sender/receiver at n ∈ {256, 1024}, each engine
+// on its home topology (sparse on a bounded-degree grid, dense on a
+// complete graph). The schedule is the sparse-broadcaster regime the
+// windowed dense path targets — n/64 contiguous broadcasters in the middle
+// of the id range, as in an early Decay phase or a single WCT cluster
+// layer's schedule slot.
+//
+// Two extra rows per n quantify the fast path against its own
+// compatibility layers on the dense engine: "step" drives the identical
+// round through the []bool adapter (the packing scan the set-native API
+// removes), and "stepset-fullscan" disables the tx/row word windows (the
+// pre-window resolution). Their ratios to the plain dense "stepset" row
+// are what the StepSet redesign buys per round.
+func EngineMicrobench() []benchreport.Microbench {
+	var out []benchreport.Microbench
+	for _, n := range []int{256, 1024} {
+		grid := gridTopology(n)
+		complete := graph.Complete(n)
+		for _, fault := range []FaultModel{Faultless, SenderFaults, ReceiverFaults} {
+			cfg := Config{Fault: fault}
+			if fault != Faultless {
+				cfg.P = 0.3
+			}
+			for _, m := range []struct {
+				engine Engine
+				top    graph.Topology
+				name   string
+			}{
+				{Sparse, grid, "sparse/grid"},
+				{Dense, complete, "dense/complete"},
+			} {
+				cfg.Engine = m.engine
+				ns, allocs := measureRounds(m.top, cfg, n, stepModeSet, false)
+				out = append(out, benchreport.Microbench{
+					Name:           fmt.Sprintf("stepset/%s/%s/n=%d", m.name, fault, n),
+					NsPerRound:     ns,
+					AllocsPerRound: allocs,
+				})
+			}
+		}
+		// Dense controls: the []bool adapter and the window-disabled scan.
+		ctl := Config{Fault: Faultless, Engine: Dense}
+		ns, allocs := measureRounds(complete, ctl, n, stepModeBools, false)
+		out = append(out, benchreport.Microbench{
+			Name:           fmt.Sprintf("step/dense/complete/%s/n=%d", Faultless, n),
+			NsPerRound:     ns,
+			AllocsPerRound: allocs,
+		})
+		ns, allocs = measureRounds(complete, ctl, n, stepModeSet, true)
+		out = append(out, benchreport.Microbench{
+			Name:           fmt.Sprintf("stepset-fullscan/dense/complete/%s/n=%d", Faultless, n),
+			NsPerRound:     ns,
+			AllocsPerRound: allocs,
+		})
+	}
+	return out
+}
+
+// gridTopology returns a √n×√n grid (n must be a square of a power of 2,
+// as the benchmark sizes are).
+func gridTopology(n int) graph.Topology {
+	side := 1
+	for side*side < n {
+		side *= 2
+	}
+	return graph.Grid(side, side)
+}
+
+// microbenchTx returns a benchmark broadcast set of nTx contiguous
+// broadcasters starting at start — the single definition of the schedule
+// every engine benchmark (and its []bool control, via ForEach) derives
+// from, so the compared rows can never drift onto different schedules.
+func microbenchTx(n, start, nTx int) *bitset.Set {
+	tx := bitset.New(n)
+	for v := start; v < start+nTx && v < n; v++ {
+		tx.Set(v)
+	}
+	return tx
+}
+
+const (
+	stepModeSet   = 0 // drive StepSet
+	stepModeBools = 1 // drive the Step []bool adapter
+)
+
+// measureRounds times one configuration: median-free single-pass timing
+// (the CI gate's generous budget absorbs scheduler noise) after a warmup,
+// with allocations counted over a separate short pass so ReadMemStats
+// stays out of the timed region.
+func measureRounds(top graph.Topology, cfg Config, n int, mode int, fullScan bool) (nsPerRound, allocsPerRound float64) {
+	net := MustNew[int32](top.G, cfg, rng.New(0x6d6963726f))
+	net.setFullScan(fullScan)
+	payload := make([]int32, n)
+	tx := microbenchTx(n, n/2, n/64)
+	bc := make([]bool, n)
+	tx.ForEach(func(v int) { bc[v] = true })
+	rx := bitset.New(n)
+	round := func() {
+		rx.Reset()
+		if mode == stepModeBools {
+			net.Step(bc, payload, nil)
+		} else {
+			net.StepSet(tx, payload, rx, nil)
+		}
+	}
+
+	const warmup = 16
+	for i := 0; i < warmup; i++ {
+		round()
+	}
+
+	const allocRounds = 32
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < allocRounds; i++ {
+		round()
+	}
+	runtime.ReadMemStats(&ms1)
+	allocsPerRound = float64(ms1.Mallocs-ms0.Mallocs) / allocRounds
+
+	rounds := 0
+	start := time.Now()
+	for batch := 64; ; batch *= 2 {
+		for i := 0; i < batch; i++ {
+			round()
+		}
+		rounds += batch
+		if time.Since(start) >= 10*time.Millisecond || rounds >= 1<<20 {
+			break
+		}
+	}
+	nsPerRound = float64(time.Since(start).Nanoseconds()) / float64(rounds)
+	return nsPerRound, allocsPerRound
+}

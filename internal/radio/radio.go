@@ -47,6 +47,18 @@
 // degree. Because the two engines consume the rng.Stream in the same
 // canonical order, Stats, deliveries and traces are bit-identical across
 // engines (enforced by differential and fuzz tests).
+//
+// # Set-native rounds
+//
+// StepSet is the frontier-native entry point: the broadcasting set arrives
+// as a bitset (which is how the paper's schedules — informed sets, cluster
+// layers, wave slots — represent it anyway), successful receivers can be
+// accumulated into a caller-provided bitset with no per-delivery closure,
+// and the dense engine confines each listener's intersection scan to the
+// overlap of the round's nonzero tx word window with the listener's
+// adjacency-row window. Step([]bool, ...) remains as a thin adapter that
+// packs the bool slice and forwards; both paths execute the identical
+// draw sequence, so they are interchangeable mid-run.
 package radio
 
 import (
@@ -174,14 +186,6 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// probFor returns the fault probability applying to node v.
-func (c Config) probFor(v int32) float64 {
-	if c.PerNodeP != nil {
-		return c.PerNodeP[v]
-	}
-	return c.P
-}
-
 // Stats accumulates channel-level accounting across rounds.
 type Stats struct {
 	Rounds         int
@@ -205,18 +209,41 @@ type Network[P any] struct {
 
 	trace TraceFunc
 
+	// Precomputed integer-threshold fault samplers, exactly equivalent to
+	// rnd.Bool(probFor(v)) draw-for-draw (see rng.Bernoulli): faultCoin
+	// when the probability is uniform, faultCoins[v] under PerNodeP.
+	// Unset (zero-value, never drawn) when Fault is Faultless.
+	faultCoin  rng.Bernoulli
+	faultCoins []rng.Bernoulli
+
 	// Sparse-engine per-round scratch, reused across rounds to avoid
 	// allocation.
 	txCount []int32 // broadcasting-neighbour count per node
 	txFrom  []int32 // some broadcasting neighbour (unique when txCount==1)
 	touched []int32 // nodes with txCount > 0 this round, for cheap reset
 
-	// Dense-engine state: bitset adjacency rows (cached on the graph) and
-	// the per-round broadcast bitset.
-	adjBits *bitset.Matrix
-	tx      *bitset.Set
+	// Dense-engine state: bitset adjacency rows (cached on the graph),
+	// flattened for direct word indexing in the listener loop, and their
+	// per-row nonzero word windows.
+	adjBits      *bitset.Matrix
+	adjWords     []uint64 // row u's words at [u*adjStride, (u+1)*adjStride)
+	adjStride    int
+	rowLo, rowHi []int32
 
-	// Shared per-round scratch.
+	// scratchTx is the packed broadcast set the Step adapter assembles
+	// from its []bool argument before forwarding to StepSet. FromBools
+	// overwrites it wholesale each round, so it needs no clearing.
+	scratchTx *bitset.Set
+
+	// fullScan disables the dense engine's tx/row windowing (every
+	// listener scans the full word range, as the pre-window engine did).
+	// Results are identical either way; only benchmarks enable it (via
+	// setFullScan), to measure what windowing buys.
+	fullScan bool
+
+	// Shared per-round scratch. senderNoise is only allocated under
+	// SenderFaults — the only model that ever writes it — so the other
+	// models pay nothing for it, in Reset or anywhere else.
 	senderNoise []bool  // per-node sender-fault flags this round
 	traceTx     []int32 // broadcasters this round (tracing only)
 	traceRx     []int32 // receivers this round (tracing only)
@@ -247,22 +274,58 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 		engine = autoEngine(g)
 	}
 	n := &Network[P]{
-		g:           g,
-		cfg:         cfg,
-		rnd:         rnd,
-		engine:      engine,
-		senderNoise: make([]bool, g.N()),
+		g:         g,
+		cfg:       cfg,
+		rnd:       rnd,
+		engine:    engine,
+		scratchTx: bitset.New(g.N()),
+	}
+	if cfg.Fault == SenderFaults {
+		n.senderNoise = make([]bool, g.N())
+	}
+	if cfg.Fault != Faultless {
+		if cfg.PerNodeP != nil {
+			n.faultCoins = make([]rng.Bernoulli, g.N())
+			for v := range n.faultCoins {
+				n.faultCoins[v] = rng.NewBernoulli(cfg.PerNodeP[v])
+			}
+		} else {
+			n.faultCoin = rng.NewBernoulli(cfg.P)
+		}
 	}
 	switch engine {
 	case Dense:
 		n.adjBits = g.AdjacencyBits()
-		n.tx = bitset.New(g.N())
+		n.adjWords = n.adjBits.Words()
+		n.adjStride = n.adjBits.Stride()
+		n.rowLo, n.rowHi = n.adjBits.RowRanges()
 	default:
 		n.txCount = make([]int32, g.N())
 		n.txFrom = make([]int32, g.N())
 		n.touched = make([]int32, 0, g.N())
 	}
 	return n, nil
+}
+
+// setFullScan toggles the dense engine's windowing off (on = true) by
+// substituting full-range row windows, or restores the real ones. A
+// measurement knob for benchmarks only — executions are identical either
+// way, just slower without the windows.
+func (n *Network[P]) setFullScan(on bool) {
+	n.fullScan = on
+	if n.engine != Dense {
+		return
+	}
+	if on {
+		lo := make([]int32, n.g.N())
+		hi := make([]int32, n.g.N())
+		for i := range hi {
+			hi[i] = int32(n.adjStride)
+		}
+		n.rowLo, n.rowHi = lo, hi
+	} else {
+		n.rowLo, n.rowHi = n.adjBits.RowRanges()
+	}
 }
 
 // MustNew is New but panics on error, for configurations known valid.
@@ -289,14 +352,13 @@ func (n *Network[P]) Reset(rnd *rng.Stream) {
 	n.traceRx = n.traceRx[:0]
 	// Step maintains the scratch clean between rounds; clear it anyway so
 	// a network abandoned in an unexpected state cannot leak into the next
-	// trial.
+	// trial. senderNoise is nil except under SenderFaults (the only model
+	// that writes it), so the other models skip that clear entirely.
 	for _, u := range n.touched {
 		n.txCount[u] = 0
 	}
 	n.touched = n.touched[:0]
-	if n.tx != nil {
-		n.tx.Reset()
-	}
+	n.scratchTx.Reset()
 	for v := range n.senderNoise {
 		n.senderNoise[v] = false
 	}
@@ -341,23 +403,60 @@ type Delivery[P any] struct {
 // transmits if selected. deliver is invoked once per successful reception.
 // Both slices must have length N.
 //
-// Random draws happen in the canonical order documented in the package
-// comment — sender-fault flags for broadcasting nodes in ascending id,
-// then receiver-fault flags for eligible listeners in ascending id — and
-// the delivery callback runs in ascending receiver id order. Both engines
-// honour this contract, so executions are bit-identical across engines.
+// Step is a thin adapter over StepSet: it packs the bool slice into the
+// network's scratch bitset (the one remaining O(n) scan, inherent to the
+// slice representation) and forwards. Set-native callers should hold
+// their schedules as bitsets and call StepSet directly.
 func (n *Network[P]) Step(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
 	nn := n.g.N()
 	if len(broadcasting) != nn || len(payload) != nn {
 		panic(fmt.Sprintf("radio: Step slice lengths (%d,%d) != N (%d)", len(broadcasting), len(payload), nn))
 	}
+	n.scratchTx.FromBools(broadcasting)
+	n.StepSet(n.scratchTx, payload, nil, deliver)
+}
+
+// StepSet executes one synchronized round with set-native inputs and
+// outputs.
+//
+// tx selects the transmitters; the engine reads it and never mutates it,
+// so a schedule that does not change between rounds (a star's hub, a
+// single link's source) can pass the same set every round with no
+// per-round fill or clear. payload[v] is the packet v transmits if
+// selected; len(payload) must be N and tx.Len() must be N.
+//
+// Receptions are reported two ways, combinable:
+//
+//   - rx, if non-nil (length N), accumulates successful receivers: bit u
+//     is set when u receives a packet this round. Bits are only ever
+//     added — callers that want per-round sets clear rx between rounds.
+//     This is the batched path for callers that only need "who got a
+//     packet" (all single-message runners): no closure dispatch at all.
+//   - deliver, if non-nil, is invoked once per successful reception with
+//     the full (To, From, Payload) triple.
+//
+// Random draws happen in the canonical order documented in the package
+// comment — sender-fault flags for broadcasting nodes in ascending id,
+// then receiver-fault flags for eligible listeners in ascending id — and
+// receivers are resolved (rx bits set, deliver invoked) in ascending
+// receiver id order. Both engines honour this contract, and Step forwards
+// here, so executions are bit-identical across engines and across the
+// Step/StepSet entry points.
+func (n *Network[P]) StepSet(tx *bitset.Set, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
+	nn := n.g.N()
+	if tx.Len() != nn || len(payload) != nn {
+		panic(fmt.Sprintf("radio: StepSet tx/payload lengths (%d,%d) != N (%d)", tx.Len(), len(payload), nn))
+	}
+	if rx != nil && rx.Len() != nn {
+		panic(fmt.Sprintf("radio: StepSet rx length %d != N (%d)", rx.Len(), nn))
+	}
 	n.stats.Rounds++
 	if n.engine == Dense {
-		n.stepDense(broadcasting, payload, deliver)
+		n.stepSetDense(tx, payload, rx, deliver)
 	} else {
-		n.stepSparse(broadcasting, payload, deliver)
+		n.stepSetSparse(tx, payload, rx, deliver)
 	}
-	n.finishRound(broadcasting)
+	n.finishRound(tx)
 }
 
 // markBroadcaster performs the per-broadcaster bookkeeping shared by both
@@ -368,21 +467,31 @@ func (n *Network[P]) markBroadcaster(v int) {
 		n.traceTx = append(n.traceTx, int32(v))
 	}
 	if n.cfg.Fault == SenderFaults {
-		n.senderNoise[v] = n.rnd.Bool(n.cfg.probFor(int32(v)))
-		if n.senderNoise[v] {
+		noisy := n.faultFor(int32(v)).Draw(n.rnd)
+		n.senderNoise[v] = noisy
+		if noisy {
 			n.stats.SenderFaults++
 		}
 	}
 }
 
+// faultFor returns the precomputed fault sampler for node v. Only called
+// under SenderFaults/ReceiverFaults, where the coins are always built.
+func (n *Network[P]) faultFor(v int32) rng.Bernoulli {
+	if n.faultCoins != nil {
+		return n.faultCoins[v]
+	}
+	return n.faultCoin
+}
+
 // resolveUnique handles listener u whose unique transmitting neighbour is
-// from: the canonical receiver-fault draw, delivery accounting, tracing
-// and the delivery callback. Shared by both engines.
-func (n *Network[P]) resolveUnique(u, from int32, payload []P, deliver func(d Delivery[P])) {
+// from: the canonical receiver-fault draw, delivery accounting, tracing,
+// the rx bit and the delivery callback. Shared by both engines.
+func (n *Network[P]) resolveUnique(u, from int32, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
 	if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
 		return // content destroyed at the sender
 	}
-	if n.cfg.Fault == ReceiverFaults && n.rnd.Bool(n.cfg.probFor(u)) {
+	if n.cfg.Fault == ReceiverFaults && n.faultFor(u).Draw(n.rnd) {
 		n.stats.ReceiverFaults++
 		return
 	}
@@ -390,28 +499,33 @@ func (n *Network[P]) resolveUnique(u, from int32, payload []P, deliver func(d De
 	if n.trace != nil {
 		n.traceRx = append(n.traceRx, u)
 	}
+	if rx != nil {
+		rx.Set(int(u))
+	}
 	if deliver != nil {
 		deliver(Delivery[P]{To: int(u), From: int(from), Payload: payload[from]})
 	}
 }
 
-// stepSparse is the CSR engine: walk the neighbour lists of the
-// broadcasters, then resolve the touched listeners in ascending id order.
-func (n *Network[P]) stepSparse(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
-	nn := n.g.N()
-
+// stepSetSparse is the CSR engine: walk the neighbour lists of the
+// broadcasters (iterated straight off the tx words — cost is
+// O(Σ deg(broadcaster)), independent of n), then resolve the touched
+// listeners in ascending id order.
+func (n *Network[P]) stepSetSparse(tx *bitset.Set, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
 	// Mark transmissions and draw sender faults in ascending id order.
-	for v := 0; v < nn; v++ {
-		if !broadcasting[v] {
-			continue
-		}
-		n.markBroadcaster(v)
-		for _, u := range n.g.Neighbors(v) {
-			if n.txCount[u] == 0 {
-				n.touched = append(n.touched, u)
+	txw := tx.Words()
+	txLo, txHi := tx.NonzeroRange()
+	for wi := txLo; wi < txHi; wi++ {
+		for w := txw[wi]; w != 0; w &= w - 1 {
+			v := wi*64 + bits.TrailingZeros64(w)
+			n.markBroadcaster(v)
+			for _, u := range n.g.Neighbors(v) {
+				if n.txCount[u] == 0 {
+					n.touched = append(n.touched, u)
+				}
+				n.txCount[u]++
+				n.txFrom[u] = int32(v)
 			}
-			n.txCount[u]++
-			n.txFrom[u] = int32(v)
 		}
 	}
 
@@ -420,14 +534,14 @@ func (n *Network[P]) stepSparse(broadcasting []bool, payload []P, deliver func(d
 	// first-touched order, so sort first.
 	slices.Sort(n.touched)
 	for _, u := range n.touched {
-		if broadcasting[u] {
+		if tx.Test(int(u)) {
 			continue // transmitting nodes do not listen
 		}
 		switch {
 		case n.txCount[u] > 1:
 			n.stats.Collisions++
 		case n.txCount[u] == 1:
-			n.resolveUnique(u, n.txFrom[u], payload, deliver)
+			n.resolveUnique(u, n.txFrom[u], payload, rx, deliver)
 		}
 	}
 
@@ -438,41 +552,64 @@ func (n *Network[P]) stepSparse(broadcasting []bool, payload []P, deliver func(d
 	n.touched = n.touched[:0]
 }
 
-// stepDense is the word-parallel engine: the broadcasting set becomes a
-// bitset and each listener's transmitting-neighbour count is
-// popcount(adj[u] & tx), 64 candidates per word, with the unique sender
-// recovered from the single surviving intersection word.
-func (n *Network[P]) stepDense(broadcasting []bool, payload []P, deliver func(d Delivery[P])) {
-	nn := n.g.N()
-
-	// Mark transmissions and draw sender faults in ascending id order.
-	anyTx := false
-	for v := 0; v < nn; v++ {
-		if !broadcasting[v] {
-			continue
-		}
-		anyTx = true
-		n.markBroadcaster(v)
-		n.tx.Set(v)
+// stepSetDense is the word-parallel engine: each listener's
+// transmitting-neighbour count is popcount(adj[u] & tx), 64 candidates
+// per word, with the unique sender recovered from the single surviving
+// intersection word.
+//
+// The engine is windowed: per listener it scans only the overlap of the
+// round's nonzero tx word window with the listener's adjacency-row window
+// (both maintained incrementally, so the overlap costs two compares).
+// When broadcasters occupy few words — early Decay phases, a single WCT
+// cluster layer, one schedule slot — the overlap is one or two words and
+// the per-listener cost collapses from O(n/64) to O(1).
+func (n *Network[P]) stepSetDense(tx *bitset.Set, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
+	txw := tx.Words()
+	txLo, txHi := tx.NonzeroRange()
+	if txLo == txHi {
+		return // silent round: no transmissions, no receptions, no draws
 	}
-	if !anyTx {
-		return
+
+	// Mark transmissions and draw sender faults in ascending id order,
+	// straight off the tx words.
+	for wi := txLo; wi < txHi; wi++ {
+		for w := txw[wi]; w != 0; w &= w - 1 {
+			n.markBroadcaster(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+	if n.fullScan {
+		txLo, txHi = 0, len(txw)
 	}
 
 	// Resolve receptions in ascending receiver id order, counting
-	// transmitting neighbours word-wise with an early exit once a
-	// collision is certain.
-	txw := n.tx.Words()
-	for u := 0; u < nn; u++ {
-		if broadcasting[u] {
+	// transmitting neighbours word-wise over the window overlap with an
+	// early exit once a collision is certain. State is hoisted into locals
+	// and rows indexed off the flat word slice: the loop body runs once
+	// per listener per round and is the simulator's innermost hot path.
+	nn := n.g.N()
+	adj, stride := n.adjWords, n.adjStride
+	rowLo, rowHi := n.rowLo, n.rowHi
+	for u, base := 0, 0; u < nn; u, base = u+1, base+stride {
+		if txw[u>>6]&(1<<(uint(u)&63)) != 0 {
 			continue // transmitting nodes do not listen
 		}
-		row := n.adjBits.Row(u)
+		// Clamp the tx window to the row window; an all-zero row has
+		// lo > hi (stride, 0), which clamps to an empty overlap.
+		lo, hi := txLo, txHi
+		if rl := int(rowLo[u]); rl > lo {
+			lo = rl
+		}
+		if rh := int(rowHi[u]); rh < hi {
+			hi = rh
+		}
+		if lo >= hi {
+			continue
+		}
 		count := 0
 		var hit uint64 // the intersection word containing the unique bit
 		var hitBase int
-		for w, t := range txw {
-			x := row[w] & t
+		for w := lo; w < hi; w++ {
+			x := adj[base+w] & txw[w]
 			if x == 0 {
 				continue
 			}
@@ -486,19 +623,21 @@ func (n *Network[P]) stepDense(broadcasting []bool, payload []P, deliver func(d 
 		case count > 1:
 			n.stats.Collisions++
 		case count == 1:
-			n.resolveUnique(int32(u), int32(hitBase+bits.TrailingZeros64(hit)), payload, deliver)
+			n.resolveUnique(int32(u), int32(hitBase+bits.TrailingZeros64(hit)), payload, rx, deliver)
 		}
 	}
-
-	n.tx.Reset()
 }
 
-// finishRound clears the shared per-round scratch and flushes the trace.
-func (n *Network[P]) finishRound(broadcasting []bool) {
+// finishRound clears the sender-fault flags set this round (O(broadcasters),
+// iterated off the tx words — only the sender model ever sets any) and
+// flushes the trace.
+func (n *Network[P]) finishRound(tx *bitset.Set) {
 	if n.cfg.Fault == SenderFaults {
-		for v := range broadcasting {
-			if broadcasting[v] {
-				n.senderNoise[v] = false
+		txw := tx.Words()
+		lo, hi := tx.NonzeroRange()
+		for wi := lo; wi < hi; wi++ {
+			for w := txw[wi]; w != 0; w &= w - 1 {
+				n.senderNoise[wi*64+bits.TrailingZeros64(w)] = false
 			}
 		}
 	}

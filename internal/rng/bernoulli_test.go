@@ -1,0 +1,108 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// bernoulliGrid returns the probabilities the equivalence tests sweep: a
+// dense uniform grid over [0,1], the boundary and out-of-range values, the
+// subnormal neighbourhood, exact powers of two (where ceil(p·2^53) lands on
+// an integer), and one-ulp perturbations around all of them.
+func bernoulliGrid() []float64 {
+	ps := []float64{
+		0, 1, -0.25, 1.25, math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64,
+		2 * math.SmallestNonzeroFloat64, 3 * math.SmallestNonzeroFloat64,
+		0x1p-1074, 0x1p-1022, math.Nextafter(0x1p-1022, 0), // smallest normal and largest subnormal
+		0x1p-53, 0x1p-52, 0x1p-24, 1 - 0x1p-53, 1 - 0x1p-52,
+	}
+	for i := 0; i <= 1000; i++ {
+		ps = append(ps, float64(i)/1000)
+	}
+	for e := 1; e <= 60; e++ {
+		ps = append(ps, math.Exp2(-float64(e)))
+	}
+	// One-ulp perturbations in both directions around everything so far.
+	for _, p := range append([]float64(nil), ps...) {
+		ps = append(ps, math.Nextafter(p, 2), math.Nextafter(p, -1))
+	}
+	return ps
+}
+
+// TestBernoulliMatchesBool is the draw-contract proof: for every grid
+// probability, Bernoulli.Draw and Bool make identical accept/reject
+// decisions AND leave the stream at identical positions, draw by draw.
+func TestBernoulliMatchesBool(t *testing.T) {
+	for _, p := range bernoulliGrid() {
+		b := NewBernoulli(p)
+		boolStream := New(0xb00)
+		bernStream := New(0xb00)
+		for i := 0; i < 64; i++ {
+			want := boolStream.Bool(p)
+			got := b.Draw(bernStream)
+			if got != want {
+				t.Fatalf("p=%v draw %d: Bernoulli=%v, Bool=%v", p, i, got, want)
+			}
+			// Stream positions must agree after every draw (Bool consumes
+			// nothing at p<=0 and p>=1, one Uint64 otherwise); comparing the
+			// full generator state is stricter than comparing one output.
+			if *boolStream != *bernStream {
+				t.Fatalf("p=%v draw %d: stream states diverged", p, i)
+			}
+		}
+	}
+}
+
+// TestBernoulliThresholdExact pins the threshold formula against the
+// definition: the number of 53-bit values u with float64(u)·2^-53 < p.
+func TestBernoulliThresholdExact(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0, 0},
+		{math.SmallestNonzeroFloat64, 1}, // any positive p accepts u=0
+		{0x1p-53, 1},                     // exactly one accepted value
+		{0x1p-52, 2},
+		{0.5, 1 << 52},
+		{1 - 0x1p-53, 1<<53 - 1}, // largest p < 1 rejects only u = 2^53-1
+	}
+	for _, c := range cases {
+		if got := NewBernoulli(c.p).thresh; got != c.want {
+			t.Errorf("threshold(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+// TestBernoulliZeroValue: the zero value is the never-true coin.
+func TestBernoulliZeroValue(t *testing.T) {
+	var b Bernoulli
+	r := New(1)
+	before := *r
+	if b.Draw(r) {
+		t.Fatal("zero-value Bernoulli drew true")
+	}
+	if *r != before {
+		t.Fatal("zero-value Bernoulli consumed randomness")
+	}
+}
+
+func BenchmarkBool(b *testing.B) {
+	r := New(1)
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = r.Bool(0.3)
+	}
+	_ = sink
+}
+
+func BenchmarkBernoulliDraw(b *testing.B) {
+	r := New(1)
+	coin := NewBernoulli(0.3)
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = coin.Draw(r)
+	}
+	_ = sink
+}

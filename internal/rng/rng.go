@@ -91,6 +91,58 @@ func (r *Stream) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// Bernoulli is a fixed-probability coin with the float compare hoisted out
+// of the draw: accepting u>>11 < ceil(p·2^53) is exactly equivalent to
+// Float64() < p (both the 53-bit integer→float conversion and the
+// power-of-two scaling are exact), so a sampler built once replaces a
+// float multiply + compare per draw with one integer compare. Draw is
+// bit-identical to Bool(p) — same decisions, same stream positions,
+// including the no-consumption short-circuits at p <= 0 and p >= 1 —
+// which the package tests verify over a dense probability grid.
+//
+// The zero value is a never-true coin that consumes no randomness.
+type Bernoulli struct {
+	thresh uint64
+}
+
+// Sentinel thresholds for the non-arithmetic coins. Unreachable as real
+// thresholds: for p < 1 the largest is ceil((1-2^-53)·2^53) = 2^53 - 1.
+const (
+	bernoulliAlways = ^uint64(0)     // p >= 1: true, no draw
+	bernoulliNaN    = ^uint64(0) - 1 // NaN: false, but one draw consumed
+)
+
+// NewBernoulli returns a sampler whose Draw is exactly Bool(p) — for NaN
+// too, which slips through Bool's p<=0/p>=1 guards into the float compare
+// (always false) and therefore burns a draw; converting it with
+// uint64(math.Ceil(NaN·2^53)) instead would be implementation-defined.
+func NewBernoulli(p float64) Bernoulli {
+	switch {
+	case math.IsNaN(p):
+		return Bernoulli{thresh: bernoulliNaN}
+	case p <= 0:
+		return Bernoulli{}
+	case p >= 1:
+		return Bernoulli{thresh: bernoulliAlways}
+	}
+	return Bernoulli{thresh: uint64(math.Ceil(p * (1 << 53)))}
+}
+
+// Draw returns true with the sampler's probability, consuming exactly the
+// randomness Bool would: one Uint64 for p in (0,1) or NaN, none otherwise.
+func (b Bernoulli) Draw(r *Stream) bool {
+	switch b.thresh {
+	case 0:
+		return false
+	case bernoulliAlways:
+		return true
+	case bernoulliNaN:
+		r.Uint64()
+		return false
+	}
+	return r.Uint64()>>11 < b.thresh
+}
+
 // Intn returns a uniform int in [0, n). It panics if n <= 0.
 func (r *Stream) Intn(n int) int {
 	if n <= 0 {
