@@ -35,6 +35,7 @@ func main() {
 		currentPath  = flag.String("current", "", "freshly generated BENCH_sweep.json")
 		maxReg       = flag.Float64("max-regression", 0.30, "maximum allowed fractional wall-clock regression")
 		maxMicroReg  = flag.Float64("max-microbench-regression", 0.50, "maximum allowed fractional ns/round regression per engine microbenchmark")
+		minBatchSpd  = flag.Float64("min-stepbatch-speedup", 0, "minimum required scalar-stepset/stepbatch ns-per-trial-round ratio at w=8 on dense/complete n=1024 (0 disables)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -57,6 +58,51 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
 		os.Exit(1)
 	}
+	if *minBatchSpd > 0 {
+		verdict, err := gateStepBatch(current, *minBatchSpd)
+		if verdict != "" {
+			fmt.Println("benchgate:", verdict)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// The microbenchmark rows the trial-batching speedup gate compares: the
+// scalar set-native round and the width-8 batched round (both ns per
+// trial-round) on the dense engine's home benchmark topology.
+const (
+	stepBatchScalarRow = "stepset/dense/complete/faultless/n=1024"
+	stepBatchBatchRow  = "stepbatch/w=8/dense/complete/faultless/n=1024"
+)
+
+// gateStepBatch enforces the trial-batching acceptance floor against the
+// *current* report alone: the width-8 StepBatch microbenchmark must be at
+// least minSpeedup times cheaper per trial-round than scalar StepSet on
+// the same schedule. Unlike the regression gates this is an absolute
+// property of the engine, so no baseline is involved.
+func gateStepBatch(current benchreport.Report, minSpeedup float64) (string, error) {
+	rows := make(map[string]benchreport.Microbench, len(current.Microbench))
+	for _, m := range current.Microbench {
+		rows[m.Name] = m
+	}
+	scalar, okS := rows[stepBatchScalarRow]
+	batch, okB := rows[stepBatchBatchRow]
+	if !okS || !okB {
+		return "", fmt.Errorf("stepbatch gate: report lacks %q or %q", stepBatchScalarRow, stepBatchBatchRow)
+	}
+	if scalar.NsPerRound <= 0 || batch.NsPerRound <= 0 {
+		return "", fmt.Errorf("stepbatch gate: non-positive ns/round (scalar %.1f, batch %.1f)", scalar.NsPerRound, batch.NsPerRound)
+	}
+	speedup := scalar.NsPerRound / batch.NsPerRound
+	summary := fmt.Sprintf("stepbatch w=8 %.0f ns/trial-round vs scalar %.0f: %.2fx (floor %.2fx)",
+		batch.NsPerRound, scalar.NsPerRound, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return summary, fmt.Errorf("%s", summary)
+	}
+	return "ok — " + summary, nil
 }
 
 // gate returns a human-readable verdict and a non-nil error when current

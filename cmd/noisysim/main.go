@@ -9,6 +9,7 @@
 //	noisysim -exp E9 -quick        # reduced sweep for a fast look
 //	noisysim -exp E13 -trials 12 -seed 7 -workers 8
 //	noisysim -exp E9 -engine dense # force the bit-parallel radio engine
+//	noisysim -exp E3 -trialbatch 8 # run 8 Monte-Carlo trials per lockstep batch
 //	noisysim -exp all -quick -benchjson BENCH_sweep.json
 //
 // Every experiment schedules all of its table rows on one shared worker
@@ -28,6 +29,13 @@
 // dense). Results are bit-identical across engines — auto picks per graph
 // by average degree, dense forces word-parallel channel resolution, sparse
 // forces CSR neighbour walking. Purely a performance knob.
+//
+// The -trialbatch flag sets the lockstep trial-batch width W: batch-capable
+// experiment rows run W consecutive Monte-Carlo trials through one
+// trial-batched radio network (each listener's adjacency row visited once
+// per round for all W trials) instead of W scalar executions. 0 or 1 runs
+// everything scalar. Like the other knobs it never changes any output —
+// tables are bit-identical at every width.
 //
 // The -benchjson flag writes a machine-readable performance report (suite
 // wall clock, per-experiment seconds, rows/sec, allocations per trial) to
@@ -70,20 +78,21 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("noisysim", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
-		list     = fs.Bool("list", false, "list available experiments")
-		trials   = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		workers  = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
-		rowWkrs  = fs.Int("rowworkers", 0, "max table rows in flight at once (0 = all); memory/scheduling knob, output identical")
-		quick    = fs.Bool("quick", false, "reduced sweeps and trial counts")
-		engine   = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
-		asJSON   = fs.Bool("json", false, "emit experiment tables as a JSON array")
-		benchOut = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial) to this path")
-		demo     = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
-		demoN    = fs.Int("n", 24, "demo: path length")
-		demoP    = fs.Float64("p", 0.3, "demo: fault probability")
-		faultMd  = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
+		exp        = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
+		list       = fs.Bool("list", false, "list available experiments")
+		trials     = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
+		seed       = fs.Uint64("seed", 1, "base random seed")
+		workers    = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
+		rowWkrs    = fs.Int("rowworkers", 0, "max table rows in flight at once (0 = all); memory/scheduling knob, output identical")
+		quick      = fs.Bool("quick", false, "reduced sweeps and trial counts")
+		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
+		trialBatch = fs.Int("trialbatch", 0, "lockstep trial-batch width W (0/1 = scalar); output identical at every width")
+		asJSON     = fs.Bool("json", false, "emit experiment tables as a JSON array")
+		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial) to this path")
+		demo       = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
+		demoN      = fs.Int("n", 24, "demo: path length")
+		demoP      = fs.Float64("p", 0.3, "demo: fault probability")
+		faultMd    = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -112,6 +121,7 @@ func run(args []string, out *os.File) error {
 		RowWorkers: *rowWkrs,
 		Quick:      *quick,
 		Engine:     eng,
+		TrialBatch: *trialBatch,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -133,6 +143,7 @@ func run(args []string, out *os.File) error {
 		Seed:       *seed,
 		Workers:    *workers,
 		RowWorkers: *rowWkrs,
+		TrialBatch: *trialBatch,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	var memBefore runtime.MemStats

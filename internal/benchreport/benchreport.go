@@ -18,6 +18,7 @@ type Report struct {
 	Seed           uint64       `json:"seed"`
 	Workers        int          `json:"workers"`
 	RowWorkers     int          `json:"rowworkers"`
+	TrialBatch     int          `json:"trialbatch"`
 	GoMaxProcs     int          `json:"gomaxprocs"`
 	WallSeconds    float64      `json:"wall_seconds"`
 	Tables         int          `json:"tables"`

@@ -1,0 +1,944 @@
+package broadcast
+
+import (
+	"fmt"
+	"math/bits"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/gbst"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rlnc"
+	"noisyradio/internal/rng"
+)
+
+// This file holds the trial-batched twins of the multi-message schedules:
+// each entry runs one independent trial per stream in rnds, in lockstep
+// over a pooled radio.BatchNetwork (see runMultiBatch), with trial i
+// draw-for-draw identical to the scalar function applied to rnds[i]. The
+// scalar fallback covers width 1 (nothing to amortise) and widths beyond
+// radio.MaxBatchWidth.
+
+// StarRoutingBatch is the trial-batched StarRouting.
+func StarRoutingBatch(leaves, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if leaves < 1 || k < 1 {
+		return nil, fmt.Errorf("broadcast: star routing needs leaves >= 1 and k >= 1, got (%d,%d)", leaves, k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return StarRouting(leaves, k, cfg, r, opts)
+		})
+	}
+	top := cachedStar(leaves)
+	n := top.G.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = starDefaultMaxRounds(leaves, k, cfg)
+	}
+
+	// Only the hub ever broadcasts, in every lane: one constant block.
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	gen := make([][]int32, w)
+	current := make([]int32, w)
+	missing := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		tx.Set(l, 0)
+		payloads[l] = make([]int32, n)
+		gen[l] = make([]int32, n)
+		missing[l] = leaves
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) { payloads[l][0] = current[l] },
+			deliver: func(d radio.Delivery[int32]) {
+				if gen[l][d.To] != current[l]+1 {
+					gen[l][d.To] = current[l] + 1
+					missing[l]--
+				}
+			},
+			after: func(round int) bool {
+				if missing[l] == 0 {
+					current[l]++
+					missing[l] = leaves
+				}
+				return current[l] == int32(k)
+			},
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			return MultiResult{
+				Rounds:  rounds,
+				Success: current[l] == int32(k),
+				Done:    doneCountStar(current[l], k, leaves, missing[l]),
+				Channel: ch,
+			}
+		})
+}
+
+// StarCodingBatch is the trial-batched StarCoding.
+func StarCodingBatch(leaves, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if leaves < 1 || k < 1 {
+		return nil, fmt.Errorf("broadcast: star coding needs leaves >= 1 and k >= 1, got (%d,%d)", leaves, k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return StarCoding(leaves, k, cfg, r, opts)
+		})
+	}
+	top := cachedStar(leaves)
+	n := top.G.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = starDefaultMaxRounds(leaves, k, cfg)
+	}
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	received := make([][]int32, w)
+	done := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		tx.Set(l, 0)
+		payloads[l] = make([]int32, n)
+		received[l] = make([]int32, n)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) { payloads[l][0] = int32(round) },
+			deliver: func(d radio.Delivery[int32]) {
+				received[l][d.To]++
+				if received[l][d.To] == int32(k) {
+					done[l]++
+				}
+			},
+			after: func(round int) bool { return done[l] == leaves },
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			return MultiResult{
+				Rounds:  rounds,
+				Success: done[l] == leaves,
+				Done:    done[l] + 1,
+				Channel: ch,
+			}
+		})
+}
+
+// WCTRoutingBatch is the trial-batched WCTRouting.
+func WCTRoutingBatch(w0 *graph.WCT, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if err := validateWCTArgs(w0, k); err != nil {
+		return nil, err
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return WCTRouting(w0, k, cfg, r, opts)
+		})
+	}
+	scales := graph.Log2Floor(len(w0.Senders))
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = wctDefaultMaxRounds(w0, k, cfg, scales*scales)
+	}
+	n := w0.G.N()
+	coins := scaleCoins(scales)
+	members := 0
+	for _, c := range w0.Clusters {
+		members += len(c)
+	}
+	firstMember := 1 + len(w0.Senders)
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	gen := make([][]int32, w)
+	current := make([]int32, w)
+	missing := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		rnd := rnds[l]
+		payloads[l] = make([]int32, n)
+		gen[l] = make([]int32, n)
+		missing[l] = members
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) {
+				coin := coins[1+round%scales]
+				for _, s := range w0.Senders {
+					if coin.Draw(rnd) {
+						tx.Set(l, int(s))
+					}
+					payloads[l][s] = current[l]
+				}
+			},
+			deliver: func(d radio.Delivery[int32]) {
+				if d.To >= firstMember && gen[l][d.To] != current[l]+1 {
+					gen[l][d.To] = current[l] + 1
+					missing[l]--
+				}
+			},
+			after: func(round int) bool {
+				for _, s := range w0.Senders {
+					tx.Clear(l, int(s))
+				}
+				if missing[l] == 0 {
+					current[l]++
+					missing[l] = members
+				}
+				return current[l] == int32(k)
+			},
+		}
+	}
+	return runMultiBatch(&idPool, w0.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			return MultiResult{
+				Rounds:  rounds,
+				Success: current[l] == int32(k),
+				Done:    wctDoneCount(w0, current[l], k, missing[l]),
+				Channel: ch,
+			}
+		})
+}
+
+// WCTCodingBatch is the trial-batched WCTCoding.
+func WCTCodingBatch(w0 *graph.WCT, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if err := validateWCTArgs(w0, k); err != nil {
+		return nil, err
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return WCTCoding(w0, k, cfg, r, opts)
+		})
+	}
+	scales := graph.Log2Floor(len(w0.Senders))
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = wctDefaultMaxRounds(w0, k, cfg, scales)
+	}
+	n := w0.G.N()
+	coins := scaleCoins(scales)
+	members := 0
+	for _, c := range w0.Clusters {
+		members += len(c)
+	}
+	firstMember := 1 + len(w0.Senders)
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	received := make([][]int32, w)
+	done := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		rnd := rnds[l]
+		payloads[l] = make([]int32, n)
+		received[l] = make([]int32, n)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) {
+				coin := coins[1+round%scales]
+				for _, s := range w0.Senders {
+					if coin.Draw(rnd) {
+						tx.Set(l, int(s))
+					}
+				}
+				// Fresh packet indices: distinct per (sender, round) pair.
+				for i, s := range w0.Senders {
+					payloads[l][s] = int32(round*len(w0.Senders) + i)
+				}
+			},
+			deliver: func(d radio.Delivery[int32]) {
+				if d.To < firstMember {
+					return
+				}
+				received[l][d.To]++
+				if received[l][d.To] == int32(k) {
+					done[l]++
+				}
+			},
+			after: func(round int) bool {
+				for _, s := range w0.Senders {
+					tx.Clear(l, int(s))
+				}
+				return done[l] == members
+			},
+		}
+	}
+	return runMultiBatch(&idPool, w0.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			return MultiResult{
+				Rounds:  rounds,
+				Success: done[l] == members,
+				Done:    done[l] + 1 + len(w0.Senders),
+				Channel: ch,
+			}
+		})
+}
+
+// SingleLinkNonAdaptiveBatch is the trial-batched SingleLinkNonAdaptive.
+func SingleLinkNonAdaptiveBatch(k, repeats int, cfg radio.Config, rnds []*rng.Stream) ([]MultiResult, error) {
+	if k < 1 || repeats < 1 {
+		return nil, fmt.Errorf("broadcast: single-link non-adaptive needs k >= 1 and repeats >= 1, got (%d,%d)", k, repeats)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return SingleLinkNonAdaptive(k, repeats, cfg, r)
+		})
+	}
+	top := cachedSingleLink()
+	total := k * repeats
+
+	tx := bitset.NewBlock(2, w)
+	payloads := make([][]int32, w)
+	got := make([][]bool, w)
+	received := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		tx.Set(l, 0)
+		payloads[l] = make([]int32, 2)
+		got[l] = make([]bool, k)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) { payloads[l][0] = int32(round / repeats) },
+			deliver: func(d radio.Delivery[int32]) {
+				if !got[l][d.Payload] {
+					got[l][d.Payload] = true
+					received[l]++
+				}
+			},
+			after: func(round int) bool { return round == total-1 },
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, total, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 1
+			if received[l] == k {
+				done = 2
+			}
+			return MultiResult{Rounds: total, Success: received[l] == k, Done: done, Channel: ch}
+		})
+}
+
+// SingleLinkAdaptiveBatch is the trial-batched SingleLinkAdaptive.
+func SingleLinkAdaptiveBatch(k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: single-link adaptive needs k >= 1, got %d", k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return SingleLinkAdaptive(k, cfg, r, opts)
+		})
+	}
+	top := cachedSingleLink()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
+	}
+
+	tx := bitset.NewBlock(2, w)
+	payloads := make([][]int32, w)
+	current := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		tx.Set(l, 0)
+		payloads[l] = make([]int32, 2)
+		lanes[l] = multiLane[int32]{
+			begin:   func(round int) { payloads[l][0] = int32(current[l]) },
+			deliver: func(d radio.Delivery[int32]) { current[l]++ },
+			after:   func(round int) bool { return current[l] == k },
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 1
+			if current[l] == k {
+				done = 2
+			}
+			return MultiResult{Rounds: rounds, Success: current[l] == k, Done: done, Channel: ch}
+		})
+}
+
+// SingleLinkCodingBatch is the trial-batched SingleLinkCoding.
+func SingleLinkCodingBatch(k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: single-link coding needs k >= 1, got %d", k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return SingleLinkCoding(k, cfg, r, opts)
+		})
+	}
+	top := cachedSingleLink()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = singleLinkDefaultMaxRounds(k, cfg)
+	}
+
+	tx := bitset.NewBlock(2, w)
+	payloads := make([][]int32, w)
+	received := make([]int, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		tx.Set(l, 0)
+		payloads[l] = make([]int32, 2)
+		lanes[l] = multiLane[int32]{
+			begin:   func(round int) { payloads[l][0] = int32(round) },
+			deliver: func(d radio.Delivery[int32]) { received[l]++ },
+			after:   func(round int) bool { return received[l] >= k },
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 1
+			if received[l] >= k {
+				done = 2
+			}
+			return MultiResult{Rounds: rounds, Success: received[l] >= k, Done: done, Channel: ch}
+		})
+}
+
+// PathPipelineRoutingBatch is the trial-batched PathPipelineRouting.
+func PathPipelineRoutingBatch(pathLen, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if pathLen < 1 || k < 1 {
+		return nil, fmt.Errorf("broadcast: path pipeline needs pathLen >= 1 and k >= 1, got (%d,%d)", pathLen, k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return PathPipelineRouting(pathLen, k, cfg, r, opts)
+		})
+	}
+	top := cachedPath(pathLen + 1)
+	n := top.G.N()
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = pipelineDefaultMaxRounds(pathLen, k, cfg)
+	}
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	have := make([][]int32, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		payloads[l] = make([]int32, n)
+		have[l] = make([]int32, n)
+		have[l][0] = int32(k)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) {
+				mod := int32(round % 3)
+				for v := 0; v < n-1; v++ {
+					if int32(v)%3 == mod && have[l][v] > have[l][v+1] {
+						tx.Set(l, v)
+						payloads[l][v] = have[l][v+1]
+					}
+				}
+			},
+			deliver: func(d radio.Delivery[int32]) {
+				if d.Payload == have[l][d.To] && d.From == d.To-1 {
+					have[l][d.To]++
+				}
+			},
+			after: func(round int) bool {
+				lo, hi := tx.LaneNonzeroRange(l)
+				tx.ResetLaneWindow(l, lo, hi)
+				return have[l][n-1] == int32(k)
+			},
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 0
+			for v := 0; v < n; v++ {
+				if have[l][v] == int32(k) {
+					done++
+				}
+			}
+			return MultiResult{Rounds: rounds, Success: have[l][n-1] == int32(k), Done: done, Channel: ch}
+		})
+}
+
+// transformedPathBatch is the trial-batched transformedPath, shared by
+// TransformedPathRoutingBatch and TransformedPathCodingBatch. The
+// meta-round structure is identical across lanes (it depends only on
+// pathLen, k and cfg), so the lockstep round index decomposes into the
+// scalar loop's (meta-round, step) pair.
+func transformedPathBatch(pathLen, k int, cfg radio.Config, rnds []*rng.Stream, params TransformParams, opts Options, coding bool) ([]MultiResult, error) {
+	if pathLen < 1 || k < 1 {
+		return nil, fmt.Errorf("broadcast: transformed path needs pathLen >= 1 and k >= 1, got (%d,%d)", pathLen, k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return transformedPath(pathLen, k, cfg, r, params, opts, coding)
+		})
+	}
+	pr := params.withDefaults(pathLen, k)
+	batches := (k + pr.Batch - 1) / pr.Batch
+	mlen := metaRoundLen(pr.Batch, cfg, pr.Eta)
+	metaRounds := 3 * (batches + pathLen)
+	total := metaRounds * mlen
+
+	top := cachedPath(pathLen + 1)
+	n := top.G.N()
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	batchHave := make([][]int32, w)
+	progress := make([][]int32, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		payloads[l] = make([]int32, n)
+		batchHave[l] = make([]int32, n)
+		batchHave[l][0] = int32(batches)
+		progress[l] = make([]int32, n)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) {
+				T, step := round/mlen, round%mlen
+				if step == 0 {
+					for i := range progress[l] {
+						progress[l][i] = 0
+					}
+				}
+				lo, hi := tx.LaneNonzeroRange(l)
+				tx.ResetLaneWindow(l, lo, hi)
+				mod := int32(T % 3)
+				for v := 0; v < n-1; v++ {
+					if int32(v)%3 != mod || batchHave[l][v] <= batchHave[l][v+1] {
+						continue
+					}
+					if coding {
+						tx.Set(l, v)
+						payloads[l][v] = int32(T*mlen + step) // fresh coded packet
+					} else if progress[l][v] < int32(pr.Batch) {
+						tx.Set(l, v)
+						payloads[l][v] = progress[l][v] // message index within batch
+					}
+				}
+			},
+			deliver: func(d radio.Delivery[int32]) {
+				if d.From != d.To-1 {
+					return
+				}
+				v := d.From
+				if coding {
+					progress[l][v]++
+					if progress[l][v] == int32(pr.Batch) {
+						batchHave[l][d.To]++
+					}
+				} else if d.Payload == progress[l][v] {
+					progress[l][v]++
+					if progress[l][v] == int32(pr.Batch) {
+						batchHave[l][d.To]++
+					}
+				}
+			},
+			after: func(round int) bool { return round == total-1 },
+		}
+	}
+	return runMultiBatch(&idPool, top.G, cfg, rnds, total, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 0
+			for v := 0; v < n; v++ {
+				if batchHave[l][v] == int32(batches) {
+					done++
+				}
+			}
+			return MultiResult{Rounds: total, Success: batchHave[l][n-1] == int32(batches), Done: done, Channel: ch}
+		})
+}
+
+// TransformedPathRoutingBatch is the trial-batched TransformedPathRouting.
+func TransformedPathRoutingBatch(pathLen, k int, cfg radio.Config, rnds []*rng.Stream, params TransformParams, opts Options) ([]MultiResult, error) {
+	return transformedPathBatch(pathLen, k, cfg, rnds, params, opts, false)
+}
+
+// TransformedPathCodingBatch is the trial-batched TransformedPathCoding.
+func TransformedPathCodingBatch(pathLen, k int, cfg radio.Config, rnds []*rng.Stream, params TransformParams, opts Options) ([]MultiResult, error) {
+	return transformedPathBatch(pathLen, k, cfg, rnds, params, opts, true)
+}
+
+// PipelinedBatchRoutingBatch is the trial-batched PipelinedBatchRouting.
+// The BFS layer decomposition and the per-phase coins are built once and
+// shared read-only across lanes.
+func PipelinedBatchRoutingBatch(top graph.Topology, k int, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: pipelined batch routing needs k >= 1, got %d", k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return PipelinedBatchRouting(top, k, cfg, r, opts)
+		})
+	}
+	g := top.G
+	n := g.N()
+	layers := g.Layers(top.Source)
+	level := g.BFS(top.Source)
+	for v := 0; v < n; v++ {
+		if level[v] == -1 {
+			return nil, fmt.Errorf("broadcast: node %d unreachable from source", v)
+		}
+	}
+	L := len(layers) - 1
+	if L == 0 {
+		out := make([]MultiResult, w)
+		for l := range out {
+			out[l] = MultiResult{Rounds: 0, Success: true, Done: n}
+		}
+		return out, nil
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = pipelinedBatchDefaultMaxRounds(n, L, k, cfg)
+	}
+	phaseLen := decayPhaseLen(n)
+	coins := decayCoins(phaseLen)
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]int32, w)
+	layerHave := make([][]int32, w)
+	missing := make([][]int, w)
+	gen := make([][]int32, w)
+	marked := make([][]int32, w)
+	lanes := make([]multiLane[int32], w)
+	for l := range lanes {
+		l := l
+		rnd := rnds[l]
+		payloads[l] = make([]int32, n)
+		layerHave[l] = make([]int32, L+1)
+		layerHave[l][0] = int32(k)
+		missing[l] = make([]int, L+1)
+		for i := 1; i <= L; i++ {
+			missing[l][i] = len(layers[i])
+		}
+		gen[l] = make([]int32, n)
+		lanes[l] = multiLane[int32]{
+			begin: func(round int) {
+				mod := round % 3
+				coin := coins[(round/3)%phaseLen]
+				for i := 0; i < L; i++ {
+					if i%3 != mod || layerHave[l][i] <= layerHave[l][i+1] {
+						continue
+					}
+					msg := layerHave[l][i+1]
+					for _, v := range layers[i] {
+						if coin.Draw(rnd) {
+							tx.Set(l, int(v))
+							payloads[l][v] = msg
+							marked[l] = append(marked[l], v)
+						}
+					}
+				}
+			},
+			deliver: func(d radio.Delivery[int32]) {
+				lv := level[d.To]
+				if level[d.From] != lv-1 {
+					return // sideways or backwards reception; not the pipeline
+				}
+				if d.Payload != layerHave[l][lv] || gen[l][d.To] == layerHave[l][lv]+1 {
+					return
+				}
+				gen[l][d.To] = layerHave[l][lv] + 1
+				missing[l][lv]--
+				if missing[l][lv] == 0 {
+					layerHave[l][lv]++
+					missing[l][lv] = len(layers[lv])
+				}
+			},
+			after: func(round int) bool {
+				for _, v := range marked[l] {
+					tx.Clear(l, int(v))
+				}
+				marked[l] = marked[l][:0]
+				return layerHave[l][L] >= int32(k)
+			},
+		}
+	}
+	return runMultiBatch(&idPool, g, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			done := 0
+			for i := 0; i <= L; i++ {
+				if layerHave[l][i] == int32(k) {
+					done += len(layers[i])
+				}
+			}
+			return MultiResult{Rounds: rounds, Success: layerHave[l][L] == int32(k), Done: done, Channel: ch}
+		})
+}
+
+// SequentialDecayRoutingBatch is the trial-batched SequentialDecayRouting:
+// each lane runs its own sequence of k Decay broadcasts (with per-message
+// informed-set resets and per-message round caps), all lanes stepping one
+// shared batch network. Lanes sit at different message indices at any
+// given lockstep round; that is fine, because the schedule depends only on
+// lane-local state.
+func SequentialDecayRoutingBatch(top graph.Topology, cfg radio.Config, k int, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: sequential routing needs k >= 1, got %d", k)
+	}
+	w := len(rnds)
+	if !validBatchWidth(w) || opts.Trace != nil {
+		return scalarFallback(rnds, func(r *rng.Stream) (MultiResult, error) {
+			return SequentialDecayRouting(top, cfg, k, r, opts)
+		})
+	}
+	g := top.G
+	n := g.N()
+	out := make([]MultiResult, w)
+	for l := range out {
+		out[l] = MultiResult{Success: true, Done: n}
+	}
+	if n == 1 {
+		return out, nil // every Decay run completes in zero rounds
+	}
+	perMsgCap := resolveMaxRounds(opts, n, g.Eccentricity(top.Source), cfg)
+	sched := decaySchedule(n)()
+
+	net, err := sigPool.GetBatch(g, cfg, rnds)
+	if err != nil {
+		return nil, err
+	}
+	b := &batchRunner{
+		net:   net,
+		lanes: make([]batchLane, w),
+		tx:    bitset.NewBlock(n, w),
+		rx:    bitset.NewBlock(n, w),
+	}
+	localRound := make([]int, w) // round index within the lane's current message
+	msgDone := make([]int, w)
+	act := ^uint64(0) >> (64 - uint(w))
+	for l := range b.lanes {
+		informed := bitset.New(n)
+		informed.Set(top.Source)
+		b.lanes[l] = batchLane{informed: informed, informedList: []int32{int32(top.Source)}, rnd: rnds[l]}
+	}
+	for act != 0 {
+		for m := act; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			sched(b.view(l), localRound[l])
+		}
+		net.StepBatch(b.tx, nil, b.rx, act, nil)
+		for m := act; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			lane := &b.lanes[l]
+			b.foldLane(l)
+			localRound[l]++
+			out[l].Rounds++
+			switch {
+			case len(lane.informedList) == n:
+				msgDone[l]++
+				if msgDone[l] == k {
+					act &^= 1 << uint(l)
+				} else {
+					lane.informed.Reset()
+					lane.informed.Set(top.Source)
+					lane.informedList = lane.informedList[:0]
+					lane.informedList = append(lane.informedList, int32(top.Source))
+					localRound[l] = 0
+				}
+			case localRound[l] == perMsgCap:
+				out[l].Success = false
+				out[l].Done = len(lane.informedList)
+				act &^= 1 << uint(l)
+			}
+		}
+	}
+	for l := range out {
+		ch := net.LaneStats(l)
+		out[l].Channel = ch
+	}
+	sigPool.PutBatch(net)
+	return out, nil
+}
+
+// RLNCBroadcastBatch is the trial-batched RLNCBroadcast: lane i broadcasts
+// messages[i] under rnds[i], identically to
+// RLNCBroadcast(top, cfg, messages[i], pattern, rnds[i], opts) — except
+// that the per-lane witness decode (which consumes no randomness) is not
+// returned; callers verifying payload reconstruction should use the
+// scalar entry point. All lanes must carry the same message count and
+// payload length (they are trials of one experiment row).
+func RLNCBroadcastBatch(top graph.Topology, cfg radio.Config, messages [][][]byte, pattern RLNCPattern, rnds []*rng.Stream, opts RLNCOptions) ([]MultiResult, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
+	}
+	w := len(rnds)
+	if len(messages) != w {
+		return nil, fmt.Errorf("broadcast: %d message sets for %d streams", len(messages), w)
+	}
+	if !validBatchWidth(w) {
+		out := make([]MultiResult, w)
+		for i, r := range rnds {
+			res, _, err := RLNCBroadcast(top, cfg, messages[i], pattern, r, opts)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	k := len(messages[0])
+	if k < 1 {
+		return nil, fmt.Errorf("broadcast: need at least one message")
+	}
+	payloadLen := len(messages[0][0])
+	if payloadLen == 0 {
+		return nil, fmt.Errorf("broadcast: empty message payloads")
+	}
+	for _, msgs := range messages {
+		if len(msgs) != k || len(msgs[0]) != payloadLen {
+			return nil, fmt.Errorf("broadcast: lanes carry differently shaped message sets")
+		}
+	}
+	g := top.G
+	n := g.N()
+	if n == 1 {
+		// The source already holds every message: the scalar loop never
+		// executes a round (decoded == n up front) and draws nothing.
+		out := make([]MultiResult, w)
+		for l := range out {
+			out[l] = MultiResult{Rounds: 0, Success: true, Done: 1}
+		}
+		return out, nil
+	}
+
+	// Pattern structure, shared read-only across lanes.
+	var buckets [][]int32
+	var period, cS int
+	var levels []int32
+	phaseLen := decayPhaseLen(n)
+	probs := decayProbabilities(phaseLen)
+	if pattern == RLNCRobustFASTBC {
+		tree, err := gbst.Build(g, top.Source)
+		if err != nil {
+			return nil, err
+		}
+		pr := opts.Robust.withDefaults(n, cfg)
+		cS = pr.RoundMult * pr.BlockSize
+		buckets, period = waveBuckets(g, tree, pr.BlockSize)
+		levels = tree.Level
+	} else if pattern != RLNCDecay {
+		return nil, fmt.Errorf("broadcast: unknown RLNC pattern %d", int(pattern))
+	}
+
+	diam := g.Eccentricity(top.Source)
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds(n, diam, cfg) + 80*k*(graph.Log2Ceil(n)+2)
+	}
+
+	tx := bitset.NewBlock(n, w)
+	payloads := make([][]rlnc.Packet, w)
+	decoders := make([][]*rlnc.Decoder, w)
+	active := make([]*bitset.Set, w)
+	activeList := make([][]int32, w)
+	doneSet := make([]*bitset.Set, w)
+	decoded := make([]int, w)
+	marked := make([][]int32, w)
+	lanes := make([]multiLane[rlnc.Packet], w)
+	for l := range lanes {
+		l := l
+		rnd := rnds[l]
+		payloads[l] = make([]rlnc.Packet, n)
+		decoders[l] = make([]*rlnc.Decoder, n)
+		for v := range decoders[l] {
+			decoders[l][v] = rlnc.NewDecoder(k, payloadLen)
+		}
+		src, err := rlnc.SourceDecoder(messages[l])
+		if err != nil {
+			return nil, err
+		}
+		decoders[l][top.Source] = src
+		active[l] = bitset.New(n)
+		active[l].Set(top.Source)
+		activeList[l] = []int32{int32(top.Source)}
+		decoded[l] = 1
+		doneSet[l] = bitset.New(n)
+		doneSet[l].Set(top.Source)
+
+		mark := func(v int32) {
+			if !tx.Test(l, int(v)) {
+				tx.Set(l, int(v))
+				marked[l] = append(marked[l], v)
+			}
+		}
+		decaySample := func(p float64) {
+			geometricVisit(rnd, len(activeList[l]), p, func(pos int) {
+				mark(activeList[l][pos])
+			})
+		}
+		lanes[l] = multiLane[rlnc.Packet]{
+			begin: func(round int) {
+				switch pattern {
+				case RLNCDecay:
+					decaySample(probs[round%phaseLen])
+				case RLNCRobustFASTBC:
+					if round%2 == 1 {
+						t := (round - 1) / 2
+						decaySample(probs[t%phaseLen])
+					} else {
+						t := round
+						activeBlock := (t / 2 / cS) % period
+						mod3 := int32(t % 3)
+						for _, v := range buckets[activeBlock] {
+							if levels[v]%3 == mod3 && active[l].Test(int(v)) {
+								mark(v)
+							}
+						}
+					}
+				}
+				for _, v := range marked[l] {
+					pkt, ok := decoders[l][v].RandomCombination(rnd)
+					if !ok {
+						tx.Clear(l, int(v))
+						continue
+					}
+					payloads[l][v] = pkt
+				}
+			},
+			deliver: func(d radio.Delivery[rlnc.Packet]) {
+				dec := decoders[l][d.To]
+				wasDecodable := dec.CanDecode()
+				innovative, insErr := dec.InsertPacket(d.Payload.Clone())
+				if insErr != nil {
+					// Cannot happen: packet shapes are fixed by construction.
+					panic(insErr)
+				}
+				if innovative && !active[l].Test(d.To) {
+					active[l].Set(d.To)
+					activeList[l] = append(activeList[l], int32(d.To))
+				}
+				if !wasDecodable && dec.CanDecode() && !doneSet[l].Test(d.To) {
+					doneSet[l].Set(d.To)
+					decoded[l]++
+				}
+			},
+			after: func(round int) bool {
+				for _, v := range marked[l] {
+					tx.Clear(l, int(v))
+				}
+				marked[l] = marked[l][:0]
+				return decoded[l] >= n
+			},
+		}
+	}
+	return runMultiBatch(&rlncPool, g, cfg, rnds, maxRounds, tx, payloads, lanes,
+		func(l, rounds int, ch radio.Stats) MultiResult {
+			return MultiResult{Rounds: rounds, Success: decoded[l] == n, Done: decoded[l], Channel: ch}
+		})
+}

@@ -82,6 +82,49 @@ func decayPhaseLen(n int) int {
 	return graph.Log2Ceil(n) + 1
 }
 
+// geometricVisit visits each position of [0, n) independently with
+// probability p, skipping straight between selected positions with one
+// Geometric draw each (expected cost O(p·n)). This is the single
+// definition of the decay-sampling draw sequence: every scalar and batch
+// frontier sampler (singleRunner, laneView, both RLNC pattern drivers)
+// draws through it, so their sequences cannot drift apart.
+func geometricVisit(rnd *rng.Stream, n int, p float64, visit func(pos int)) {
+	pos := -1
+	for {
+		pos += rnd.Geometric(p)
+		if pos >= n {
+			return
+		}
+		visit(pos)
+	}
+}
+
+// marker is the per-trial view a single-message schedule drives: it marks
+// the round's broadcasters and exposes the trial's informed state. Scalar
+// trials implement it with a singleRunner, lockstep batch trials with one
+// lane of a batchRunner — the same schedule closure (see scheduleFunc)
+// drives both, which is what makes batch execution equivalent to scalar
+// execution by construction rather than by parallel maintenance.
+type marker interface {
+	// Mark sets v to broadcast this round.
+	Mark(v int32)
+	// DecayStep marks each informed node independently with probability p,
+	// drawing via geometric skips over the trial's informed list (expected
+	// cost O(p·|informed|), same draw sequence as per-node coins would
+	// produce under the skip sampling contract).
+	DecayStep(p float64)
+	// Informed reports whether v is informed in this trial.
+	Informed(v int32) bool
+}
+
+// scheduleFunc marks one round's broadcasters for one trial.
+type scheduleFunc func(m marker, round int)
+
+// scheduleFactory builds a fresh per-trial schedule closure. Schedules
+// with per-trial mutable state (DecayUnknownN's growing epochs) need one
+// closure per trial; stateless schedules may return a shared one.
+type scheduleFactory func() scheduleFunc
+
 // singleRunner drives the shared informed-set loop of the single-message
 // algorithms: per round, a schedule marks broadcasters from the informed
 // set into the tx bitset; the radio engine resolves receptions straight
@@ -120,31 +163,31 @@ func newSingleRunner(g *graph.Graph, src int, cfg radio.Config, r *rng.Stream) (
 	}, nil
 }
 
-// mark sets v to broadcast this round.
-func (s *singleRunner) mark(v int32) {
+// Mark sets v to broadcast this round.
+func (s *singleRunner) Mark(v int32) {
 	s.tx.Set(int(v))
 }
 
-// decayStep marks each informed node with probability p using geometric
+// DecayStep marks each informed node with probability p using geometric
 // skips over the informed list: expected cost O(p·|informed|).
-func (s *singleRunner) decayStep(p float64) {
-	pos := -1
-	for {
-		pos += s.rnd.Geometric(p)
-		if pos >= len(s.informedList) {
-			return
-		}
-		s.mark(s.informedList[pos])
-	}
+func (s *singleRunner) DecayStep(p float64) {
+	geometricVisit(s.rnd, len(s.informedList), p, func(pos int) {
+		s.Mark(s.informedList[pos])
+	})
+}
+
+// Informed reports whether v is informed.
+func (s *singleRunner) Informed(v int32) bool {
+	return s.informed.Test(int(v))
 }
 
 // run executes schedule until all nodes are informed or maxRounds elapse.
-// schedule must mark broadcasters via mark/decayStep for the given round.
-func (s *singleRunner) run(maxRounds int, schedule func(round int)) Result {
+// schedule must mark broadcasters via the marker view for the given round.
+func (s *singleRunner) run(maxRounds int, schedule scheduleFunc) Result {
 	n := s.informed.Len()
 	round := 0
 	for ; round < maxRounds && len(s.informedList) < n; round++ {
-		schedule(round)
+		schedule(s, round)
 		s.net.StepSet(s.tx, s.payload, s.rx, nil)
 		// Fold the round's receivers into the informed set in ascending id
 		// order — the order the delivery callback used to observe them —

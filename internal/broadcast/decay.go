@@ -8,6 +8,19 @@ import (
 	"noisyradio/internal/rng"
 )
 
+// decaySchedule returns the Decay schedule for n nodes: in the i-th round
+// of a ⌈log₂ n⌉+1-round phase every informed node broadcasts independently
+// with probability 2^-(i+1). Stateless, so the factory hands every trial
+// the same closure.
+func decaySchedule(n int) scheduleFactory {
+	phaseLen := decayPhaseLen(n)
+	probs := decayProbabilities(phaseLen)
+	sched := func(m marker, round int) {
+		m.DecayStep(probs[round%phaseLen])
+	}
+	return func() scheduleFunc { return sched }
+}
+
 // Decay runs the classic Decay algorithm [Bar-Yehuda, Goldreich, Itai 1992]
 // for single-message broadcast from the topology's source (Section 3.4.1).
 //
@@ -27,13 +40,24 @@ func Decay(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Options) (R
 	}
 	runner.net.SetTrace(opts.Trace)
 	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
-	phaseLen := decayPhaseLen(g.N())
-	probs := decayProbabilities(phaseLen)
+	return runner.run(maxRounds, decaySchedule(g.N())()), nil
+}
 
-	res := runner.run(maxRounds, func(round int) {
-		runner.decayStep(probs[round%phaseLen])
-	})
-	return res, nil
+// DecayBatch runs one independent Decay trial per stream in rnds, in
+// lockstep on a trial-batched radio network. Trial i is draw-for-draw
+// identical to Decay(top, cfg, rnds[i], opts) — batching is purely a
+// throughput optimisation (see runSingleBatch).
+func DecayBatch(top graph.Topology, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]Result, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
+	}
+	scalar := func(r *rng.Stream) (Result, error) { return Decay(top, cfg, r, opts) }
+	if singleBatchFallback(rnds, opts) {
+		return runSingleScalar(rnds, scalar)
+	}
+	g := top.G
+	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
+	return runSingleBatch(top, cfg, rnds, opts, maxRounds, decaySchedule(g.N()), scalar)
 }
 
 // decayProbabilities precomputes 2^-(i+1) for the i-th round of a phase.
@@ -55,6 +79,29 @@ func decayCoins(phaseLen int) []rng.Bernoulli {
 		coins[i] = rng.NewBernoulli(math.Exp2(-float64(i + 1)))
 	}
 	return coins
+}
+
+// unknownNSchedule returns the DecayUnknownN growing-epoch schedule. The
+// epoch position is per-trial mutable state, so every trial gets a fresh
+// closure.
+func unknownNSchedule() scheduleFactory {
+	// The epoch cap keeps probabilities meaningful once epochs are longer
+	// than any informed set could require; growth beyond 63 would underflow
+	// 2^-i anyway.
+	const epochCap = 62
+	return func() scheduleFunc {
+		epoch, pos := 1, 0
+		return func(m marker, round int) {
+			m.DecayStep(math.Exp2(-float64(pos + 1)))
+			pos++
+			if pos >= epoch {
+				pos = 0
+				if epoch < epochCap {
+					epoch++
+				}
+			}
+		}
+	}
 }
 
 // DecayUnknownN runs Decay without any knowledge of the network — not even
@@ -80,21 +127,21 @@ func DecayUnknownN(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Opt
 	}
 	runner.net.SetTrace(opts.Trace)
 	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
-	// The epoch cap keeps probabilities meaningful once epochs are longer
-	// than any informed set could require; growth beyond 63 would underflow
-	// 2^-i anyway.
-	const epochCap = 62
+	return runner.run(maxRounds, unknownNSchedule()()), nil
+}
 
-	epoch, pos := 1, 0
-	res := runner.run(maxRounds, func(round int) {
-		runner.decayStep(math.Exp2(-float64(pos + 1)))
-		pos++
-		if pos >= epoch {
-			pos = 0
-			if epoch < epochCap {
-				epoch++
-			}
-		}
-	})
-	return res, nil
+// DecayUnknownNBatch runs one independent DecayUnknownN trial per stream
+// in rnds, in lockstep; trial i is identical to
+// DecayUnknownN(top, cfg, rnds[i], opts).
+func DecayUnknownNBatch(top graph.Topology, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]Result, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
+	}
+	scalar := func(r *rng.Stream) (Result, error) { return DecayUnknownN(top, cfg, r, opts) }
+	if singleBatchFallback(rnds, opts) {
+		return runSingleScalar(rnds, scalar)
+	}
+	g := top.G
+	maxRounds := resolveMaxRounds(opts, g.N(), g.Eccentricity(top.Source), cfg)
+	return runSingleBatch(top, cfg, rnds, opts, maxRounds, unknownNSchedule(), scalar)
 }

@@ -7,6 +7,32 @@ import (
 	"noisyradio/internal/rng"
 )
 
+// fastbcSchedule builds the FASTBC schedule over a GBST: odd rounds run a
+// Decay step, even round 2t rides the non-interfering wave (an informed
+// fast node at level l with rank r broadcasts iff t ≡ l - 6r mod 6·rmax).
+// The bucket tables are shared across trials; the closure is stateless.
+func fastbcSchedule(g *graph.Graph, tree *gbst.Tree) scheduleFactory {
+	phaseLen := decayPhaseLen(g.N())
+	probs := decayProbabilities(phaseLen)
+	buckets, period := waveBuckets(g, tree, 1) // blockSize 1: slot = level - 6·rank
+
+	sched := func(m marker, round int) {
+		if round%2 == 1 { // slow transmission round: Decay step
+			t := (round - 1) / 2
+			m.DecayStep(probs[t%phaseLen])
+			return
+		}
+		// Fast transmission round 2t.
+		t := round / 2
+		for _, v := range buckets[t%period] {
+			if m.Informed(v) {
+				m.Mark(v)
+			}
+		}
+	}
+	return func() scheduleFunc { return sched }
+}
+
 // FASTBC runs the known-topology, diameter-linear broadcast algorithm of
 // Gąsieniec, Peleg and Xin [22] (Section 3.4.2).
 //
@@ -35,37 +61,26 @@ func FASTBC(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Options) (
 	}
 	runner.net.SetTrace(opts.Trace)
 	maxRounds := resolveMaxRounds(opts, g.N(), tree.Depth, cfg)
-	phaseLen := decayPhaseLen(g.N())
-	probs := decayProbabilities(phaseLen)
-	period := 6 * tree.MaxRank
+	return runner.run(maxRounds, fastbcSchedule(g, tree)()), nil
+}
 
-	// Bucket fast nodes by wave slot (l - 6r mod period) so a fast round
-	// only touches the nodes scheduled for it.
-	buckets := make([][]int32, period)
-	for v := 0; v < g.N(); v++ {
-		if !tree.IsFast(v) {
-			continue
-		}
-		s := (int(tree.Level[v]) - 6*int(tree.Rank[v])) % period
-		if s < 0 {
-			s += period
-		}
-		buckets[s] = append(buckets[s], int32(v))
+// FASTBCBatch runs one independent FASTBC trial per stream in rnds, in
+// lockstep; trial i is identical to FASTBC(top, cfg, rnds[i], opts). The
+// GBST and its wave buckets are built once and shared read-only across
+// lanes.
+func FASTBCBatch(top graph.Topology, cfg radio.Config, rnds []*rng.Stream, opts Options) ([]Result, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
 	}
-
-	res := runner.run(maxRounds, func(round int) {
-		if round%2 == 1 { // slow transmission round: Decay step
-			t := (round - 1) / 2
-			runner.decayStep(probs[t%phaseLen])
-			return
-		}
-		// Fast transmission round 2t.
-		t := round / 2
-		for _, v := range buckets[t%period] {
-			if runner.informed.Test(int(v)) {
-				runner.mark(v)
-			}
-		}
-	})
-	return res, nil
+	scalar := func(r *rng.Stream) (Result, error) { return FASTBC(top, cfg, r, opts) }
+	if singleBatchFallback(rnds, opts) {
+		return runSingleScalar(rnds, scalar)
+	}
+	g := top.G
+	tree, err := gbst.Build(g, top.Source)
+	if err != nil {
+		return nil, err
+	}
+	maxRounds := resolveMaxRounds(opts, g.N(), tree.Depth, cfg)
+	return runSingleBatch(top, cfg, rnds, opts, maxRounds, fastbcSchedule(g, tree), scalar)
 }

@@ -169,19 +169,8 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 			return MultiResult{}, nil, err
 		}
 		pr := opts.Robust.withDefaults(n, cfg)
-		period = 6 * tree.MaxRank
 		cS = pr.RoundMult * pr.BlockSize
-		buckets = make([][]int32, period)
-		for v := 0; v < n; v++ {
-			if !tree.IsFast(v) {
-				continue
-			}
-			s := (int(tree.Level[v])/pr.BlockSize - 6*int(tree.Rank[v])) % period
-			if s < 0 {
-				s += period
-			}
-			buckets[s] = append(buckets[s], int32(v))
-		}
+		buckets, period = waveBuckets(g, tree, pr.BlockSize)
 		levels = tree.Level
 	} else if pattern != RLNCDecay {
 		return MultiResult{}, nil, fmt.Errorf("broadcast: unknown RLNC pattern %d", int(pattern))
@@ -205,14 +194,9 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 		}
 	}
 	decaySample := func(p float64) {
-		pos := -1
-		for {
-			pos += r.Geometric(p)
-			if pos >= len(activeList) {
-				return
-			}
+		geometricVisit(r, len(activeList), p, func(pos int) {
 			mark(activeList[pos])
-		}
+		})
 	}
 
 	round := 0

@@ -38,6 +38,57 @@ func (p RobustParams) withDefaults(n int, cfg radio.Config) RobustParams {
 	return out
 }
 
+// waveBuckets buckets a GBST's fast nodes by wave slot
+// (⌊level/blockSize⌋ - 6·rank) mod 6·rmax, so a fast round only touches
+// the nodes scheduled for it. blockSize 1 gives the plain FASTBC wave
+// (slot = level - 6·rank); larger sizes give Robust FASTBC's block wave.
+// This is the single definition of the slot formula — the FASTBC and
+// Robust FASTBC schedules and both RLNC pattern drivers (scalar and
+// batch) all derive their buckets here, so they cannot drift apart.
+func waveBuckets(g *graph.Graph, tree *gbst.Tree, blockSize int) (buckets [][]int32, period int) {
+	period = 6 * tree.MaxRank
+	buckets = make([][]int32, period)
+	for v := 0; v < g.N(); v++ {
+		if !tree.IsFast(v) {
+			continue
+		}
+		s := (int(tree.Level[v])/blockSize - 6*int(tree.Rank[v])) % period
+		if s < 0 {
+			s += period
+		}
+		buckets[s] = append(buckets[s], int32(v))
+	}
+	return buckets, period
+}
+
+// robustSchedule builds the Robust FASTBC block-wave schedule over a GBST
+// (see RobustFASTBC). The bucket tables are shared across trials; the
+// closure is stateless.
+func robustSchedule(g *graph.Graph, tree *gbst.Tree, pr RobustParams) scheduleFactory {
+	phaseLen := decayPhaseLen(g.N())
+	probs := decayProbabilities(phaseLen)
+	buckets, period := waveBuckets(g, tree, pr.BlockSize)
+	levels := tree.Level
+
+	cS := pr.RoundMult * pr.BlockSize
+	sched := func(m marker, round int) {
+		if round%2 == 1 { // slow transmission round: Decay step
+			t := (round - 1) / 2
+			m.DecayStep(probs[t%phaseLen])
+			return
+		}
+		t := round
+		active := (t / 2 / cS) % period
+		mod3 := int32(t % 3)
+		for _, v := range buckets[active] {
+			if levels[v]%3 == mod3 && m.Informed(v) {
+				m.Mark(v)
+			}
+		}
+	}
+	return func() scheduleFunc { return sched }
+}
+
 // RobustFASTBC runs the paper's new single-message broadcast algorithm
 // (Section 4.1), which restores diameter-linearity under noise:
 // O(D + log n·log log n·(log n + log 1/δ)) rounds with failure probability
@@ -72,39 +123,27 @@ func RobustFASTBC(top graph.Topology, cfg radio.Config, r *rng.Stream, opts Opti
 	runner.net.SetTrace(opts.Trace)
 	pr := params.withDefaults(g.N(), cfg)
 	maxRounds := resolveMaxRounds(opts, g.N(), tree.Depth, cfg)
-	phaseLen := decayPhaseLen(g.N())
-	probs := decayProbabilities(phaseLen)
-	period := 6 * tree.MaxRank
+	return runner.run(maxRounds, robustSchedule(g, tree, pr)()), nil
+}
 
-	// Bucket fast nodes by block slot (⌊l/S⌋ - 6r) mod period so a fast
-	// round only touches the active block's nodes.
-	buckets := make([][]int32, period)
-	for v := 0; v < g.N(); v++ {
-		if !tree.IsFast(v) {
-			continue
-		}
-		s := (int(tree.Level[v])/pr.BlockSize - 6*int(tree.Rank[v])) % period
-		if s < 0 {
-			s += period
-		}
-		buckets[s] = append(buckets[s], int32(v))
+// RobustFASTBCBatch runs one independent RobustFASTBC trial per stream in
+// rnds, in lockstep; trial i is identical to
+// RobustFASTBC(top, cfg, rnds[i], opts, params). The GBST and its block
+// buckets are built once and shared read-only across lanes.
+func RobustFASTBCBatch(top graph.Topology, cfg radio.Config, rnds []*rng.Stream, opts Options, params RobustParams) ([]Result, error) {
+	if err := validateTopology(top); err != nil {
+		return nil, err
 	}
-
-	cS := pr.RoundMult * pr.BlockSize
-	res := runner.run(maxRounds, func(round int) {
-		if round%2 == 1 { // slow transmission round: Decay step
-			t := (round - 1) / 2
-			runner.decayStep(probs[t%phaseLen])
-			return
-		}
-		t := round
-		active := (t / 2 / cS) % period
-		mod3 := int32(t % 3)
-		for _, v := range buckets[active] {
-			if tree.Level[v]%3 == mod3 && runner.informed.Test(int(v)) {
-				runner.mark(v)
-			}
-		}
-	})
-	return res, nil
+	scalar := func(r *rng.Stream) (Result, error) { return RobustFASTBC(top, cfg, r, opts, params) }
+	if singleBatchFallback(rnds, opts) {
+		return runSingleScalar(rnds, scalar)
+	}
+	g := top.G
+	tree, err := gbst.Build(g, top.Source)
+	if err != nil {
+		return nil, err
+	}
+	pr := params.withDefaults(g.N(), cfg)
+	maxRounds := resolveMaxRounds(opts, g.N(), tree.Depth, cfg)
+	return runSingleBatch(top, cfg, rnds, opts, maxRounds, robustSchedule(g, tree, pr), scalar)
 }

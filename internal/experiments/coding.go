@@ -38,7 +38,7 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	for pi, pattern := range patterns {
 		coded[pi] = make([]*sim.Row, len(ks))
 		for i, k := range ks {
-			coded[pi][i] = sw.Add(trials, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
+			coded[pi][i] = sw.AddBatch(trials, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
 				msgs := broadcast.RandomMessages(k, 8, r)
 				res, _, err := broadcast.RLNCBroadcast(top, noisy, msgs, pattern, r, broadcast.RLNCOptions{})
 				if err != nil {
@@ -48,14 +48,20 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 					return 0, errTrialFailed(res.Done, n, res.Rounds)
 				}
 				return float64(res.Rounds), nil
-			})
+			}, multiBatchTrial(n, func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				messages := make([][][]byte, len(rnds))
+				for li, r := range rnds {
+					messages[li] = broadcast.RandomMessages(k, 8, r)
+				}
+				return broadcast.RLNCBroadcastBatch(top, noisy, messages, pattern, rnds, broadcast.RLNCOptions{})
+			}))
 		}
 	}
 	// Routing baseline: k sequential Decay broadcasts, Θ(1/(D log n))
 	// throughput — what coding is buying over naive routing here.
 	routing := make([]*sim.Row, len(ks))
 	for i, k := range ks {
-		routing[i] = sw.Add(trials, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
+		routing[i] = sw.AddBatch(trials, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
 			res, err := broadcast.SequentialDecayRouting(top, noisy, k, r, broadcast.Options{})
 			if err != nil {
 				return 0, err
@@ -64,7 +70,9 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 				return 0, errTrialFailed(res.Done, n, res.Rounds)
 			}
 			return float64(res.Rounds), nil
-		})
+		}, multiBatchTrial(n, func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+			return broadcast.SequentialDecayRoutingBatch(top, noisy, k, rnds, broadcast.Options{})
+		}))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -85,6 +93,18 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	t.AddNote("tau·log2(n) stabilises to a constant as k grows: throughput Θ(1/log n) up to the log log n factor of Lemma 13")
 	t.AddNote("sequential routing pays Θ(D log n) per message — the coded patterns amortise the diameter away")
 	return t, nil
+}
+
+// multiBatchTrial adapts a batched multi-message runner into a lockstep
+// trial function with the E6 scalar closure semantics: a failed trial is
+// an error (not a NaN sentinel), a batch-level error fails every trial.
+func multiBatchTrial(n int, run func(rnds []*rng.Stream) ([]broadcast.MultiResult, error)) sim.BatchTrialFunc {
+	return sim.AdaptBatch(run, func(res broadcast.MultiResult) (float64, error) {
+		if !res.Success {
+			return 0, errTrialFailed(res.Done, n, res.Rounds)
+		}
+		return float64(res.Rounds), nil
+	})
 }
 
 // errTrialFailed builds a consistent failure error for multi-message trials.

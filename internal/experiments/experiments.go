@@ -39,13 +39,20 @@ type Config struct {
 	// experiment builds (radio.Auto, the zero value, picks per graph).
 	// Results are bit-identical across engines; this is a speed knob.
 	Engine radio.Engine
+	// TrialBatch is the lockstep trial-batch width W: batch-capable rows
+	// run W consecutive Monte-Carlo trials through one trial-batched radio
+	// network per dispatch instead of W scalar executions. <= 1 runs
+	// everything scalar. Like Workers and Engine this is purely a speed
+	// knob: tables are bit-identical at every width (enforced by the
+	// golden test and the CI determinism job).
+	TrialBatch int
 }
 
 // newSweep builds the shared row/trial scheduler for one table. Every
 // runner registers all of its rows up front and then runs the sweep once,
 // so trial- and row-level parallelism share one worker pool.
 func (c Config) newSweep() *sim.Sweep {
-	return sim.NewSweep(sim.SweepConfig{Workers: c.Workers, RowWorkers: c.RowWorkers})
+	return sim.NewSweep(sim.SweepConfig{Workers: c.Workers, RowWorkers: c.RowWorkers, TrialBatch: c.TrialBatch})
 }
 
 // noise builds the radio.Config for one fault environment of this run,

@@ -53,16 +53,20 @@ func TestGoldenTablesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	configs := []Config{
-		{Quick: true, Seed: 1},                                                 // library defaults
-		{Quick: true, Seed: 1, Workers: 1, RowWorkers: 1},                      // fully serial
-		{Quick: true, Seed: 1, Workers: 8, RowWorkers: 2},                      // oversubscribed pool, admission-limited rows
-		{Quick: true, Seed: 1, Workers: 5, RowWorkers: 3},                      // deliberately awkward split
-		{Quick: true, Seed: 1, Workers: 8, Engine: radio.Sparse},               // forced sparse engine
-		{Quick: true, Seed: 1, Workers: 2, RowWorkers: 1, Engine: radio.Dense}, // forced dense engine
+		{Quick: true, Seed: 1},                                                   // library defaults
+		{Quick: true, Seed: 1, Workers: 1, RowWorkers: 1},                        // fully serial
+		{Quick: true, Seed: 1, Workers: 8, RowWorkers: 2},                        // oversubscribed pool, admission-limited rows
+		{Quick: true, Seed: 1, Workers: 5, RowWorkers: 3},                        // deliberately awkward split
+		{Quick: true, Seed: 1, Workers: 8, Engine: radio.Sparse},                 // forced sparse engine
+		{Quick: true, Seed: 1, Workers: 2, RowWorkers: 1, Engine: radio.Dense},   // forced dense engine
+		{Quick: true, Seed: 1, TrialBatch: 8},                                    // lockstep trial batches, default width
+		{Quick: true, Seed: 1, Workers: 1, TrialBatch: 3},                        // serial, width not dividing trial counts
+		{Quick: true, Seed: 1, Workers: 8, TrialBatch: 8, Engine: radio.Dense},   // batched on the forced dense engine
+		{Quick: true, Seed: 1, Workers: 4, TrialBatch: 64, Engine: radio.Sparse}, // max width, forced sparse engine
 	}
 	for _, cfg := range configs {
 		cfg := cfg
-		name := fmt.Sprintf("workers=%d,rowworkers=%d,engine=%s", cfg.Workers, cfg.RowWorkers, cfg.Engine)
+		name := fmt.Sprintf("workers=%d,rowworkers=%d,engine=%s,trialbatch=%d", cfg.Workers, cfg.RowWorkers, cfg.Engine, cfg.TrialBatch)
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
 			got := runAll(t, cfg)

@@ -19,16 +19,39 @@ func singleRun(run func(r *rng.Stream) (broadcast.Result, error)) func(int, *rng
 			return 0, err
 		}
 		if !res.Success {
-			return 0, fmt.Errorf("broadcast failed: informed %d after %d rounds", res.Informed, res.Rounds)
+			return 0, singleFailError(res)
 		}
 		return float64(res.Rounds), nil
 	}
 }
 
+func singleFailError(res broadcast.Result) error {
+	return fmt.Errorf("broadcast failed: informed %d after %d rounds", res.Informed, res.Rounds)
+}
+
+// singleBatchRun is the lockstep twin of a scalar single-message runner.
+type singleBatchRun func(rnds []*rng.Stream) ([]broadcast.Result, error)
+
+// singleRunBatch adapts a batched single-message broadcast into a
+// lockstep trial function with the exact per-trial semantics of singleRun
+// (via sim.AdaptBatch, the shared definition of batch failure semantics).
+func singleRunBatch(run singleBatchRun) sim.BatchTrialFunc {
+	return sim.AdaptBatch(run, func(res broadcast.Result) (float64, error) {
+		if !res.Success {
+			return 0, singleFailError(res)
+		}
+		return float64(res.Rounds), nil
+	})
+}
+
 // deferMeanRounds registers a rounds-valued broadcast row on the table's
-// sweep; read Mean/CI95 off the returned row after the sweep has run.
-func deferMeanRounds(sw *sim.Sweep, cfg Config, trials int, seed uint64, run func(r *rng.Stream) (broadcast.Result, error)) *sim.Row {
-	return sw.Add(trials, cfg.Seed+seed, singleRun(run))
+// sweep, with an optional trial-batched twin (nil keeps the row scalar);
+// read Mean/CI95 off the returned row after the sweep has run.
+func deferMeanRounds(sw *sim.Sweep, cfg Config, trials int, seed uint64, run func(r *rng.Stream) (broadcast.Result, error), batch singleBatchRun) *sim.Row {
+	if batch == nil {
+		return sw.Add(trials, cfg.Seed+seed, singleRun(run))
+	}
+	return sw.AddBatch(trials, cfg.Seed+seed, singleRun(run), singleRunBatch(batch))
 }
 
 // E1DecayFaultless reproduces Lemma 6: Decay broadcasts in
@@ -59,6 +82,8 @@ func E1DecayFaultless(cfg Config) (Table, error) {
 		top := graph.Path(n)
 		rows = append(rows, rowData{n, top, deferMeanRounds(sw, cfg, trials, uint64(100+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.Decay(top, clean, r, broadcast.Options{})
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.DecayBatch(top, clean, rnds, broadcast.Options{})
 		})})
 	}
 	if err := sw.Run(); err != nil {
@@ -105,9 +130,13 @@ func E2FASTBCFaultless(cfg Config) (Table, error) {
 		top := graph.Path(n)
 		fast := deferMeanRounds(sw, cfg, trials, uint64(200+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.FASTBC(top, clean, r, broadcast.Options{})
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.FASTBCBatch(top, clean, rnds, broadcast.Options{})
 		})
 		decay := deferMeanRounds(sw, cfg, trials, uint64(250+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.Decay(top, clean, r, broadcast.Options{})
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.DecayBatch(top, clean, rnds, broadcast.Options{})
 		})
 		rows = append(rows, rowData{n, top, fast, decay})
 	}
@@ -139,8 +168,11 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 	}
 	top := graph.Path(n)
 	sw := cfg.newSweep()
+	cleanCfg := cfg.noise(radio.Faultless, 0)
 	baseRow := deferMeanRounds(sw, cfg, trials, 300, func(r *rng.Stream) (broadcast.Result, error) {
-		return broadcast.Decay(top, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
+		return broadcast.Decay(top, cleanCfg, r, broadcast.Options{})
+	}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+		return broadcast.DecayBatch(top, cleanCfg, rnds, broadcast.Options{})
 	})
 	type rowData struct {
 		model radio.FaultModel
@@ -157,6 +189,8 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 			ncfg := cfg.noise(model, p)
 			rows = append(rows, rowData{model, p, deferMeanRounds(sw, cfg, trials, uint64(310+10*int(model)+i), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
+			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+				return broadcast.DecayBatch(top, ncfg, rnds, broadcast.Options{})
 			})})
 		}
 	}
@@ -237,18 +271,25 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
 
 	type entry struct {
-		name string
-		run  func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error)
+		name  string
+		run   func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error)
+		batch func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error)
 	}
 	algos := []entry{
 		{name: "decay", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.Decay(top, c, r, broadcast.Options{})
+		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.DecayBatch(top, c, rnds, broadcast.Options{})
 		}},
 		{name: "fastbc", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.FASTBC(top, c, r, broadcast.Options{})
+		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.FASTBCBatch(top, c, rnds, broadcast.Options{})
 		}},
 		{name: "robust-fastbc", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.RobustFASTBC(top, c, r, broadcast.Options{}, broadcast.RobustParams{})
+		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.RobustFASTBCBatch(top, c, rnds, broadcast.Options{}, broadcast.RobustParams{})
 		}},
 	}
 	sw := cfg.newSweep()
@@ -260,9 +301,13 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 	for i, a := range algos {
 		cleanRow := deferMeanRounds(sw, cfg, trials, uint64(500+2*i), func(r *rng.Stream) (broadcast.Result, error) {
 			return a.run(top, clean, r)
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return a.batch(top, clean, rnds)
 		})
 		noisyRow := deferMeanRounds(sw, cfg, trials, uint64(501+2*i), func(r *rng.Stream) (broadcast.Result, error) {
 			return a.run(top, noisy, r)
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return a.batch(top, noisy, rnds)
 		})
 		rows = append(rows, rowData{a.name, cleanRow, noisyRow})
 	}
@@ -305,6 +350,8 @@ func A1BlockSizeAblation(cfg Config) (Table, error) {
 	for i, s := range sizes {
 		rows = append(rows, deferMeanRounds(sw, cfg, trials, uint64(900+i), func(r *rng.Stream) (broadcast.Result, error) {
 			return broadcast.RobustFASTBC(top, noisy, r, broadcast.Options{}, broadcast.RobustParams{BlockSize: s})
+		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+			return broadcast.RobustFASTBCBatch(top, noisy, rnds, broadcast.Options{}, broadcast.RobustParams{BlockSize: s})
 		}))
 	}
 	if err := sw.Run(); err != nil {
@@ -348,9 +395,13 @@ func A3UnknownNDecay(cfg Config) (Table, error) {
 			}
 			known := deferMeanRounds(sw, cfg, trials, uint64(970+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
+			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+				return broadcast.DecayBatch(top, ncfg, rnds, broadcast.Options{})
 			})
 			unknown := deferMeanRounds(sw, cfg, trials, uint64(975+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
 				return broadcast.DecayUnknownN(top, ncfg, r, broadcast.Options{})
+			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
+				return broadcast.DecayUnknownNBatch(top, ncfg, rnds, broadcast.Options{})
 			})
 			rows = append(rows, rowData{n, p, known, unknown})
 		}

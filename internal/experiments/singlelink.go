@@ -34,9 +34,13 @@ func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
 	for i, k := range ks {
 		repeats[i] = broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
 		reps := repeats[i]
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1600+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.SingleLinkNonAdaptive(k, reps, ncfg, r)
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1600+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkNonAdaptive(k, reps, ncfg, r)
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkNonAdaptiveBatch(k, reps, ncfg, rnds)
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -70,12 +74,20 @@ func E17SingleLinkAdaptive(cfg Config) (Table, error) {
 	coding := make([]*throughput.Pending, len(ks))
 	adaptive := make([]*throughput.Pending, len(ks))
 	for i, k := range ks {
-		coding[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1650+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
-		})
-		adaptive[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1670+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
-		})
+		coding[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1650+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
+			})
+		adaptive[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1670+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkAdaptiveBatch(k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -113,19 +125,31 @@ func E18SingleLinkGap(cfg Config) (Table, error) {
 	gapA := make([]*throughput.PendingGap, len(ks))
 	for i, k := range ks {
 		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
-		gapNA[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1700+2*i),
+		gapNA[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1700+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkNonAdaptiveBatch(k, repeats, ncfg, rnds)
 			})
-		gapA[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1750+2*i),
+		gapA[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1750+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.SingleLinkAdaptiveBatch(k, ncfg, rnds, broadcast.Options{})
 			})
 	}
 	if err := sw.Run(); err != nil {

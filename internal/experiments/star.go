@@ -36,9 +36,13 @@ func E7StarRouting(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.Pending, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(700+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(700+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.StarRoutingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -79,9 +83,13 @@ func E8StarCoding(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.Pending, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(750+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(750+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.StarCodingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -116,12 +124,18 @@ func E9StarGap(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.PendingGap, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(800+2*i),
+		pending[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(800+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.StarCodingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.StarRoutingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
 			})
 	}
 	if err := sw.Run(); err != nil {

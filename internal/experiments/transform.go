@@ -30,19 +30,32 @@ func E14SenderTransformRouting(cfg Config) (Table, error) {
 		ps = []float64{0.4}
 	}
 	sw := cfg.newSweep()
-	basePending := throughput.Defer(sw, k, trials, cfg.Seed+1400, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.PathPipelineRouting(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.Options{})
-	})
+	cleanCfg := cfg.noise(radio.Faultless, 0)
+	basePending := throughput.DeferBatch(sw, k, trials, cfg.Seed+1400,
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.PathPipelineRouting(pathLen, k, cleanCfg, r, broadcast.Options{})
+		},
+		func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+			return broadcast.PathPipelineRoutingBatch(pathLen, k, cleanCfg, rnds, broadcast.Options{})
+		})
 	adaptive := make([]*throughput.Pending, len(ps))
 	meta := make([]*throughput.Pending, len(ps))
 	for i, p := range ps {
 		ncfg := cfg.noise(radio.SenderFaults, p)
-		adaptive[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1410+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.PathPipelineRouting(pathLen, k, ncfg, r, broadcast.Options{})
-		})
-		meta[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1420+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.TransformedPathRouting(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
-		})
+		adaptive[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1410+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.PathPipelineRouting(pathLen, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.PathPipelineRoutingBatch(pathLen, k, ncfg, rnds, broadcast.Options{})
+			})
+		meta[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1420+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.TransformedPathRouting(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.TransformedPathRoutingBatch(pathLen, k, ncfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -98,9 +111,13 @@ func E19PipelinedBatchRouting(cfg Config) (Table, error) {
 	for i, wl := range sweeps {
 		top := pipelineTopology(wl.depth, wl.width)
 		tops[i] = top
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1800+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.PipelinedBatchRouting(top, k, ncfg, r, broadcast.Options{})
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1800+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.PipelinedBatchRouting(top, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.PipelinedBatchRoutingBatch(top, k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -143,17 +160,26 @@ func E15SenderTransformCoding(cfg Config) (Table, error) {
 		ps = []float64{0.4}
 	}
 	sw := cfg.newSweep()
-	basePending := throughput.Defer(sw, k, trials, cfg.Seed+1500, func(r *rng.Stream) (broadcast.MultiResult, error) {
-		return broadcast.TransformedPathCoding(pathLen, k, cfg.noise(radio.Faultless, 0), r, broadcast.TransformParams{}, broadcast.Options{})
-	})
+	cleanCfg := cfg.noise(radio.Faultless, 0)
+	basePending := throughput.DeferBatch(sw, k, trials, cfg.Seed+1500,
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.TransformedPathCoding(pathLen, k, cleanCfg, r, broadcast.TransformParams{}, broadcast.Options{})
+		},
+		func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+			return broadcast.TransformedPathCodingBatch(pathLen, k, cleanCfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
+		})
 	pending := make([][]*throughput.Pending, len(models))
 	for mi, model := range models {
 		pending[mi] = make([]*throughput.Pending, len(ps))
 		for i, p := range ps {
 			ncfg := cfg.noise(model, p)
-			pending[mi][i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1510+10*mi+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.TransformedPathCoding(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
-			})
+			pending[mi][i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1510+10*mi+i),
+				func(r *rng.Stream) (broadcast.MultiResult, error) {
+					return broadcast.TransformedPathCoding(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
+				},
+				func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+					return broadcast.TransformedPathCodingBatch(pathLen, k, ncfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
+				})
 		}
 	}
 	if err := sw.Run(); err != nil {

@@ -99,9 +99,13 @@ func E11WCTRouting(cfg Config) (Table, error) {
 	pending := make([]*throughput.Pending, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1150+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1150+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.WCTRoutingBatch(w, k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -143,9 +147,13 @@ func E12WCTCoding(cfg Config) (Table, error) {
 	pending := make([]*throughput.Pending, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.Defer(sw, k, trials, cfg.Seed+uint64(1250+i), func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
-		})
+		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1250+i),
+			func(r *rng.Stream) (broadcast.MultiResult, error) {
+				return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.WCTCodingBatch(w, k, ncfg, rnds, broadcast.Options{})
+			})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -190,12 +198,18 @@ func E13WorstCaseGap(cfg Config) (Table, error) {
 	pending := make([]*throughput.PendingGap, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.DeferGap(sw, k, trials, cfg.Seed+uint64(1350+2*i),
+		pending[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1350+2*i),
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
 			},
 			func(r *rng.Stream) (broadcast.MultiResult, error) {
 				return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.WCTCodingBatch(w, k, ncfg, rnds, broadcast.Options{})
+			},
+			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
+				return broadcast.WCTRoutingBatch(w, k, ncfg, rnds, broadcast.Options{})
 			})
 	}
 	if err := sw.Run(); err != nil {

@@ -67,6 +67,19 @@ func EngineMicrobench() []benchreport.Microbench {
 			NsPerRound:     ns,
 			AllocsPerRound: allocs,
 		})
+		// Trial-batched rounds: ns are per *trial-round* (one StepBatch
+		// round costs W trial-rounds), so these rows compare directly
+		// against the scalar stepset rows above — the W=8 dense/complete
+		// row versus "stepset/dense/complete/faultless" is the batching
+		// speedup the CI gate enforces.
+		for _, w := range []int{1, 4, 8} {
+			ns, allocs = measureBatchRounds(complete, ctl, n, w)
+			out = append(out, benchreport.Microbench{
+				Name:           fmt.Sprintf("stepbatch/w=%d/dense/complete/%s/n=%d", w, Faultless, n),
+				NsPerRound:     ns,
+				AllocsPerRound: allocs,
+			})
+		}
 	}
 	return out
 }
@@ -98,10 +111,32 @@ const (
 	stepModeBools = 1 // drive the Step []bool adapter
 )
 
-// measureRounds times one configuration: median-free single-pass timing
-// (the CI gate's generous budget absorbs scheduler noise) after a warmup,
-// with allocations counted over a separate short pass so ReadMemStats
-// stays out of the timed region.
+// measureBatchRounds times StepBatch at width w under the same schedule
+// as measureRounds runs scalar StepSet — every lane broadcasts the
+// microbenchTx set — and reports ns and allocations per *trial-round*
+// (one batch round divided by w), directly comparable to the scalar rows.
+func measureBatchRounds(top graph.Topology, cfg Config, n, w int) (nsPerTrialRound, allocsPerTrialRound float64) {
+	rnds := make([]*rng.Stream, w)
+	for l := range rnds {
+		rnds[l] = rng.NewFrom(0x6d6963726f, uint64(l))
+	}
+	net := MustNewBatch[int32](top.G, cfg, rnds)
+	scalarTx := microbenchTx(n, n/2, n/64)
+	tx := bitset.NewBlock(n, w)
+	for l := 0; l < w; l++ {
+		tx.LaneCopyFrom(l, scalarTx)
+	}
+	rx := bitset.NewBlock(n, w)
+	active := ^uint64(0) >> (64 - uint(w))
+	ns, allocs := timeRounds(func() {
+		rx.Reset()
+		net.StepBatch(tx, nil, rx, active, nil)
+	})
+	return ns / float64(w), allocs / float64(w)
+}
+
+// measureRounds times one configuration through the shared timeRounds
+// harness.
 func measureRounds(top graph.Topology, cfg Config, n int, mode int, fullScan bool) (nsPerRound, allocsPerRound float64) {
 	net := MustNew[int32](top.G, cfg, rng.New(0x6d6963726f))
 	net.setFullScan(fullScan)
@@ -110,15 +145,23 @@ func measureRounds(top graph.Topology, cfg Config, n int, mode int, fullScan boo
 	bc := make([]bool, n)
 	tx.ForEach(func(v int) { bc[v] = true })
 	rx := bitset.New(n)
-	round := func() {
+	return timeRounds(func() {
 		rx.Reset()
 		if mode == stepModeBools {
 			net.Step(bc, payload, nil)
 		} else {
 			net.StepSet(tx, payload, rx, nil)
 		}
-	}
+	})
+}
 
+// timeRounds is the single measurement protocol every microbenchmark row
+// (scalar and batch alike) runs through, so compared rows can never drift
+// onto different harnesses: median-free single-pass timing (the CI gate's
+// generous budget absorbs scheduler noise) after a warmup, with
+// allocations counted over a separate short pass so ReadMemStats stays
+// out of the timed region.
+func timeRounds(round func()) (nsPerRound, allocsPerRound float64) {
 	const warmup = 16
 	for i := 0; i < warmup; i++ {
 		round()

@@ -8,22 +8,28 @@ import (
 )
 
 // poolKey identifies networks that are interchangeable after a Reset: the
-// same graph, fault environment and engine selection. Configs with
-// per-node fault probabilities are not pooled (the slice is not
-// comparable and the case is rare).
+// same graph, fault environment, engine selection and batch width (0 for
+// scalar networks — a scalar checkout must never be handed batch-sized
+// scratch, and vice versa, so the width is part of the key exactly like
+// the graph is). Configs with per-node fault probabilities are not pooled
+// (the slice is not comparable and the case is rare).
 type poolKey struct {
 	g      *graph.Graph
 	fault  FaultModel
 	p      float64
 	engine Engine
+	width  int // 0 = scalar Network, >= 1 = BatchNetwork lane count
 }
 
-// Pool reuses Networks across Monte-Carlo trials. Trials over the same
-// (graph, config) pair are the hot path of the experiment harness: without
-// reuse every trial reallocates the adjacency scratch and fault buffers
-// (Θ(n) per trial) just to throw them away a few thousand rounds later.
-// Get returns a Reset cached network when one is available and constructs
-// one otherwise; Put stores a finished network for the next trial.
+// Pool reuses Networks (and their batch counterparts) across Monte-Carlo
+// trials. Trials over the same (graph, config) pair are the hot path of
+// the experiment harness: without reuse every trial reallocates the
+// adjacency scratch and fault buffers (Θ(n) per trial — Θ(W·n) for a
+// batch) just to throw them away a few thousand rounds later. Get returns
+// a Reset cached network when one is available and constructs one
+// otherwise; Put stores a finished network for the next trial. GetBatch
+// and PutBatch are the same for BatchNetworks, keyed additionally by
+// width.
 //
 // Pooling is purely a performance optimisation: Reset restores the exact
 // just-constructed state, so pooled and fresh networks produce
@@ -32,8 +38,9 @@ type poolKey struct {
 // acquire networks for several distinct graphs at once, which is why the
 // freelist is keyed rather than a single sync.Pool.
 type Pool[P any] struct {
-	mu   sync.Mutex
-	free map[poolKey][]*Network[P]
+	mu        sync.Mutex
+	free      map[poolKey][]*Network[P]      // width == 0 keys only
+	freeBatch map[poolKey][]*BatchNetwork[P] // width >= 1 keys only
 	// order lists keys with non-empty freelists, least recently stored
 	// first — the eviction order when the total cap is reached.
 	order []poolKey
@@ -46,6 +53,7 @@ type Pool[P any] struct {
 // beyond the total cap evicts the oldest stored network instead, so a
 // long multi-experiment run keeps reusing networks for its *current*
 // graphs rather than pinning dead ones and silently disabling pooling.
+// Scalar and batch networks share the caps: both count towards size.
 const (
 	poolKeyCap   = 16
 	poolTotalCap = 256
@@ -53,7 +61,9 @@ const (
 
 // Get returns a network over g with the given configuration and
 // randomness, reusing a pooled one when possible. It is equivalent to
-// New[P](g, cfg, rnd) in every observable way.
+// New[P](g, cfg, rnd) in every observable way; in particular the key's
+// zero width guarantees a scalar checkout can never receive a pooled
+// batch network's scratch.
 func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error) {
 	if cfg.PerNodeP == nil {
 		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine}
@@ -74,10 +84,37 @@ func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P],
 	return New[P](g, cfg, rnd)
 }
 
-// dropKey removes key from the eviction order and the freelist map; the
+// GetBatch returns a lockstep batch network over g with one lane per
+// stream in rnds, reusing a pooled one of the same width when possible.
+// It is equivalent to NewBatch[P](g, cfg, rnds) in every observable way.
+func (p *Pool[P]) GetBatch(g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetwork[P], error) {
+	if cfg.PerNodeP == nil {
+		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, width: len(rnds)}
+		p.mu.Lock()
+		if list := p.freeBatch[key]; len(list) > 0 {
+			b := list[len(list)-1]
+			p.freeBatch[key] = list[:len(list)-1]
+			p.size--
+			if len(list) == 1 {
+				p.dropKey(key)
+			}
+			p.mu.Unlock()
+			b.Reset(rnds)
+			return b, nil
+		}
+		p.mu.Unlock()
+	}
+	return NewBatch[P](g, cfg, rnds)
+}
+
+// dropKey removes key from the eviction order and its freelist map; the
 // caller holds p.mu and has emptied (or is emptying) the key's list.
 func (p *Pool[P]) dropKey(key poolKey) {
-	delete(p.free, key)
+	if key.width > 0 {
+		delete(p.freeBatch, key)
+	} else {
+		delete(p.free, key)
+	}
 	for i, k := range p.order {
 		if k == key {
 			p.order = append(p.order[:i], p.order[i+1:]...)
@@ -90,10 +127,18 @@ func (p *Pool[P]) dropKey(key poolKey) {
 // The caller holds p.mu and guarantees the pool is non-empty.
 func (p *Pool[P]) evictOldest() {
 	key := p.order[0]
-	list := p.free[key]
-	p.free[key] = list[:len(list)-1]
+	var remaining int
+	if key.width > 0 {
+		list := p.freeBatch[key]
+		p.freeBatch[key] = list[:len(list)-1]
+		remaining = len(list) - 1
+	} else {
+		list := p.free[key]
+		p.free[key] = list[:len(list)-1]
+		remaining = len(list) - 1
+	}
 	p.size--
-	if len(list) == 1 {
+	if remaining == 0 {
 		p.dropKey(key)
 	}
 }
@@ -122,5 +167,30 @@ func (p *Pool[P]) Put(n *Network[P]) {
 		p.order = append(p.order, key)
 	}
 	p.free[key] = append(p.free[key], n)
+	p.size++
+}
+
+// PutBatch stores a finished batch network for reuse under its width's
+// key. The caller must not use b after PutBatch.
+func (p *Pool[P]) PutBatch(b *BatchNetwork[P]) {
+	if b == nil || b.cfg.PerNodeP != nil {
+		return
+	}
+	key := poolKey{g: b.g, fault: b.cfg.Fault, p: b.cfg.P, engine: b.cfg.Engine, width: b.w}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.freeBatch[key]) >= poolKeyCap {
+		return
+	}
+	if p.size >= poolTotalCap {
+		p.evictOldest()
+	}
+	if p.freeBatch == nil {
+		p.freeBatch = make(map[poolKey][]*BatchNetwork[P])
+	}
+	if len(p.freeBatch[key]) == 0 {
+		p.order = append(p.order, key)
+	}
+	p.freeBatch[key] = append(p.freeBatch[key], b)
 	p.size++
 }

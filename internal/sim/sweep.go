@@ -20,9 +20,26 @@ type SweepConfig struct {
 	// warm); the output is identical at every setting.
 	RowWorkers int
 	// ChunkSize overrides the trials-per-handoff chunking; <= 0 picks
-	// automatically from the row's trial count and the pool size.
+	// automatically from the row's trial count and the pool size. When
+	// trial batching is on, the effective chunk is rounded up to a
+	// multiple of the batch width so chunks split into whole batches.
 	ChunkSize int
+	// TrialBatch is the lockstep batch width W for rows registered with a
+	// batch-capable trial function (AddBatch): a worker runs W consecutive
+	// trials of such a row through one batched execution instead of W
+	// scalar ones. <= 1 runs everything scalar; values beyond MaxTrialBatch
+	// are clamped. Purely a throughput knob: a batch trial function is
+	// required to reproduce its scalar twin trial-for-trial (the broadcast
+	// and radio packages enforce this by test), and values are folded in
+	// trial order either way, so every statistic is bit-identical at every
+	// width.
+	TrialBatch int
 }
+
+// MaxTrialBatch caps SweepConfig.TrialBatch: lockstep lane masks are one
+// machine word (radio.MaxBatchWidth; mirrored here to keep sim free of a
+// radio dependency).
+const MaxTrialBatch = 64
 
 // Sweep schedules the Monte-Carlo rows of one experiment table on a single
 // shared worker pool. Usage is two-phase: register every row with Add (or
@@ -57,10 +74,12 @@ type Row struct {
 	trials int
 	seed   uint64
 	fn     TrialFunc
+	batch  BatchTrialFunc // optional lockstep runner (AddBatch)
 	task   func() error
 
 	chunk   int // trials per work unit
 	nchunks int
+	width   int // lockstep batch width in effect (<= 1: scalar)
 
 	mu      sync.Mutex
 	cond    sync.Cond // signalled when next advances; bounds the pending backlog
@@ -89,6 +108,62 @@ func (s *Sweep) Add(trials int, seed uint64, fn TrialFunc) *Row {
 	}
 	row := &Row{sweep: s, trials: trials, seed: seed, fn: fn}
 	s.rows = append(s.rows, row)
+	return row
+}
+
+// BatchTrialFunc runs the len(rnds) consecutive trials starting at trial
+// index start in lockstep; rnds[i] is the private stream of trial start+i,
+// derived exactly as for TrialFunc. It returns one value per trial in
+// trial order, plus either nil or a parallel error slice (errs[i] non-nil
+// when trial start+i failed; its value is then ignored, as for a failing
+// TrialFunc). A BatchTrialFunc must be trial-for-trial equivalent to the
+// row's TrialFunc — batching is a throughput optimisation, never a
+// semantic one.
+type BatchTrialFunc func(start int, rnds []*rng.Stream) ([]float64, []error)
+
+// AdaptBatch converts a lockstep runner over result type R into a
+// BatchTrialFunc: a batch-level error fails every trial in the batch (it
+// is a configuration error that would fail each one identically), and
+// value maps each per-trial result to the same (value, error) the row's
+// scalar trial function produces for it. This is the single definition of
+// batch failure semantics — every batch registration (experiments rows,
+// throughput measurements) funnels through it, so the scalar and batched
+// failure paths cannot drift apart.
+func AdaptBatch[R any](run func(rnds []*rng.Stream) ([]R, error), value func(R) (float64, error)) BatchTrialFunc {
+	return func(start int, rnds []*rng.Stream) ([]float64, []error) {
+		results, err := run(rnds)
+		if err != nil {
+			errs := make([]error, len(rnds))
+			for i := range errs {
+				errs[i] = err
+			}
+			return make([]float64, len(rnds)), errs
+		}
+		vals := make([]float64, len(results))
+		var errs []error
+		for i, res := range results {
+			v, err := value(res)
+			if err != nil {
+				if errs == nil {
+					errs = make([]error, len(results))
+				}
+				errs[i] = err
+				continue
+			}
+			vals[i] = v
+		}
+		return vals, errs
+	}
+}
+
+// AddBatch registers a row of trials that can also run in lockstep
+// batches: fn is the scalar trial (used when the sweep's TrialBatch is
+// <= 1), batch the equivalent lockstep runner (used for sub-chunks of up
+// to TrialBatch trials otherwise). A nil batch makes AddBatch identical
+// to Add. Outputs are bit-identical either way; see SweepConfig.TrialBatch.
+func (s *Sweep) AddBatch(trials int, seed uint64, fn TrialFunc, batch BatchTrialFunc) *Row {
+	row := s.Add(trials, seed, fn)
+	row.batch = batch
 	return row
 }
 
@@ -147,6 +222,16 @@ func (s *Sweep) Run() error {
 		row.chunk = s.cfg.ChunkSize
 		if row.chunk <= 0 {
 			row.chunk = dispatchChunk(row.trials, workers)
+		}
+		if row.batch != nil && s.cfg.TrialBatch > 1 {
+			row.width = s.cfg.TrialBatch
+			if row.width > MaxTrialBatch {
+				row.width = MaxTrialBatch
+			}
+			// Batch-aware chunking: round the chunk up to a whole number
+			// of batches so a chunk never ends mid-batch (the last chunk
+			// of the row may still carry a remainder batch).
+			row.chunk = (row.chunk + row.width - 1) / row.width * row.width
 		}
 		row.nchunks = (row.trials + row.chunk - 1) / row.chunk
 	}
@@ -216,16 +301,53 @@ func (row *Row) runChunk(t chunkTask) {
 		return
 	}
 	vals := make([]float64, 0, t.end-t.start)
-	for trial := t.start; trial < t.end; trial++ {
-		v, err := row.fn(trial, rng.NewFrom(row.seed, uint64(trial)))
-		if err != nil {
-			row.err.record(trial, err)
-			v = 0
+	if row.width > 1 {
+		// Lockstep dispatch: the chunk splits into whole batches of the
+		// row's width (plus a possible remainder). Single-trial remainders
+		// take the scalar function — identical results, no batch setup.
+		for start := t.start; start < t.end; start += row.width {
+			end := start + row.width
+			if end > t.end {
+				end = t.end
+			}
+			if end-start == 1 {
+				vals = append(vals, row.runScalarTrial(start))
+				continue
+			}
+			rnds := make([]*rng.Stream, end-start)
+			for i := range rnds {
+				rnds[i] = rng.NewFrom(row.seed, uint64(start+i))
+			}
+			bv, be := row.batch(start, rnds)
+			if len(bv) != end-start || (be != nil && len(be) != end-start) {
+				panic(fmt.Sprintf("sim: batch trial function returned %d values/%d errors for %d trials", len(bv), len(be), end-start))
+			}
+			for i, v := range bv {
+				if be != nil && be[i] != nil {
+					row.err.record(start+i, be[i])
+					v = 0
+				}
+				vals = append(vals, v)
+			}
 		}
-		vals = append(vals, v)
+	} else {
+		for trial := t.start; trial < t.end; trial++ {
+			vals = append(vals, row.runScalarTrial(trial))
+		}
 	}
 	totalTrials.Add(int64(t.end - t.start)) // one counter touch per chunk
 	row.fold(t.idx, vals)
+}
+
+// runScalarTrial executes one scalar trial of the row, recording a failure
+// as the scalar dispatch paths always have (value 0, lowest-trial error).
+func (row *Row) runScalarTrial(trial int) float64 {
+	v, err := row.fn(trial, rng.NewFrom(row.seed, uint64(trial)))
+	if err != nil {
+		row.err.record(trial, err)
+		v = 0
+	}
+	return v
 }
 
 // maxPendingChunks bounds the out-of-order backlog a row may buffer while

@@ -248,3 +248,90 @@ func TestCI95ShrinksWithN(t *testing.T) {
 		t.Fatalf("CI95 did not shrink with n: %v vs %v", CI95(big), CI95(base))
 	}
 }
+
+// TestAccumulatorChunkFoldOrderInvariance models the sweep's in-order
+// folder over trial-batched chunks: values arrive grouped into chunks
+// whose size does not divide the trial count (the batch-boundary case),
+// the chunks complete out of order, and the folder replays them in index
+// order. However the chunk size and the arrival permutation are chosen,
+// the final state must match a plain sequential Add of the same values —
+// sum and mean exactly, every other statistic identically, because the
+// accumulator only ever sees the values in trial order.
+func TestAccumulatorChunkFoldOrderInvariance(t *testing.T) {
+	r := rng.New(99)
+	const trials = 103 // prime: nothing divides it
+	vals := make([]float64, trials)
+	for i := range vals {
+		vals[i] = r.Float64() * 100
+		if i%11 == 7 {
+			vals[i] = math.NaN() // failed-trial sentinel inside a batch
+		}
+	}
+	var want Accumulator
+	for _, v := range vals {
+		want.Add(v)
+	}
+
+	for _, chunk := range []int{3, 8, 24, 64} {
+		nchunks := (trials + chunk - 1) / chunk
+		// Arrival order: a deterministic shuffle of the chunk indices.
+		arrival := r.Perm(nchunks)
+		pending := make(map[int][]float64)
+		var acc Accumulator
+		next := 0
+		for _, idx := range arrival {
+			start := idx * chunk
+			end := start + chunk
+			if end > trials {
+				end = trials
+			}
+			pending[idx] = vals[start:end]
+			for {
+				v, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				for _, x := range v {
+					acc.Add(x)
+				}
+				next++
+			}
+		}
+		if next != nchunks || len(pending) != 0 {
+			t.Fatalf("chunk=%d: folder did not drain (%d pending)", chunk, len(pending))
+		}
+		if acc.N() != want.N() || acc.Dropped() != want.Dropped() {
+			t.Fatalf("chunk=%d: N/dropped = %d/%d, want %d/%d", chunk, acc.N(), acc.Dropped(), want.N(), want.Dropped())
+		}
+		if acc.Sum() != want.Sum() || acc.Mean() != want.Mean() {
+			t.Fatalf("chunk=%d: sum/mean diverged from sequential fold", chunk)
+		}
+		if acc.Stddev() != want.Stddev() || acc.Median() != want.Median() ||
+			acc.P10() != want.P10() || acc.P90() != want.P90() ||
+			acc.Min() != want.Min() || acc.Max() != want.Max() {
+			t.Fatalf("chunk=%d: order-sensitive statistics diverged from sequential fold", chunk)
+		}
+	}
+}
+
+// TestAccumulatorNaNOnBatchBoundary pins the sentinel bookkeeping when a
+// whole batch is NaN and when NaNs straddle a batch edge: dropped counts
+// and the surviving sample must be unaffected by where batch boundaries
+// fall.
+func TestAccumulatorNaNOnBatchBoundary(t *testing.T) {
+	vals := []float64{1, math.NaN(), math.NaN(), math.NaN(), 5, 6, math.NaN(), 8, 9, 10}
+	var a Accumulator
+	for _, v := range vals {
+		a.Add(v)
+	}
+	if a.N() != 6 || a.Dropped() != 4 {
+		t.Fatalf("N/dropped = %d/%d, want 6/4", a.N(), a.Dropped())
+	}
+	if a.Sum() != 39 {
+		t.Fatalf("Sum = %v, want 39", a.Sum())
+	}
+	if a.Min() != 1 || a.Max() != 10 {
+		t.Fatalf("min/max = %v/%v, want 1/10", a.Min(), a.Max())
+	}
+}

@@ -21,6 +21,12 @@ import (
 // randomness. Implementations wrap the schedules in internal/broadcast.
 type Runner func(r *rng.Stream) (broadcast.MultiResult, error)
 
+// BatchRunner produces one independent k-message broadcast execution per
+// stream, run in lockstep on a trial-batched radio network; result i must
+// be identical to the corresponding Runner applied to rnds[i].
+// Implementations wrap the Batch entry points in internal/broadcast.
+type BatchRunner func(rnds []*rng.Stream) ([]broadcast.MultiResult, error)
+
 // Estimate is an empirical throughput measurement.
 type Estimate struct {
 	K           int     // messages per execution
@@ -48,10 +54,18 @@ type Pending struct {
 // exactly the Measure semantics, in O(1) memory per row. It panics on
 // invalid arguments (Measure keeps the error-returning validation).
 func Defer(sw *sim.Sweep, k, trials int, seed uint64, run Runner) *Pending {
+	return DeferBatch(sw, k, trials, seed, run, nil)
+}
+
+// DeferBatch is Defer for a measurement that can also run in lockstep
+// trial batches: run is the scalar trial, batch its trial-batched twin
+// (nil degrades to Defer). Which one executes is the sweep's TrialBatch
+// decision; estimates are bit-identical either way.
+func DeferBatch(sw *sim.Sweep, k, trials int, seed uint64, run Runner, batch BatchRunner) *Pending {
 	if k < 1 {
 		panic(fmt.Sprintf("throughput: k = %d, need >= 1", k))
 	}
-	row := sw.Add(trials, seed, func(trial int, r *rng.Stream) (float64, error) {
+	scalar := func(trial int, r *rng.Stream) (float64, error) {
 		res, err := run(r)
 		if err != nil {
 			return 0, err
@@ -60,7 +74,17 @@ func Defer(sw *sim.Sweep, k, trials int, seed uint64, run Runner) *Pending {
 			return math.NaN(), nil // dropped by the accumulator, counted by SuccessRate
 		}
 		return float64(res.Rounds), nil
-	})
+	}
+	var batched sim.BatchTrialFunc
+	if batch != nil {
+		batched = sim.AdaptBatch(batch, func(res broadcast.MultiResult) (float64, error) {
+			if !res.Success {
+				return math.NaN(), nil // dropped by the accumulator, counted by SuccessRate
+			}
+			return float64(res.Rounds), nil
+		})
+	}
+	row := sw.AddBatch(trials, seed, scalar, batched)
 	return &Pending{k: k, trials: trials, row: row}
 }
 
@@ -128,6 +152,15 @@ func DeferGap(sw *sim.Sweep, k, trials int, seed uint64, coding, routing Runner)
 	return &PendingGap{
 		coding:  Defer(sw, k, trials, seed, coding),
 		routing: Defer(sw, k, trials, seed+1, routing),
+	}
+}
+
+// DeferGapBatch is DeferGap with trial-batched twins for both sides (nil
+// twins degrade to scalar execution for that side).
+func DeferGapBatch(sw *sim.Sweep, k, trials int, seed uint64, coding, routing Runner, codingBatch, routingBatch BatchRunner) *PendingGap {
+	return &PendingGap{
+		coding:  DeferBatch(sw, k, trials, seed, coding, codingBatch),
+		routing: DeferBatch(sw, k, trials, seed+1, routing, routingBatch),
 	}
 }
 

@@ -154,6 +154,49 @@ var (
 	RobustFASTBC = broadcast.RobustFASTBC
 )
 
+// Trial-batched twins of the broadcast schedules: each runs one
+// independent trial per rng stream, in lockstep on a trial-batched radio
+// network, with trial i identical to the scalar function applied to
+// stream i. Purely a Monte-Carlo throughput optimisation.
+var (
+	// DecayBatch is the trial-batched Decay.
+	DecayBatch = broadcast.DecayBatch
+	// DecayUnknownNBatch is the trial-batched DecayUnknownN.
+	DecayUnknownNBatch = broadcast.DecayUnknownNBatch
+	// FASTBCBatch is the trial-batched FASTBC.
+	FASTBCBatch = broadcast.FASTBCBatch
+	// RobustFASTBCBatch is the trial-batched RobustFASTBC.
+	RobustFASTBCBatch = broadcast.RobustFASTBCBatch
+	// RLNCBroadcastBatch is the trial-batched RLNCBroadcast.
+	RLNCBroadcastBatch = broadcast.RLNCBroadcastBatch
+	// SequentialDecayRoutingBatch is the trial-batched
+	// SequentialDecayRouting.
+	SequentialDecayRoutingBatch = broadcast.SequentialDecayRoutingBatch
+	// StarRoutingBatch is the trial-batched StarRouting.
+	StarRoutingBatch = broadcast.StarRoutingBatch
+	// StarCodingBatch is the trial-batched StarCoding.
+	StarCodingBatch = broadcast.StarCodingBatch
+	// WCTRoutingBatch is the trial-batched WCTRouting.
+	WCTRoutingBatch = broadcast.WCTRoutingBatch
+	// WCTCodingBatch is the trial-batched WCTCoding.
+	WCTCodingBatch = broadcast.WCTCodingBatch
+	// SingleLinkNonAdaptiveBatch is the trial-batched SingleLinkNonAdaptive.
+	SingleLinkNonAdaptiveBatch = broadcast.SingleLinkNonAdaptiveBatch
+	// SingleLinkAdaptiveBatch is the trial-batched SingleLinkAdaptive.
+	SingleLinkAdaptiveBatch = broadcast.SingleLinkAdaptiveBatch
+	// SingleLinkCodingBatch is the trial-batched SingleLinkCoding.
+	SingleLinkCodingBatch = broadcast.SingleLinkCodingBatch
+	// PathPipelineRoutingBatch is the trial-batched PathPipelineRouting.
+	PathPipelineRoutingBatch = broadcast.PathPipelineRoutingBatch
+	// PipelinedBatchRoutingBatch is the trial-batched PipelinedBatchRouting.
+	PipelinedBatchRoutingBatch = broadcast.PipelinedBatchRoutingBatch
+	// TransformedPathRoutingBatch is the trial-batched
+	// TransformedPathRouting.
+	TransformedPathRoutingBatch = broadcast.TransformedPathRoutingBatch
+	// TransformedPathCodingBatch is the trial-batched TransformedPathCoding.
+	TransformedPathCodingBatch = broadcast.TransformedPathCodingBatch
+)
+
 // Multi-message broadcast and throughput schedules (Sections 4.2 and 5).
 var (
 	// RLNCBroadcast broadcasts k messages with random linear network
