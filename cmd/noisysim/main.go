@@ -30,12 +30,28 @@
 // by average degree, dense forces word-parallel channel resolution, sparse
 // forces CSR neighbour walking. Purely a performance knob.
 //
-// The -trialbatch flag sets the lockstep trial-batch width W: batch-capable
-// experiment rows run W consecutive Monte-Carlo trials through one
+// The -trialbatch flag sets the lockstep trial-batch plan: "auto" (the
+// default) plans the width W per row from its trial count, its resolved
+// radio engine and the recorded stepbatch microbench trajectory; 0 (or 1)
+// forces scalar execution; an explicit W forces that width. Batch-capable
+// experiment rows then run W consecutive Monte-Carlo trials through one
 // trial-batched radio network (each listener's adjacency row visited once
-// per round for all W trials) instead of W scalar executions. 0 or 1 runs
-// everything scalar. Like the other knobs it never changes any output —
-// tables are bit-identical at every width.
+// per round for all W trials) instead of W scalar executions. Like the
+// other knobs it never changes any output — tables are bit-identical at
+// every setting, and the chosen plans are recorded in the -benchjson
+// report.
+//
+// The -schedule flag exposes the broadcast Schedule registry directly:
+//
+//	noisysim -schedule list            # list every registered schedule
+//	noisysim -schedule decay -n 256 -p 0.3 -fault receiver -trials 50
+//	noisysim -schedule star-coding -n 64 -k 16 -trials 100 -trialbatch auto
+//
+// A schedule run executes -trials Monte-Carlo trials of one registry
+// entry on a size--n workload (a path for topology-taking schedules, n
+// leaves for the star, a WCT instance for the WCT schedules, a length-n
+// pipeline for the path schedules) and prints the round statistics plus
+// the execution plan the sweep chose.
 //
 // The -benchjson flag writes a machine-readable performance report (suite
 // wall clock, per-experiment seconds, rows/sec, allocations per trial) to
@@ -53,8 +69,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -78,21 +96,23 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("noisysim", flag.ContinueOnError)
 	var (
-		exp        = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1, A2) or 'all'")
+		exp        = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1..A3) or 'all'")
 		list       = fs.Bool("list", false, "list available experiments")
-		trials     = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment default)")
+		schedName  = fs.String("schedule", "", "run one broadcast schedule from the registry by name, or 'list'")
+		trials     = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment/schedule default)")
 		seed       = fs.Uint64("seed", 1, "base random seed")
 		workers    = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
 		rowWkrs    = fs.Int("rowworkers", 0, "max table rows in flight at once (0 = all); memory/scheduling knob, output identical")
 		quick      = fs.Bool("quick", false, "reduced sweeps and trial counts")
 		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
-		trialBatch = fs.Int("trialbatch", 0, "lockstep trial-batch width W (0/1 = scalar); output identical at every width")
+		trialBatch = fs.String("trialbatch", "auto", "lockstep trial-batch plan: auto | 0 (scalar) | W; output identical at every setting")
 		asJSON     = fs.Bool("json", false, "emit experiment tables as a JSON array")
-		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial) to this path")
+		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial, chosen plans) to this path")
 		demo       = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
-		demoN      = fs.Int("n", 24, "demo: path length")
-		demoP      = fs.Float64("p", 0.3, "demo: fault probability")
-		faultMd    = fs.String("fault", "receiver", "demo: fault model: none | sender | receiver")
+		demoN      = fs.Int("n", 24, "demo/schedule: workload size (path length, star leaves, WCT target size)")
+		demoK      = fs.Int("k", 8, "schedule: message count for multi-message schedules")
+		demoP      = fs.Float64("p", 0.3, "demo/schedule: fault probability")
+		faultMd    = fs.String("fault", "receiver", "demo/schedule: fault model: none | sender | receiver")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,8 +121,21 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	tb, err := parseTrialBatch(*trialBatch)
+	if err != nil {
+		return err
+	}
 	if *demo != "" {
 		return runDemo(out, *demo, *demoN, *demoP, *faultMd, *seed, eng)
+	}
+	if *schedName != "" {
+		if *schedName == "list" {
+			for _, s := range broadcast.Schedules() {
+				fmt.Fprintf(out, "%-26s %-15s %s\n", s.Name, s.Kind, s.Ref)
+			}
+			return nil
+		}
+		return runSchedule(out, *schedName, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb)
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -112,7 +145,7 @@ func run(args []string, out *os.File) error {
 	}
 	if *exp == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -exp (or -list)")
+		return fmt.Errorf("missing -exp (or -list, -schedule)")
 	}
 	cfg := experiments.Config{
 		Trials:     *trials,
@@ -121,7 +154,7 @@ func run(args []string, out *os.File) error {
 		RowWorkers: *rowWkrs,
 		Quick:      *quick,
 		Engine:     eng,
-		TrialBatch: *trialBatch,
+		TrialBatch: tb,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -143,7 +176,7 @@ func run(args []string, out *os.File) error {
 		Seed:       *seed,
 		Workers:    *workers,
 		RowWorkers: *rowWkrs,
-		TrialBatch: *trialBatch,
+		TrialBatch: tb,
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	var memBefore runtime.MemStats
@@ -205,6 +238,10 @@ func run(args []string, out *os.File) error {
 		// wall-clock and allocation windows close so their setup doesn't
 		// pollute the suite's numbers.
 		bench.Microbench = radio.EngineMicrobench()
+		// The execution plans the sweeps chose (engine, trial-batch width W
+		// per schedule row) ride along so the `-trialbatch auto` decision
+		// trail is inspectable in the artifact.
+		bench.Plans = sim.PlanLog()
 		if err := bench.Write(benchFile); err != nil {
 			return fmt.Errorf("benchjson: %w", err)
 		}
@@ -212,12 +249,21 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// runDemo traces one single-message broadcast on a small path and renders
-// the round-by-round timeline.
-func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
-	if n < 2 {
-		return fmt.Errorf("demo needs -n >= 2, got %d", n)
+// parseTrialBatch converts the -trialbatch flag: "auto" plans per row,
+// "0"/"1" force scalar, an explicit W forces that width.
+func parseTrialBatch(s string) (int, error) {
+	if s == "auto" {
+		return sim.TrialBatchAuto, nil
 	}
+	w, err := strconv.Atoi(s)
+	if err != nil || w < 0 || w > sim.MaxTrialBatch {
+		return 0, fmt.Errorf("invalid -trialbatch %q (auto, 0 or 1..%d)", s, sim.MaxTrialBatch)
+	}
+	return w, nil
+}
+
+// parseFault converts the -fault flag plus probability into a radio config.
+func parseFault(faultName string, p float64, eng radio.Engine) (radio.Config, error) {
 	cfg := radio.Config{Engine: eng}
 	switch faultName {
 	case "none":
@@ -227,17 +273,127 @@ func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed
 	case "receiver":
 		cfg.Fault, cfg.P = radio.ReceiverFaults, p
 	default:
-		return fmt.Errorf("unknown fault model %q (none|sender|receiver)", faultName)
+		return cfg, fmt.Errorf("unknown fault model %q (none|sender|receiver)", faultName)
+	}
+	return cfg, nil
+}
+
+// scheduleWorkload builds the topology and parameters a -schedule run
+// executes: a size-n workload shaped for the schedule (path, star leaves,
+// WCT instance, pipeline length), with k messages for multi-message
+// schedules.
+func scheduleWorkload(sched *broadcast.Schedule, n, k int, seed uint64) (graph.Topology, broadcast.ScheduleParams, error) {
+	if n < 2 {
+		return graph.Topology{}, broadcast.ScheduleParams{}, fmt.Errorf("schedule run needs -n >= 2, got %d", n)
+	}
+	if k < 1 {
+		return graph.Topology{}, broadcast.ScheduleParams{}, fmt.Errorf("schedule run needs -k >= 1, got %d", k)
+	}
+	p := broadcast.ScheduleParams{}
+	if sched.Kind == broadcast.MultiMessage {
+		p.K = k
+	}
+	switch sched.Name {
+	case "star-routing", "star-coding":
+		p.Leaves = n
+		return graph.Topology{}, p, nil
+	case "wct-routing", "wct-coding":
+		p.WCT = graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(seed, 1<<32))
+		return graph.Topology{}, p, nil
+	case "single-link-nonadaptive", "single-link-adaptive", "single-link-coding":
+		return graph.Topology{}, p, nil
+	case "path-pipeline-routing", "transformed-path-routing", "transformed-path-coding":
+		p.PathLen = n
+		return graph.Topology{}, p, nil
+	default:
+		return graph.Path(n), p, nil
+	}
+}
+
+// runSchedule runs -trials Monte-Carlo trials of one registry schedule on
+// the sweep scheduler and prints the round statistics and the execution
+// plan the sweep chose.
+func runSchedule(out *os.File, name string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int) error {
+	sched, err := broadcast.LookupSchedule(name)
+	if err != nil {
+		names := strings.Join(broadcast.ScheduleNames(), ", ")
+		return fmt.Errorf("%w (use -schedule list; known: %s)", err, names)
+	}
+	cfg, err := parseFault(faultName, p, eng)
+	if err != nil {
+		return err
+	}
+	top, params, err := scheduleWorkload(sched, n, k, seed)
+	if err != nil {
+		return err
+	}
+	if trials <= 0 {
+		trials = 20
+	}
+
+	sw := sim.NewSweep(sim.SweepConfig{Workers: workers, TrialBatch: tb})
+	// Snapshot the process plan log so only this run's plans are printed
+	// (earlier runs in the same process may have recorded their own).
+	before := map[benchreport.Plan]int{}
+	for _, plan := range sim.PlanLog() {
+		counted := plan
+		counted.Count = 0
+		before[counted] = plan.Count
+	}
+	row := sw.AddSchedule(sched, top, cfg, params, trials, seed, func(o broadcast.Outcome) (float64, error) {
+		if !o.Success {
+			return math.NaN(), nil // failed trials excluded from the mean, counted below
+		}
+		return float64(o.Rounds), nil
+	})
+	start := time.Now()
+	if err := sw.Run(); err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(out, "schedule: %s (%s, %s)\n", sched.Name, sched.Kind, sched.Ref)
+	desc := "synthesised topology"
+	if pt := sched.PlanTopology(top, params); pt.G != nil {
+		desc = fmt.Sprintf("%s, %d nodes", pt.Name, pt.G.N())
+	}
+	fmt.Fprintf(out, "workload: %s, noise %s p=%.2f, trials %d, seed %d\n", desc, cfg.Fault, cfg.P, trials, seed)
+	for _, plan := range sim.PlanLog() {
+		key := plan
+		key.Count = 0
+		if plan.Count > before[key] {
+			fmt.Fprintf(out, "plan: engine %s, trial-batch width %d (%s)\n", plan.Engine, plan.Width, plan.Reason)
+		}
+	}
+	acc := row.Acc()
+	succeeded := acc.N()
+	fmt.Fprintf(out, "success: %d/%d trials\n", succeeded, trials)
+	if succeeded > 0 {
+		fmt.Fprintf(out, "rounds: mean %.1f ±%.1f (95%% CI)\n", row.Mean(), row.CI95())
+		if params.K > 0 {
+			fmt.Fprintf(out, "throughput: %.4f messages/round (k=%d)\n", float64(params.K)/row.Mean(), params.K)
+		}
+	}
+	fmt.Fprintf(out, "(%d trials in %.2fs)\n", trials, elapsed.Seconds())
+	return nil
+}
+
+// runDemo traces one single-message broadcast on a small path and renders
+// the round-by-round timeline.
+func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
+	if n < 2 {
+		return fmt.Errorf("demo needs -n >= 2, got %d", n)
+	}
+	cfg, err := parseFault(faultName, p, eng)
+	if err != nil {
+		return err
 	}
 	top := graph.Path(n)
 	rec := trace.NewRecorder(top.G.N())
 	opts := broadcast.Options{Trace: rec.Observe}
 	r := rng.New(seed)
 
-	var (
-		res broadcast.Result
-		err error
-	)
+	var res broadcast.Result
 	switch algo {
 	case "decay":
 		res, err = broadcast.Decay(top, cfg, r, opts)

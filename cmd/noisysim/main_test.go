@@ -241,3 +241,102 @@ func TestBenchJSONBadPath(t *testing.T) {
 		t.Fatal("unwritable benchjson path accepted")
 	}
 }
+
+func TestScheduleList(t *testing.T) {
+	out, err := capture(t, "-schedule", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"decay", "robust-fastbc", "star-coding", "wct-routing", "transformed-path-coding"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("schedule list missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestScheduleRun(t *testing.T) {
+	out, err := capture(t, "-schedule", "decay", "-n", "32", "-trials", "8", "-p", "0.2", "-fault", "receiver", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"schedule: decay", "success: 8/8", "rounds: mean", "plan: engine"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("schedule run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScheduleRunMulti(t *testing.T) {
+	out, err := capture(t, "-schedule", "single-link-coding", "-k", "16", "-trials", "10", "-p", "0.5", "-fault", "receiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "throughput:") {
+		t.Fatalf("multi-message schedule run missing throughput:\n%s", out)
+	}
+}
+
+func TestScheduleRunValidation(t *testing.T) {
+	if _, err := capture(t, "-schedule", "bogus"); err == nil {
+		t.Fatal("unknown schedule accepted")
+	}
+	if _, err := capture(t, "-schedule", "decay", "-n", "1"); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := capture(t, "-schedule", "rlnc", "-k", "0"); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestTrialBatchFlagValidation(t *testing.T) {
+	for _, bad := range []string{"x", "-2", "65", "8.5"} {
+		if _, err := capture(t, "-exp", "F1", "-quick", "-trialbatch", bad); err == nil {
+			t.Fatalf("-trialbatch %q accepted", bad)
+		}
+	}
+}
+
+// The trial-batch plan must not change any output byte: auto, forced
+// scalar and forced widths all produce identical tables.
+func TestTrialBatchAutoOutputsIdentical(t *testing.T) {
+	base, err := capture(t, "-exp", "E3", "-quick", "-seed", "3", "-json", "-trialbatch", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []string{"auto", "4", "8", "16"} {
+		got, err := capture(t, "-exp", "E3", "-quick", "-seed", "3", "-json", "-trialbatch", tb)
+		if err != nil {
+			t.Fatalf("-trialbatch %s: %v", tb, err)
+		}
+		if got != base {
+			t.Fatalf("-trialbatch %s changed experiment output", tb)
+		}
+	}
+}
+
+// The bench report must record the execution plans chosen under auto.
+func TestBenchJSONRecordsPlans(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if _, err := capture(t, "-exp", "E3", "-quick", "-seed", "1", "-trialbatch", "auto", "-benchjson", path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchreport.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrialBatch != -1 {
+		t.Fatalf("report trialbatch = %d, want -1 (auto)", rep.TrialBatch)
+	}
+	if len(rep.Plans) == 0 {
+		t.Fatalf("report records no plans: %+v", rep)
+	}
+	for _, p := range rep.Plans {
+		if p.Schedule == "" || p.Engine == "" || p.Width < 1 || p.Count < 1 || p.Reason == "" {
+			t.Fatalf("malformed plan entry: %+v", p)
+		}
+	}
+}

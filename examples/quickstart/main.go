@@ -1,5 +1,6 @@
 // Quickstart: broadcast one message through a noisy radio network with each
-// of the paper's three algorithms and compare round counts.
+// of the paper's three algorithms — selected from the Schedule registry —
+// and compare round counts.
 //
 //	go run ./examples/quickstart
 package main
@@ -21,33 +22,28 @@ func main() {
 
 	r := noisyradio.NewRand(42)
 
-	decay, err := noisyradio.Decay(top, cfg, r, noisyradio.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fastbc, err := noisyradio.FASTBC(top, cfg, r, noisyradio.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	robust, err := noisyradio.RobustFASTBC(top, cfg, r, noisyradio.Options{}, noisyradio.RobustParams{})
-	if err != nil {
-		log.Fatal(err)
-	}
-
 	fmt.Printf("topology: %s (n=%d, D=%d), noise: %s p=%.1f\n\n",
 		top.Name, top.G.N(), top.G.Eccentricity(top.Source), cfg.Fault, cfg.P)
-	fmt.Printf("%-15s %8s  %s\n", "algorithm", "rounds", "success")
-	for _, row := range []struct {
-		name string
-		res  noisyradio.Result
-	}{
-		{name: "decay", res: decay},
-		{name: "fastbc", res: fastbc},
-		{name: "robust-fastbc", res: robust},
-	} {
-		fmt.Printf("%-15s %8d  %v\n", row.name, row.res.Rounds, row.res.Success)
+	fmt.Printf("%-15s %-12s %8s  %s\n", "schedule", "paper ref", "rounds", "success")
+
+	// Every schedule of the paper is one registry entry; Run is the single
+	// execution entry point. ScheduleParams{} selects each schedule's
+	// defaults (these three need none).
+	for _, name := range []string{"decay", "fastbc", "robust-fastbc"} {
+		sched, err := noisyradio.LookupSchedule(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, err := noisyradio.Run(sched, top, cfg, r, noisyradio.ScheduleParams{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-15s %-12s %8d  %v\n", sched.Name, sched.Ref, out.Rounds, out.Success)
 	}
+
 	fmt.Println("\nDecay needs no topology knowledge; FASTBC and Robust FASTBC build a")
 	fmt.Println("GBST from the known topology. Under noise, Robust FASTBC (Theorem 11)")
 	fmt.Println("retains FASTBC's diameter-linearity while FASTBC's wave degrades (Lemma 10).")
+	fmt.Println("\nList every schedule with `noisysim -schedule list`; run one with")
+	fmt.Println("`noisysim -schedule star-coding -n 64 -k 16 -trials 100`.")
 }

@@ -29,6 +29,22 @@ type Report struct {
 	BytesPerTrial  float64      `json:"bytes_per_trial"`
 	Experiments    []ExpSeconds `json:"experiments"`
 	Microbench     []Microbench `json:"microbench,omitempty"`
+	Plans          []Plan       `json:"plans,omitempty"`
+}
+
+// Plan is one distinct execution plan the sweep scheduler chose for a
+// schedule row during the run: the resolved radio engine, the lockstep
+// trial-batch width (1 = scalar) and the planner's reason, with Count
+// aggregating rows that received the identical plan. Recorded so the
+// `-trialbatch auto` decision trail is inspectable in the BENCH_sweep.json
+// artifact.
+type Plan struct {
+	Schedule string `json:"schedule"`
+	Engine   string `json:"engine"`
+	Trials   int    `json:"trials"`
+	Width    int    `json:"width"`
+	Reason   string `json:"reason"`
+	Count    int    `json:"count,omitempty"`
 }
 
 // ExpSeconds is one experiment's contribution to a Report.

@@ -1,0 +1,286 @@
+package broadcast
+
+import (
+	"bytes"
+	"errors"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// scheduleCase binds one registry entry to a small but non-trivial
+// workload for the equivalence tests below.
+type scheduleCase struct {
+	top graph.Topology
+	cfg radio.Config
+	p   ScheduleParams
+}
+
+func scheduleCases(t *testing.T) map[string]scheduleCase {
+	t.Helper()
+	recv := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	half := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	send := radio.Config{Fault: radio.SenderFaults, P: 0.3}
+	path := graph.Path(24)
+	w := graph.NewWCT(graph.DefaultWCTParams(80), rng.New(7))
+	return map[string]scheduleCase{
+		"decay":                    {top: path, cfg: recv},
+		"decay-unknown-n":          {top: path, cfg: recv},
+		"fastbc":                   {top: path, cfg: recv},
+		"robust-fastbc":            {top: path, cfg: recv},
+		"rlnc":                     {top: graph.Grid(4, 4), cfg: recv, p: ScheduleParams{K: 3}},
+		"sequential-decay-routing": {top: graph.Path(12), cfg: recv, p: ScheduleParams{K: 2}},
+		"star-routing":             {cfg: half, p: ScheduleParams{Leaves: 12, K: 4}},
+		"star-coding":              {cfg: half, p: ScheduleParams{Leaves: 12, K: 4}},
+		"wct-routing":              {cfg: half, p: ScheduleParams{WCT: w, K: 3}},
+		"wct-coding":               {cfg: half, p: ScheduleParams{WCT: w, K: 3}},
+		"single-link-nonadaptive":  {cfg: half, p: ScheduleParams{K: 6}},
+		"single-link-adaptive":     {cfg: half, p: ScheduleParams{K: 6}},
+		"single-link-coding":       {cfg: half, p: ScheduleParams{K: 6}},
+		"path-pipeline-routing":    {cfg: send, p: ScheduleParams{PathLen: 4, K: 20}},
+		"pipelined-batch-routing":  {top: graph.Layered(3, 3), cfg: half, p: ScheduleParams{K: 4}},
+		"transformed-path-routing": {cfg: send, p: ScheduleParams{PathLen: 4, K: 20}},
+		"transformed-path-coding":  {cfg: send, p: ScheduleParams{PathLen: 4, K: 20}},
+	}
+}
+
+// TestScheduleCasesCoverRegistry keeps the test workloads and the registry
+// in sync: adding a schedule without a test case fails here.
+func TestScheduleCasesCoverRegistry(t *testing.T) {
+	cases := scheduleCases(t)
+	for _, s := range Schedules() {
+		if _, ok := cases[s.Name]; !ok {
+			t.Errorf("registry entry %q has no schedule test case", s.Name)
+		}
+	}
+	if len(cases) != len(Schedules()) {
+		t.Errorf("%d test cases for %d registry entries", len(cases), len(Schedules()))
+	}
+}
+
+// TestScheduleRunBatchMatchesRun is the registry-level equivalence
+// contract: for every entry, RunBatch over W streams must reproduce W
+// scalar Runs outcome for outcome — the unified API may never change what
+// a trial computes.
+func TestScheduleRunBatchMatchesRun(t *testing.T) {
+	for name, c := range scheduleCases(t) {
+		s, err := LookupSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const w = 3
+		want := make([]Outcome, w)
+		for i := range want {
+			out, err := s.Run(c.top, c.cfg, rng.NewFrom(99, uint64(i)), c.p)
+			if err != nil {
+				t.Fatalf("%s: scalar trial %d: %v", name, i, err)
+			}
+			want[i] = out
+		}
+		rnds := make([]*rng.Stream, w)
+		for i := range rnds {
+			rnds[i] = rng.NewFrom(99, uint64(i))
+		}
+		got, err := s.RunBatch(c.top, c.cfg, rnds, c.p)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", name, err)
+		}
+		if len(got) != w {
+			t.Fatalf("%s: batch returned %d outcomes for %d streams", name, len(got), w)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: trial %d diverged\nscalar %+v\nbatch  %+v", name, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestScheduleKinds pins each entry's kind to its result shape.
+func TestScheduleKinds(t *testing.T) {
+	single := map[string]bool{"decay": true, "decay-unknown-n": true, "fastbc": true, "robust-fastbc": true}
+	for _, s := range Schedules() {
+		want := MultiMessage
+		if single[s.Name] {
+			want = SingleMessage
+		}
+		if s.Kind != want {
+			t.Errorf("%s: kind %v, want %v", s.Name, s.Kind, want)
+		}
+		if s.Ref == "" {
+			t.Errorf("%s: empty paper reference", s.Name)
+		}
+	}
+}
+
+// TestSchedulePlanTopology checks the planner's topology view: entries
+// that synthesise their own topology report it, entries that run on the
+// caller's topology hand it back, and underspecified parameters degrade
+// to the zero topology instead of panicking.
+func TestSchedulePlanTopology(t *testing.T) {
+	for name, c := range scheduleCases(t) {
+		s, err := LookupSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.PlanTopology(c.top, c.p)
+		if c.top.G != nil {
+			if got.G != c.top.G {
+				t.Errorf("%s: PlanTopology did not return the passed topology", name)
+			}
+			continue
+		}
+		if got.G == nil {
+			t.Errorf("%s: PlanTopology returned no graph for a synthesising schedule", name)
+		}
+		// Underspecified params must not panic.
+		zero := s.PlanTopology(graph.Topology{}, ScheduleParams{})
+		_ = zero
+	}
+}
+
+func TestLookupScheduleUnknown(t *testing.T) {
+	_, err := LookupSchedule("totally-bogus")
+	var unk *UnknownScheduleError
+	if !errors.As(err, &unk) {
+		t.Fatalf("LookupSchedule error = %v, want *UnknownScheduleError", err)
+	}
+	if unk.Name != "totally-bogus" || !strings.Contains(err.Error(), "totally-bogus") {
+		t.Fatalf("error does not name the schedule: %v", err)
+	}
+	names := ScheduleNames()
+	if len(names) != len(Schedules()) {
+		t.Fatalf("ScheduleNames returned %d names for %d entries", len(names), len(Schedules()))
+	}
+	for _, n := range names {
+		if _, err := LookupSchedule(n); err != nil {
+			t.Fatalf("listed schedule %q does not look up: %v", n, err)
+		}
+	}
+}
+
+// TestRegistryComplete parses the package source and checks that every
+// exported schedule-shaped function — scalar entry points returning
+// (Result, error), (MultiResult, error) or (MultiResult, [][]byte, error),
+// and batch twins returning ([]Result, error) or ([]MultiResult, error) —
+// is reachable from exactly one registry entry. A future schedule (or
+// batch twin) cannot silently miss the unified API.
+func TestRegistryComplete(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheduleShaped := map[string]bool{
+		"(Result, error)":                true,
+		"([]Result, error)":              true,
+		"(MultiResult, error)":           true,
+		"(MultiResult, [][]byte, error)": true,
+		"([]MultiResult, error)":         true,
+	}
+	found := map[string]string{} // function name -> result signature
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		for file, f := range pkg.Files {
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || !fn.Name.IsExported() || fn.Type.Results == nil {
+					continue
+				}
+				var parts []string
+				for _, res := range fn.Type.Results.List {
+					var buf bytes.Buffer
+					if err := printer.Fprint(&buf, fset, res.Type); err != nil {
+						t.Fatal(err)
+					}
+					n := 1
+					if len(res.Names) > 1 {
+						n = len(res.Names)
+					}
+					for i := 0; i < n; i++ {
+						parts = append(parts, buf.String())
+					}
+				}
+				sig := "(" + strings.Join(parts, ", ") + ")"
+				if scheduleShaped[sig] {
+					found[fn.Name.Name] = sig
+				}
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("source scan found no schedule-shaped functions — the scan is broken")
+	}
+
+	registered := map[string]string{} // function name -> registry entry
+	for _, s := range Schedules() {
+		for _, fname := range []string{s.scalarName, s.batchName} {
+			if fname == "" {
+				t.Errorf("%s: entry does not name its wrapped functions", s.Name)
+				continue
+			}
+			if prev, dup := registered[fname]; dup {
+				t.Errorf("%s is reachable from two registry entries: %s and %s", fname, prev, s.Name)
+			}
+			registered[fname] = s.Name
+		}
+	}
+	for fname, sig := range found {
+		if _, ok := registered[fname]; !ok {
+			t.Errorf("exported schedule-shaped function %s %s is not reachable from any registry entry", fname, sig)
+		}
+	}
+	for fname, entry := range registered {
+		if _, ok := found[fname]; !ok {
+			t.Errorf("registry entry %q wraps %s, which is not an exported schedule-shaped function", entry, fname)
+		}
+	}
+}
+
+// TestScheduleErrorPaths drives the registry's own validation: nil WCT,
+// bad K, and the nil-graph topology error of the topology-taking entries.
+func TestScheduleErrorPaths(t *testing.T) {
+	cfg := radio.Config{Fault: radio.Faultless}
+	r := rng.New(1)
+	for _, name := range []string{"wct-routing", "wct-coding"} {
+		s, err := LookupSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(graph.Topology{}, cfg, r, ScheduleParams{K: 2}); err == nil {
+			t.Errorf("%s: nil WCT accepted", name)
+		}
+		if _, err := s.RunBatch(graph.Topology{}, cfg, []*rng.Stream{r, r}, ScheduleParams{K: 2}); err == nil {
+			t.Errorf("%s: nil WCT accepted by RunBatch", name)
+		}
+	}
+	rlnc, err := LookupSchedule("rlnc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rlnc.Run(graph.Path(4), cfg, r, ScheduleParams{}); err == nil {
+		t.Error("rlnc: K=0 accepted")
+	}
+	if _, err := rlnc.RunBatch(graph.Path(4), cfg, []*rng.Stream{r, r}, ScheduleParams{}); err == nil {
+		t.Error("rlnc: K=0 accepted by RunBatch")
+	}
+	decay, err := LookupSchedule("decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decay.Run(graph.Topology{}, cfg, r, ScheduleParams{}); err == nil {
+		t.Error("decay: nil-graph topology accepted")
+	}
+}

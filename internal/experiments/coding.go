@@ -4,7 +4,6 @@ import (
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
-	"noisyradio/internal/rng"
 	"noisyradio/internal/sim"
 )
 
@@ -38,41 +37,18 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	for pi, pattern := range patterns {
 		coded[pi] = make([]*sim.Row, len(ks))
 		for i, k := range ks {
-			coded[pi][i] = sw.AddBatch(trials, cfg.Seed+uint64(600+100*int(pattern)+i), func(trial int, r *rng.Stream) (float64, error) {
-				msgs := broadcast.RandomMessages(k, 8, r)
-				res, _, err := broadcast.RLNCBroadcast(top, noisy, msgs, pattern, r, broadcast.RLNCOptions{})
-				if err != nil {
-					return 0, err
-				}
-				if !res.Success {
-					return 0, errTrialFailed(res.Done, n, res.Rounds)
-				}
-				return float64(res.Rounds), nil
-			}, multiBatchTrial(n, func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				messages := make([][][]byte, len(rnds))
-				for li, r := range rnds {
-					messages[li] = broadcast.RandomMessages(k, 8, r)
-				}
-				return broadcast.RLNCBroadcastBatch(top, noisy, messages, pattern, rnds, broadcast.RLNCOptions{})
-			}))
+			coded[pi][i] = sw.AddSchedule(schedule("rlnc"), top, noisy,
+				broadcast.ScheduleParams{K: k, Pattern: pattern},
+				trials, cfg.Seed+uint64(600+100*int(pattern)+i), multiValue(n))
 		}
 	}
 	// Routing baseline: k sequential Decay broadcasts, Θ(1/(D log n))
 	// throughput — what coding is buying over naive routing here.
 	routing := make([]*sim.Row, len(ks))
 	for i, k := range ks {
-		routing[i] = sw.AddBatch(trials, cfg.Seed+uint64(690+i), func(trial int, r *rng.Stream) (float64, error) {
-			res, err := broadcast.SequentialDecayRouting(top, noisy, k, r, broadcast.Options{})
-			if err != nil {
-				return 0, err
-			}
-			if !res.Success {
-				return 0, errTrialFailed(res.Done, n, res.Rounds)
-			}
-			return float64(res.Rounds), nil
-		}, multiBatchTrial(n, func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-			return broadcast.SequentialDecayRoutingBatch(top, noisy, k, rnds, broadcast.Options{})
-		}))
+		routing[i] = sw.AddSchedule(schedule("sequential-decay-routing"), top, noisy,
+			broadcast.ScheduleParams{K: k},
+			trials, cfg.Seed+uint64(690+i), multiValue(n))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -95,16 +71,15 @@ func E6RLNCThroughput(cfg Config) (Table, error) {
 	return t, nil
 }
 
-// multiBatchTrial adapts a batched multi-message runner into a lockstep
-// trial function with the E6 scalar closure semantics: a failed trial is
-// an error (not a NaN sentinel), a batch-level error fails every trial.
-func multiBatchTrial(n int, run func(rnds []*rng.Stream) ([]broadcast.MultiResult, error)) sim.BatchTrialFunc {
-	return sim.AdaptBatch(run, func(res broadcast.MultiResult) (float64, error) {
-		if !res.Success {
-			return 0, errTrialFailed(res.Done, n, res.Rounds)
+// multiValue maps a multi-message outcome to its round count with the E6
+// failure semantics: a failed trial is an error (not a NaN sentinel).
+func multiValue(n int) func(broadcast.Outcome) (float64, error) {
+	return func(out broadcast.Outcome) (float64, error) {
+		if !out.Success {
+			return 0, errTrialFailed(out.Done, n, out.Rounds)
 		}
-		return float64(res.Rounds), nil
-	})
+		return float64(out.Rounds), nil
+	}
 }
 
 // errTrialFailed builds a consistent failure error for multi-message trials.

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"noisyradio/internal/radio"
+	"noisyradio/internal/sim"
 )
 
 // encodeTables renders tables exactly as `noisysim -exp all -quick -json`
@@ -53,16 +54,20 @@ func TestGoldenTablesBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	configs := []Config{
-		{Quick: true, Seed: 1},                                                   // library defaults
-		{Quick: true, Seed: 1, Workers: 1, RowWorkers: 1},                        // fully serial
-		{Quick: true, Seed: 1, Workers: 8, RowWorkers: 2},                        // oversubscribed pool, admission-limited rows
-		{Quick: true, Seed: 1, Workers: 5, RowWorkers: 3},                        // deliberately awkward split
-		{Quick: true, Seed: 1, Workers: 8, Engine: radio.Sparse},                 // forced sparse engine
-		{Quick: true, Seed: 1, Workers: 2, RowWorkers: 1, Engine: radio.Dense},   // forced dense engine
-		{Quick: true, Seed: 1, TrialBatch: 8},                                    // lockstep trial batches, default width
-		{Quick: true, Seed: 1, Workers: 1, TrialBatch: 3},                        // serial, width not dividing trial counts
-		{Quick: true, Seed: 1, Workers: 8, TrialBatch: 8, Engine: radio.Dense},   // batched on the forced dense engine
-		{Quick: true, Seed: 1, Workers: 4, TrialBatch: 64, Engine: radio.Sparse}, // max width, forced sparse engine
+		{Quick: true, Seed: 1},                                                                  // library defaults
+		{Quick: true, Seed: 1, Workers: 1, RowWorkers: 1},                                       // fully serial
+		{Quick: true, Seed: 1, Workers: 8, RowWorkers: 2},                                       // oversubscribed pool, admission-limited rows
+		{Quick: true, Seed: 1, Workers: 5, RowWorkers: 3},                                       // deliberately awkward split
+		{Quick: true, Seed: 1, Workers: 8, Engine: radio.Sparse},                                // forced sparse engine
+		{Quick: true, Seed: 1, Workers: 2, RowWorkers: 1, Engine: radio.Dense},                  // forced dense engine
+		{Quick: true, Seed: 1, TrialBatch: 8},                                                   // lockstep trial batches, default width
+		{Quick: true, Seed: 1, Workers: 1, TrialBatch: 3},                                       // serial, width not dividing trial counts
+		{Quick: true, Seed: 1, Workers: 8, TrialBatch: 8, Engine: radio.Dense},                  // batched on the forced dense engine
+		{Quick: true, Seed: 1, Workers: 4, TrialBatch: 64, Engine: radio.Sparse},                // max width, forced sparse engine
+		{Quick: true, Seed: 1, Workers: 3, TrialBatch: 4},                                       // forced unrolled width 4
+		{Quick: true, Seed: 1, Workers: 2, TrialBatch: 16},                                      // forced unrolled width 16
+		{Quick: true, Seed: 1, TrialBatch: sim.TrialBatchAuto},                                  // auto-planned widths
+		{Quick: true, Seed: 1, Workers: 8, TrialBatch: sim.TrialBatchAuto, Engine: radio.Dense}, // auto plan, forced dense engine
 	}
 	for _, cfg := range configs {
 		cfg := cfg

@@ -11,47 +11,29 @@ import (
 	"noisyradio/internal/stats"
 )
 
-// singleRun adapts a single-message broadcast into a rounds-valued trial.
-func singleRun(run func(r *rng.Stream) (broadcast.Result, error)) func(int, *rng.Stream) (float64, error) {
-	return func(trial int, r *rng.Stream) (float64, error) {
-		res, err := run(r)
-		if err != nil {
-			return 0, err
-		}
-		if !res.Success {
-			return 0, singleFailError(res)
-		}
-		return float64(res.Rounds), nil
+// schedule returns the registry entry for name; a typo is a programming
+// error in the experiment table, not a data condition, so it panics.
+func schedule(name string) *broadcast.Schedule { return broadcast.MustSchedule(name) }
+
+func singleFailError(out broadcast.Outcome) error {
+	return fmt.Errorf("broadcast failed: informed %d after %d rounds", out.Done, out.Rounds)
+}
+
+// singleValue maps a single-message outcome to its round count; a failed
+// broadcast is a trial error.
+func singleValue(out broadcast.Outcome) (float64, error) {
+	if !out.Success {
+		return 0, singleFailError(out)
 	}
+	return float64(out.Rounds), nil
 }
 
-func singleFailError(res broadcast.Result) error {
-	return fmt.Errorf("broadcast failed: informed %d after %d rounds", res.Informed, res.Rounds)
-}
-
-// singleBatchRun is the lockstep twin of a scalar single-message runner.
-type singleBatchRun func(rnds []*rng.Stream) ([]broadcast.Result, error)
-
-// singleRunBatch adapts a batched single-message broadcast into a
-// lockstep trial function with the exact per-trial semantics of singleRun
-// (via sim.AdaptBatch, the shared definition of batch failure semantics).
-func singleRunBatch(run singleBatchRun) sim.BatchTrialFunc {
-	return sim.AdaptBatch(run, func(res broadcast.Result) (float64, error) {
-		if !res.Success {
-			return 0, singleFailError(res)
-		}
-		return float64(res.Rounds), nil
-	})
-}
-
-// deferMeanRounds registers a rounds-valued broadcast row on the table's
-// sweep, with an optional trial-batched twin (nil keeps the row scalar);
-// read Mean/CI95 off the returned row after the sweep has run.
-func deferMeanRounds(sw *sim.Sweep, cfg Config, trials int, seed uint64, run func(r *rng.Stream) (broadcast.Result, error), batch singleBatchRun) *sim.Row {
-	if batch == nil {
-		return sw.Add(trials, cfg.Seed+seed, singleRun(run))
-	}
-	return sw.AddBatch(trials, cfg.Seed+seed, singleRun(run), singleRunBatch(batch))
+// deferMeanRounds registers a rounds-valued broadcast schedule row on the
+// table's sweep; whether (and how wide) its trials batch is the sweep's
+// execution plan. Read Mean/CI95 off the returned row after the sweep has
+// run.
+func deferMeanRounds(sw *sim.Sweep, cfg Config, trials int, seed uint64, name string, top graph.Topology, ncfg radio.Config, p broadcast.ScheduleParams) *sim.Row {
+	return sw.AddSchedule(schedule(name), top, ncfg, p, trials, cfg.Seed+seed, singleValue)
 }
 
 // E1DecayFaultless reproduces Lemma 6: Decay broadcasts in
@@ -80,11 +62,7 @@ func E1DecayFaultless(cfg Config) (Table, error) {
 	rows := make([]rowData, 0, len(lengths))
 	for i, n := range lengths {
 		top := graph.Path(n)
-		rows = append(rows, rowData{n, top, deferMeanRounds(sw, cfg, trials, uint64(100+i), func(r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.Decay(top, clean, r, broadcast.Options{})
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.DecayBatch(top, clean, rnds, broadcast.Options{})
-		})})
+		rows = append(rows, rowData{n, top, deferMeanRounds(sw, cfg, trials, uint64(100+i), "decay", top, clean, broadcast.ScheduleParams{})})
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -128,16 +106,8 @@ func E2FASTBCFaultless(cfg Config) (Table, error) {
 	rows := make([]rowData, 0, len(lengths))
 	for i, n := range lengths {
 		top := graph.Path(n)
-		fast := deferMeanRounds(sw, cfg, trials, uint64(200+i), func(r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.FASTBC(top, clean, r, broadcast.Options{})
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.FASTBCBatch(top, clean, rnds, broadcast.Options{})
-		})
-		decay := deferMeanRounds(sw, cfg, trials, uint64(250+i), func(r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.Decay(top, clean, r, broadcast.Options{})
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.DecayBatch(top, clean, rnds, broadcast.Options{})
-		})
+		fast := deferMeanRounds(sw, cfg, trials, uint64(200+i), "fastbc", top, clean, broadcast.ScheduleParams{})
+		decay := deferMeanRounds(sw, cfg, trials, uint64(250+i), "decay", top, clean, broadcast.ScheduleParams{})
 		rows = append(rows, rowData{n, top, fast, decay})
 	}
 	if err := sw.Run(); err != nil {
@@ -169,11 +139,7 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 	top := graph.Path(n)
 	sw := cfg.newSweep()
 	cleanCfg := cfg.noise(radio.Faultless, 0)
-	baseRow := deferMeanRounds(sw, cfg, trials, 300, func(r *rng.Stream) (broadcast.Result, error) {
-		return broadcast.Decay(top, cleanCfg, r, broadcast.Options{})
-	}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-		return broadcast.DecayBatch(top, cleanCfg, rnds, broadcast.Options{})
-	})
+	baseRow := deferMeanRounds(sw, cfg, trials, 300, "decay", top, cleanCfg, broadcast.ScheduleParams{})
 	type rowData struct {
 		model radio.FaultModel
 		p     float64
@@ -187,11 +153,7 @@ func E3DecayNoisy(cfg Config) (Table, error) {
 		}
 		for i, p := range ps {
 			ncfg := cfg.noise(model, p)
-			rows = append(rows, rowData{model, p, deferMeanRounds(sw, cfg, trials, uint64(310+10*int(model)+i), func(r *rng.Stream) (broadcast.Result, error) {
-				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
-			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-				return broadcast.DecayBatch(top, ncfg, rnds, broadcast.Options{})
-			})})
+			rows = append(rows, rowData{model, p, deferMeanRounds(sw, cfg, trials, uint64(310+10*int(model)+i), "decay", top, ncfg, broadcast.ScheduleParams{})})
 		}
 	}
 	if err := sw.Run(); err != nil {
@@ -271,26 +233,13 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 	noisy := cfg.noise(radio.ReceiverFaults, 0.3)
 
 	type entry struct {
-		name  string
-		run   func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error)
-		batch func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error)
+		name     string
+		schedule string
 	}
 	algos := []entry{
-		{name: "decay", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.Decay(top, c, r, broadcast.Options{})
-		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.DecayBatch(top, c, rnds, broadcast.Options{})
-		}},
-		{name: "fastbc", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.FASTBC(top, c, r, broadcast.Options{})
-		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.FASTBCBatch(top, c, rnds, broadcast.Options{})
-		}},
-		{name: "robust-fastbc", run: func(top graph.Topology, c radio.Config, r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.RobustFASTBC(top, c, r, broadcast.Options{}, broadcast.RobustParams{})
-		}, batch: func(top graph.Topology, c radio.Config, rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.RobustFASTBCBatch(top, c, rnds, broadcast.Options{}, broadcast.RobustParams{})
-		}},
+		{name: "decay", schedule: "decay"},
+		{name: "fastbc", schedule: "fastbc"},
+		{name: "robust-fastbc", schedule: "robust-fastbc"},
 	}
 	sw := cfg.newSweep()
 	type rowData struct {
@@ -299,16 +248,8 @@ func E5RobustFASTBC(cfg Config) (Table, error) {
 	}
 	rows := make([]rowData, 0, len(algos))
 	for i, a := range algos {
-		cleanRow := deferMeanRounds(sw, cfg, trials, uint64(500+2*i), func(r *rng.Stream) (broadcast.Result, error) {
-			return a.run(top, clean, r)
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return a.batch(top, clean, rnds)
-		})
-		noisyRow := deferMeanRounds(sw, cfg, trials, uint64(501+2*i), func(r *rng.Stream) (broadcast.Result, error) {
-			return a.run(top, noisy, r)
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return a.batch(top, noisy, rnds)
-		})
+		cleanRow := deferMeanRounds(sw, cfg, trials, uint64(500+2*i), a.schedule, top, clean, broadcast.ScheduleParams{})
+		noisyRow := deferMeanRounds(sw, cfg, trials, uint64(501+2*i), a.schedule, top, noisy, broadcast.ScheduleParams{})
 		rows = append(rows, rowData{a.name, cleanRow, noisyRow})
 	}
 	if err := sw.Run(); err != nil {
@@ -348,11 +289,7 @@ func A1BlockSizeAblation(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	rows := make([]*sim.Row, 0, len(sizes))
 	for i, s := range sizes {
-		rows = append(rows, deferMeanRounds(sw, cfg, trials, uint64(900+i), func(r *rng.Stream) (broadcast.Result, error) {
-			return broadcast.RobustFASTBC(top, noisy, r, broadcast.Options{}, broadcast.RobustParams{BlockSize: s})
-		}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-			return broadcast.RobustFASTBCBatch(top, noisy, rnds, broadcast.Options{}, broadcast.RobustParams{BlockSize: s})
-		}))
+		rows = append(rows, deferMeanRounds(sw, cfg, trials, uint64(900+i), "robust-fastbc", top, noisy, broadcast.ScheduleParams{Robust: broadcast.RobustParams{BlockSize: s}}))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -393,16 +330,8 @@ func A3UnknownNDecay(cfg Config) (Table, error) {
 			if p > 0 {
 				ncfg = cfg.noise(radio.ReceiverFaults, p)
 			}
-			known := deferMeanRounds(sw, cfg, trials, uint64(970+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
-				return broadcast.Decay(top, ncfg, r, broadcast.Options{})
-			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-				return broadcast.DecayBatch(top, ncfg, rnds, broadcast.Options{})
-			})
-			unknown := deferMeanRounds(sw, cfg, trials, uint64(975+10*i+j), func(r *rng.Stream) (broadcast.Result, error) {
-				return broadcast.DecayUnknownN(top, ncfg, r, broadcast.Options{})
-			}, func(rnds []*rng.Stream) ([]broadcast.Result, error) {
-				return broadcast.DecayUnknownNBatch(top, ncfg, rnds, broadcast.Options{})
-			})
+			known := deferMeanRounds(sw, cfg, trials, uint64(970+10*i+j), "decay", top, ncfg, broadcast.ScheduleParams{})
+			unknown := deferMeanRounds(sw, cfg, trials, uint64(975+10*i+j), "decay-unknown-n", top, ncfg, broadcast.ScheduleParams{})
 			rows = append(rows, rowData{n, p, known, unknown})
 		}
 	}

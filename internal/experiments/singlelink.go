@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
-	"noisyradio/internal/rng"
 	"noisyradio/internal/stats"
 	"noisyradio/internal/throughput"
 )
@@ -33,14 +33,8 @@ func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
 	pending := make([]*throughput.Pending, len(ks))
 	for i, k := range ks {
 		repeats[i] = broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
-		reps := repeats[i]
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1600+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkNonAdaptive(k, reps, ncfg, r)
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkNonAdaptiveBatch(k, reps, ncfg, rnds)
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("single-link-nonadaptive"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{K: k, Repeats: repeats[i]}, trials, cfg.Seed+uint64(1600+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -74,20 +68,10 @@ func E17SingleLinkAdaptive(cfg Config) (Table, error) {
 	coding := make([]*throughput.Pending, len(ks))
 	adaptive := make([]*throughput.Pending, len(ks))
 	for i, k := range ks {
-		coding[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1650+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
-			})
-		adaptive[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1670+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkAdaptiveBatch(k, ncfg, rnds, broadcast.Options{})
-			})
+		coding[i] = throughput.DeferSchedule(sw, schedule("single-link-coding"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{K: k}, trials, cfg.Seed+uint64(1650+i))
+		adaptive[i] = throughput.DeferSchedule(sw, schedule("single-link-adaptive"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{K: k}, trials, cfg.Seed+uint64(1670+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -125,32 +109,11 @@ func E18SingleLinkGap(cfg Config) (Table, error) {
 	gapA := make([]*throughput.PendingGap, len(ks))
 	for i, k := range ks {
 		repeats := broadcast.DefaultSingleLinkRepeats(k, ncfg.P)
-		gapNA[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1700+2*i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
-			},
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkNonAdaptive(k, repeats, ncfg, r)
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkNonAdaptiveBatch(k, repeats, ncfg, rnds)
-			})
-		gapA[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1750+2*i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCoding(k, ncfg, r, broadcast.Options{})
-			},
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.SingleLinkAdaptive(k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkCodingBatch(k, ncfg, rnds, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.SingleLinkAdaptiveBatch(k, ncfg, rnds, broadcast.Options{})
-			})
+		kp := broadcast.ScheduleParams{K: k}
+		gapNA[i] = throughput.DeferGapSchedule(sw, schedule("single-link-coding"), schedule("single-link-nonadaptive"),
+			graph.Topology{}, ncfg, kp, broadcast.ScheduleParams{K: k, Repeats: repeats}, trials, cfg.Seed+uint64(1700+2*i))
+		gapA[i] = throughput.DeferGapSchedule(sw, schedule("single-link-coding"), schedule("single-link-adaptive"),
+			graph.Topology{}, ncfg, kp, kp, trials, cfg.Seed+uint64(1750+2*i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err

@@ -4,7 +4,6 @@ import (
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
-	"noisyradio/internal/rng"
 	"noisyradio/internal/stats"
 	"noisyradio/internal/throughput"
 )
@@ -36,13 +35,8 @@ func E7StarRouting(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.Pending, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(700+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.StarRoutingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("star-routing"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{Leaves: leaves, K: k}, trials, cfg.Seed+uint64(700+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -83,13 +77,8 @@ func E8StarCoding(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.Pending, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(750+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.StarCodingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("star-coding"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{Leaves: leaves, K: k}, trials, cfg.Seed+uint64(750+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -124,19 +113,9 @@ func E9StarGap(cfg Config) (Table, error) {
 	sw := cfg.newSweep()
 	pending := make([]*throughput.PendingGap, len(sizes))
 	for i, leaves := range sizes {
-		pending[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(800+2*i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.StarCoding(leaves, k, ncfg, r, broadcast.Options{})
-			},
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.StarRouting(leaves, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.StarCodingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.StarRoutingBatch(leaves, k, ncfg, rnds, broadcast.Options{})
-			})
+		p := broadcast.ScheduleParams{Leaves: leaves, K: k}
+		pending[i] = throughput.DeferGapSchedule(sw, schedule("star-coding"), schedule("star-routing"),
+			graph.Topology{}, ncfg, p, p, trials, cfg.Seed+uint64(800+2*i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err

@@ -4,7 +4,6 @@ import (
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
-	"noisyradio/internal/rng"
 	"noisyradio/internal/throughput"
 )
 
@@ -31,31 +30,17 @@ func E14SenderTransformRouting(cfg Config) (Table, error) {
 	}
 	sw := cfg.newSweep()
 	cleanCfg := cfg.noise(radio.Faultless, 0)
-	basePending := throughput.DeferBatch(sw, k, trials, cfg.Seed+1400,
-		func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.PathPipelineRouting(pathLen, k, cleanCfg, r, broadcast.Options{})
-		},
-		func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-			return broadcast.PathPipelineRoutingBatch(pathLen, k, cleanCfg, rnds, broadcast.Options{})
-		})
+	pipeP := broadcast.ScheduleParams{PathLen: pathLen, K: k}
+	basePending := throughput.DeferSchedule(sw, schedule("path-pipeline-routing"), graph.Topology{}, cleanCfg,
+		pipeP, trials, cfg.Seed+1400)
 	adaptive := make([]*throughput.Pending, len(ps))
 	meta := make([]*throughput.Pending, len(ps))
 	for i, p := range ps {
 		ncfg := cfg.noise(radio.SenderFaults, p)
-		adaptive[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1410+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.PathPipelineRouting(pathLen, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.PathPipelineRoutingBatch(pathLen, k, ncfg, rnds, broadcast.Options{})
-			})
-		meta[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1420+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.TransformedPathRouting(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.TransformedPathRoutingBatch(pathLen, k, ncfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
-			})
+		adaptive[i] = throughput.DeferSchedule(sw, schedule("path-pipeline-routing"), graph.Topology{}, ncfg,
+			pipeP, trials, cfg.Seed+uint64(1410+i))
+		meta[i] = throughput.DeferSchedule(sw, schedule("transformed-path-routing"), graph.Topology{}, ncfg,
+			pipeP, trials, cfg.Seed+uint64(1420+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -111,13 +96,8 @@ func E19PipelinedBatchRouting(cfg Config) (Table, error) {
 	for i, wl := range sweeps {
 		top := pipelineTopology(wl.depth, wl.width)
 		tops[i] = top
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1800+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.PipelinedBatchRouting(top, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.PipelinedBatchRoutingBatch(top, k, ncfg, rnds, broadcast.Options{})
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("pipelined-batch-routing"), top, ncfg,
+			broadcast.ScheduleParams{K: k}, trials, cfg.Seed+uint64(1800+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -161,25 +141,16 @@ func E15SenderTransformCoding(cfg Config) (Table, error) {
 	}
 	sw := cfg.newSweep()
 	cleanCfg := cfg.noise(radio.Faultless, 0)
-	basePending := throughput.DeferBatch(sw, k, trials, cfg.Seed+1500,
-		func(r *rng.Stream) (broadcast.MultiResult, error) {
-			return broadcast.TransformedPathCoding(pathLen, k, cleanCfg, r, broadcast.TransformParams{}, broadcast.Options{})
-		},
-		func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-			return broadcast.TransformedPathCodingBatch(pathLen, k, cleanCfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
-		})
+	codingP := broadcast.ScheduleParams{PathLen: pathLen, K: k}
+	basePending := throughput.DeferSchedule(sw, schedule("transformed-path-coding"), graph.Topology{}, cleanCfg,
+		codingP, trials, cfg.Seed+1500)
 	pending := make([][]*throughput.Pending, len(models))
 	for mi, model := range models {
 		pending[mi] = make([]*throughput.Pending, len(ps))
 		for i, p := range ps {
 			ncfg := cfg.noise(model, p)
-			pending[mi][i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1510+10*mi+i),
-				func(r *rng.Stream) (broadcast.MultiResult, error) {
-					return broadcast.TransformedPathCoding(pathLen, k, ncfg, r, broadcast.TransformParams{}, broadcast.Options{})
-				},
-				func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-					return broadcast.TransformedPathCodingBatch(pathLen, k, ncfg, rnds, broadcast.TransformParams{}, broadcast.Options{})
-				})
+			pending[mi][i] = throughput.DeferSchedule(sw, schedule("transformed-path-coding"), graph.Topology{}, ncfg,
+				codingP, trials, cfg.Seed+uint64(1510+10*mi+i))
 		}
 	}
 	if err := sw.Run(); err != nil {

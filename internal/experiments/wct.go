@@ -99,13 +99,8 @@ func E11WCTRouting(cfg Config) (Table, error) {
 	pending := make([]*throughput.Pending, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1150+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.WCTRoutingBatch(w, k, ncfg, rnds, broadcast.Options{})
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("wct-routing"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{WCT: w, K: k}, trials, cfg.Seed+uint64(1150+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -147,13 +142,8 @@ func E12WCTCoding(cfg Config) (Table, error) {
 	pending := make([]*throughput.Pending, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.DeferBatch(sw, k, trials, cfg.Seed+uint64(1250+i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.WCTCodingBatch(w, k, ncfg, rnds, broadcast.Options{})
-			})
+		pending[i] = throughput.DeferSchedule(sw, schedule("wct-coding"), graph.Topology{}, ncfg,
+			broadcast.ScheduleParams{WCT: w, K: k}, trials, cfg.Seed+uint64(1250+i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err
@@ -198,19 +188,9 @@ func E13WorstCaseGap(cfg Config) (Table, error) {
 	pending := make([]*throughput.PendingGap, len(sizes))
 	for i := range sizes {
 		w := ws[i]
-		pending[i] = throughput.DeferGapBatch(sw, k, trials, cfg.Seed+uint64(1350+2*i),
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.WCTCoding(w, k, ncfg, r, broadcast.Options{})
-			},
-			func(r *rng.Stream) (broadcast.MultiResult, error) {
-				return broadcast.WCTRouting(w, k, ncfg, r, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.WCTCodingBatch(w, k, ncfg, rnds, broadcast.Options{})
-			},
-			func(rnds []*rng.Stream) ([]broadcast.MultiResult, error) {
-				return broadcast.WCTRoutingBatch(w, k, ncfg, rnds, broadcast.Options{})
-			})
+		p := broadcast.ScheduleParams{WCT: w, K: k}
+		pending[i] = throughput.DeferGapSchedule(sw, schedule("wct-coding"), schedule("wct-routing"),
+			graph.Topology{}, ncfg, p, p, trials, cfg.Seed+uint64(1350+2*i))
 	}
 	if err := sw.Run(); err != nil {
 		return t, err

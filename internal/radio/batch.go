@@ -412,11 +412,18 @@ func (b *BatchNetwork[P]) stepBatchDense(tx *bitset.Block, payloads [][]P, rx *b
 		return
 	}
 
-	if W == 8 {
-		// The full batch width runs its own listener sweep with the lane
-		// loop unrolled — this is the engine's hottest configuration and
-		// the one the CI speedup gate measures.
+	switch W {
+	case 4:
+		b.denseListeners4(tx, payloads, rx, live, unionLo, unionHi, deliver)
+		return
+	case 8:
+		// The default trial-batch width runs its own listener sweep with
+		// the lane loop unrolled — this is the engine's hottest
+		// configuration and the one the CI speedup gate measures.
 		b.denseListeners8(tx, payloads, rx, live, unionLo, unionHi, deliver)
+		return
+	case 16:
+		b.denseListeners16(tx, payloads, rx, live, unionLo, unionHi, deliver)
 		return
 	}
 

@@ -180,7 +180,7 @@ func TestBatchMatchesScalarAcrossTopologies(t *testing.T) {
 	for _, top := range tops {
 		for _, cfg := range diffConfigs(top.G.N()) {
 			for _, eng := range []Engine{Sparse, Dense} {
-				for _, w := range []int{1, 3, 8} {
+				for _, w := range []int{1, 3, 4, 8, 16} {
 					const rounds = 30
 					// Stagger lane lifetimes so the active mask shrinks.
 					roundsFor := func(lane int) int { return rounds - 3*lane }

@@ -1,0 +1,337 @@
+package radio
+
+import (
+	"math/bits"
+
+	"noisyradio/internal/bitset"
+)
+
+// This file holds the width-4 and width-16 unrolled listener sweeps of the
+// batched dense engine — the mechanical siblings of denseListeners8 (see
+// batch.go), one per lane-sweep width the execution planner may choose.
+// Each is identical in outcome logic to the generic loop in
+// stepBatchDense; the lane loop is unrolled so every lane's AND/test chain
+// uses constant indices and the independent chains schedule in parallel.
+// The per-width parity tests (TestBatchMatchesScalarAcrossTopologies and
+// FuzzStepBatch run widths 1, 3, 4, 8 and 16) pin all of them to the
+// scalar engine draw for draw.
+
+// flushCollisions16 folds the two packed byteSpread8 accumulators of the
+// width-16 sweep into the lane statistics (lo byte 7-l counts lane l, hi
+// byte 7-l counts lane l+8) and resets them.
+func (b *BatchNetwork[P]) flushCollisions16(lo, hi *uint64) {
+	for l := 0; l < 8; l++ {
+		b.stats[l].Collisions += int64(*lo >> (8 * (7 - uint(l))) & 0xff)
+		b.stats[l+8].Collisions += int64(*hi >> (8 * (7 - uint(l))) & 0xff)
+	}
+	*lo, *hi = 0, 0
+}
+
+// denseListeners4 is the width-4 listener sweep: the denseListeners8
+// pattern at half the lane count, for rows whose trial counts make W=8
+// batches waste more remainder than they amortise.
+func (b *BatchNetwork[P]) denseListeners4(tx *bitset.Block, payloads [][]P, rx *bitset.Block, live uint64, unionLo, unionHi int, deliver func(lane int, d Delivery[P])) {
+	words := tx.Words()
+	anyTx := b.anyTx
+	nn := b.g.N()
+	adj, stride := b.adjWords, b.adjStride
+	rowLo, rowHi := b.rowLo, b.rowHi
+	hit, hitBase := b.hit, b.hitBase
+	var collAcc uint64
+	collTicks := 0
+	for u, base := 0, 0; u < nn; u, base = u+1, base+stride {
+		lo, hi := unionLo, unionHi
+		if rl := int(rowLo[u]); rl > lo {
+			lo = rl
+		}
+		if rh := int(rowHi[u]); rh < hi {
+			hi = rh
+		}
+		if lo >= hi {
+			continue
+		}
+		listen := live
+		bitU := uint(u) & 63
+		if anyTx[u>>6]>>bitU&1 != 0 {
+			col := (*[4]uint64)(words[(u>>6)*4 : (u>>6)*4+4])
+			txm := col[0]>>bitU&1 |
+				col[1]>>bitU&1<<1 |
+				col[2]>>bitU&1<<2 |
+				col[3]>>bitU&1<<3
+			listen = live &^ txm
+			if listen == 0 {
+				continue
+			}
+		}
+		var nz, mult uint64
+		for wi := lo; wi < hi; wi++ {
+			a := adj[base+wi]
+			if anyTx[wi]&a == 0 {
+				continue
+			}
+			cw := (*[4]uint64)(words[wi*4 : wi*4+4])
+			wb := int32(wi * 64)
+			var nzw uint64
+			if x := a & cw[0]; x != 0 {
+				nzw |= 1 << 0
+				if x&(x-1) != 0 {
+					mult |= 1 << 0
+				} else {
+					hit[0], hitBase[0] = x, wb
+				}
+			}
+			if x := a & cw[1]; x != 0 {
+				nzw |= 1 << 1
+				if x&(x-1) != 0 {
+					mult |= 1 << 1
+				} else {
+					hit[1], hitBase[1] = x, wb
+				}
+			}
+			if x := a & cw[2]; x != 0 {
+				nzw |= 1 << 2
+				if x&(x-1) != 0 {
+					mult |= 1 << 2
+				} else {
+					hit[2], hitBase[2] = x, wb
+				}
+			}
+			if x := a & cw[3]; x != 0 {
+				nzw |= 1 << 3
+				if x&(x-1) != 0 {
+					mult |= 1 << 3
+				} else {
+					hit[3], hitBase[3] = x, wb
+				}
+			}
+			mult |= nz & nzw
+			nz |= nzw
+			if listen&^mult == 0 {
+				break
+			}
+		}
+		if coll := mult & listen; coll != 0 {
+			collAcc += byteSpread8(coll)
+			if collTicks++; collTicks == 255 {
+				b.flushCollisions8(&collAcc)
+				collTicks = 0
+			}
+		}
+		for m := nz &^ mult & listen; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			b.resolveUnique(l, int32(u), hitBase[l]+int32(bits.TrailingZeros64(hit[l])), payloads, rx, deliver)
+		}
+	}
+	if collAcc != 0 {
+		b.flushCollisions8(&collAcc)
+	}
+}
+
+// denseListeners16 is the width-16 listener sweep: the denseListeners8
+// pattern at twice the lane count, with the collision tally split over two
+// packed byte accumulators (lanes 0-7 and 8-15).
+func (b *BatchNetwork[P]) denseListeners16(tx *bitset.Block, payloads [][]P, rx *bitset.Block, live uint64, unionLo, unionHi int, deliver func(lane int, d Delivery[P])) {
+	words := tx.Words()
+	anyTx := b.anyTx
+	nn := b.g.N()
+	adj, stride := b.adjWords, b.adjStride
+	rowLo, rowHi := b.rowLo, b.rowHi
+	hit, hitBase := b.hit, b.hitBase
+	var collLo, collHi uint64
+	collTicks := 0
+	for u, base := 0, 0; u < nn; u, base = u+1, base+stride {
+		lo, hi := unionLo, unionHi
+		if rl := int(rowLo[u]); rl > lo {
+			lo = rl
+		}
+		if rh := int(rowHi[u]); rh < hi {
+			hi = rh
+		}
+		if lo >= hi {
+			continue
+		}
+		listen := live
+		bitU := uint(u) & 63
+		if anyTx[u>>6]>>bitU&1 != 0 {
+			col := (*[16]uint64)(words[(u>>6)*16 : (u>>6)*16+16])
+			txm := col[0]>>bitU&1 |
+				col[1]>>bitU&1<<1 |
+				col[2]>>bitU&1<<2 |
+				col[3]>>bitU&1<<3 |
+				col[4]>>bitU&1<<4 |
+				col[5]>>bitU&1<<5 |
+				col[6]>>bitU&1<<6 |
+				col[7]>>bitU&1<<7 |
+				col[8]>>bitU&1<<8 |
+				col[9]>>bitU&1<<9 |
+				col[10]>>bitU&1<<10 |
+				col[11]>>bitU&1<<11 |
+				col[12]>>bitU&1<<12 |
+				col[13]>>bitU&1<<13 |
+				col[14]>>bitU&1<<14 |
+				col[15]>>bitU&1<<15
+			listen = live &^ txm
+			if listen == 0 {
+				continue
+			}
+		}
+		var nz, mult uint64
+		for wi := lo; wi < hi; wi++ {
+			a := adj[base+wi]
+			if anyTx[wi]&a == 0 {
+				continue
+			}
+			cw := (*[16]uint64)(words[wi*16 : wi*16+16])
+			wb := int32(wi * 64)
+			var nzw uint64
+			if x := a & cw[0]; x != 0 {
+				nzw |= 1 << 0
+				if x&(x-1) != 0 {
+					mult |= 1 << 0
+				} else {
+					hit[0], hitBase[0] = x, wb
+				}
+			}
+			if x := a & cw[1]; x != 0 {
+				nzw |= 1 << 1
+				if x&(x-1) != 0 {
+					mult |= 1 << 1
+				} else {
+					hit[1], hitBase[1] = x, wb
+				}
+			}
+			if x := a & cw[2]; x != 0 {
+				nzw |= 1 << 2
+				if x&(x-1) != 0 {
+					mult |= 1 << 2
+				} else {
+					hit[2], hitBase[2] = x, wb
+				}
+			}
+			if x := a & cw[3]; x != 0 {
+				nzw |= 1 << 3
+				if x&(x-1) != 0 {
+					mult |= 1 << 3
+				} else {
+					hit[3], hitBase[3] = x, wb
+				}
+			}
+			if x := a & cw[4]; x != 0 {
+				nzw |= 1 << 4
+				if x&(x-1) != 0 {
+					mult |= 1 << 4
+				} else {
+					hit[4], hitBase[4] = x, wb
+				}
+			}
+			if x := a & cw[5]; x != 0 {
+				nzw |= 1 << 5
+				if x&(x-1) != 0 {
+					mult |= 1 << 5
+				} else {
+					hit[5], hitBase[5] = x, wb
+				}
+			}
+			if x := a & cw[6]; x != 0 {
+				nzw |= 1 << 6
+				if x&(x-1) != 0 {
+					mult |= 1 << 6
+				} else {
+					hit[6], hitBase[6] = x, wb
+				}
+			}
+			if x := a & cw[7]; x != 0 {
+				nzw |= 1 << 7
+				if x&(x-1) != 0 {
+					mult |= 1 << 7
+				} else {
+					hit[7], hitBase[7] = x, wb
+				}
+			}
+			if x := a & cw[8]; x != 0 {
+				nzw |= 1 << 8
+				if x&(x-1) != 0 {
+					mult |= 1 << 8
+				} else {
+					hit[8], hitBase[8] = x, wb
+				}
+			}
+			if x := a & cw[9]; x != 0 {
+				nzw |= 1 << 9
+				if x&(x-1) != 0 {
+					mult |= 1 << 9
+				} else {
+					hit[9], hitBase[9] = x, wb
+				}
+			}
+			if x := a & cw[10]; x != 0 {
+				nzw |= 1 << 10
+				if x&(x-1) != 0 {
+					mult |= 1 << 10
+				} else {
+					hit[10], hitBase[10] = x, wb
+				}
+			}
+			if x := a & cw[11]; x != 0 {
+				nzw |= 1 << 11
+				if x&(x-1) != 0 {
+					mult |= 1 << 11
+				} else {
+					hit[11], hitBase[11] = x, wb
+				}
+			}
+			if x := a & cw[12]; x != 0 {
+				nzw |= 1 << 12
+				if x&(x-1) != 0 {
+					mult |= 1 << 12
+				} else {
+					hit[12], hitBase[12] = x, wb
+				}
+			}
+			if x := a & cw[13]; x != 0 {
+				nzw |= 1 << 13
+				if x&(x-1) != 0 {
+					mult |= 1 << 13
+				} else {
+					hit[13], hitBase[13] = x, wb
+				}
+			}
+			if x := a & cw[14]; x != 0 {
+				nzw |= 1 << 14
+				if x&(x-1) != 0 {
+					mult |= 1 << 14
+				} else {
+					hit[14], hitBase[14] = x, wb
+				}
+			}
+			if x := a & cw[15]; x != 0 {
+				nzw |= 1 << 15
+				if x&(x-1) != 0 {
+					mult |= 1 << 15
+				} else {
+					hit[15], hitBase[15] = x, wb
+				}
+			}
+			mult |= nz & nzw
+			nz |= nzw
+			if listen&^mult == 0 {
+				break
+			}
+		}
+		if coll := mult & listen; coll != 0 {
+			collLo += byteSpread8(coll & 0xff)
+			collHi += byteSpread8(coll >> 8)
+			if collTicks++; collTicks == 255 {
+				b.flushCollisions16(&collLo, &collHi)
+				collTicks = 0
+			}
+		}
+		for m := nz &^ mult & listen; m != 0; m &= m - 1 {
+			l := bits.TrailingZeros64(m)
+			b.resolveUnique(l, int32(u), hitBase[l]+int32(bits.TrailingZeros64(hit[l])), payloads, rx, deliver)
+		}
+	}
+	if collLo != 0 || collHi != 0 {
+		b.flushCollisions16(&collLo, &collHi)
+	}
+}

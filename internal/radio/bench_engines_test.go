@@ -154,7 +154,7 @@ func BenchmarkStepBatch(b *testing.B) {
 	b.Run("scalar-stepset", func(b *testing.B) {
 		benchStepSet(b, top, cfg, n/2, n/64, false)
 	})
-	for _, w := range []int{1, 4, 8} {
+	for _, w := range []int{1, 4, 8, 16} {
 		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
 			rnds := make([]*rng.Stream, w)
 			for l := range rnds {

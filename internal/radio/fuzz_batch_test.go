@@ -32,7 +32,7 @@ func FuzzStepBatch(f *testing.F) {
 			Fault: FaultModel(modelRaw%3 + 1),
 			P:     float64(pRaw%95) / 100,
 		}
-		w := int(wRaw%10) + 1
+		w := int(wRaw%18) + 1 // covers the unrolled 4/8/16 kernels and the generic lane loop
 		rounds := len(sched)
 		if rounds < 1 {
 			rounds = 1

@@ -72,7 +72,7 @@ func EngineMicrobench() []benchreport.Microbench {
 		// against the scalar stepset rows above — the W=8 dense/complete
 		// row versus "stepset/dense/complete/faultless" is the batching
 		// speedup the CI gate enforces.
-		for _, w := range []int{1, 4, 8} {
+		for _, w := range []int{1, 4, 8, 16} {
 			ns, allocs = measureBatchRounds(complete, ctl, n, w)
 			out = append(out, benchreport.Microbench{
 				Name:           fmt.Sprintf("stepbatch/w=%d/dense/complete/%s/n=%d", w, Faultless, n),

@@ -1,0 +1,73 @@
+package radio
+
+import (
+	"testing"
+
+	"noisyradio/internal/graph"
+)
+
+func TestResolveEngine(t *testing.T) {
+	sparseG := graph.Path(256).G    // avg degree ~2: Auto picks Sparse
+	denseG := graph.Complete(256).G // avg degree n-1: Auto picks Dense
+	cases := []struct {
+		cfg  Config
+		g    *graph.Graph
+		want Engine
+	}{
+		{Config{Engine: Auto}, sparseG, Sparse},
+		{Config{Engine: Auto}, denseG, Dense},
+		{Config{Engine: Sparse}, denseG, Sparse},
+		{Config{Engine: Dense}, sparseG, Dense},
+	}
+	for _, c := range cases {
+		if got := c.cfg.ResolveEngine(c.g); got != c.want {
+			t.Errorf("ResolveEngine(engine=%v, n=%d) = %v, want %v", c.cfg.Engine, c.g.N(), got, c.want)
+		}
+	}
+	// ResolveEngine must agree with the engine New actually builds.
+	for _, g := range []*graph.Graph{sparseG, denseG} {
+		net := MustNew[struct{}](g, Config{Fault: Faultless}, nil)
+		if net.Engine() != (Config{}).ResolveEngine(g) {
+			t.Errorf("ResolveEngine disagrees with New on n=%d", g.N())
+		}
+	}
+}
+
+func TestPlanBatchWidth(t *testing.T) {
+	cases := []struct {
+		engine Engine
+		trials int
+		want   int
+	}{
+		{Sparse, 1000, 1}, // sequential lanes: nothing to amortise
+		{Dense, 0, 1},
+		{Dense, 1, 1},
+		{Dense, 2, 1}, // below the smallest kernel
+		{Dense, 3, 1}, // below the smallest kernel
+		{Dense, 4, 4}, // exactly one w=4 batch beats 4 scalar trials
+		{Dense, 8, 8}, // exactly one w=8 batch
+		{Dense, 16, 16},
+		{Dense, 64, 16}, // largest kernel wins once batches divide evenly
+		{Auto, 64, 16},  // unknown graph plans as dense
+	}
+	for _, c := range cases {
+		got, reason := PlanBatchWidth(c.engine, c.trials)
+		if got != c.want {
+			t.Errorf("PlanBatchWidth(%v, %d) = %d (%s), want %d", c.engine, c.trials, got, reason, c.want)
+		}
+		if reason == "" {
+			t.Errorf("PlanBatchWidth(%v, %d): empty reason", c.engine, c.trials)
+		}
+	}
+	// The planner never exceeds the trial count or MaxBatchWidth, and its
+	// choice is one of the unrolled kernels (or scalar).
+	for trials := 0; trials <= 200; trials++ {
+		w, _ := PlanBatchWidth(Dense, trials)
+		if w > trials && w != 1 {
+			t.Fatalf("PlanBatchWidth(Dense, %d) = %d exceeds the trial count", trials, w)
+		}
+		if w != 1 && w != 4 && w != 8 && w != 16 {
+			t.Fatalf("PlanBatchWidth(Dense, %d) = %d is not an unrolled kernel width", trials, w)
+		}
+	}
+}

@@ -162,6 +162,17 @@ type Config struct {
 	Engine Engine
 }
 
+// ResolveEngine returns the engine New would actually run g with under
+// this configuration: the explicitly selected engine, or the Auto choice
+// for g (by average degree). Execution planners use this to predict the
+// engine of a network they have not built yet.
+func (c Config) ResolveEngine(g *graph.Graph) Engine {
+	if c.Engine == Auto {
+		return autoEngine(g)
+	}
+	return c.Engine
+}
+
 // Validate returns an error for inconsistent configurations.
 func (c Config) Validate() error {
 	switch c.Fault {

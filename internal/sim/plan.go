@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"sort"
+	"sync"
+
+	"noisyradio/internal/benchreport"
+)
+
+// The process-wide plan log: every execution plan chosen for a schedule
+// row (sweep.AddSchedule), aggregated over identical plans. Like
+// TotalTrials this is process-cumulative; noisysim snapshots it into the
+// -benchjson report so the `-trialbatch auto` decisions ship with the
+// performance artifact.
+var (
+	planMu  sync.Mutex
+	planLog = map[benchreport.Plan]int{} // key has Count zero; value is the count
+)
+
+// recordPlan aggregates one row's chosen plan into the process plan log.
+func recordPlan(p benchreport.Plan) {
+	p.Count = 0
+	planMu.Lock()
+	planLog[p]++
+	planMu.Unlock()
+}
+
+// PlanLog returns the distinct execution plans chosen for schedule rows
+// since process start, with counts, sorted by schedule name then trial
+// count then width.
+func PlanLog() []benchreport.Plan {
+	planMu.Lock()
+	out := make([]benchreport.Plan, 0, len(planLog))
+	for p, n := range planLog {
+		p.Count = n
+		out = append(out, p)
+	}
+	planMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Schedule != out[j].Schedule {
+			return out[i].Schedule < out[j].Schedule
+		}
+		if out[i].Trials != out[j].Trials {
+			return out[i].Trials < out[j].Trials
+		}
+		if out[i].Width != out[j].Width {
+			return out[i].Width < out[j].Width
+		}
+		return out[i].Engine < out[j].Engine
+	})
+	return out
+}
+
+// ResetPlanLog clears the process plan log, for tests that assert on
+// exactly the plans one sweep produced.
+func ResetPlanLog() {
+	planMu.Lock()
+	planLog = map[benchreport.Plan]int{}
+	planMu.Unlock()
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// AddSchedule registers `trials` Monte-Carlo executions of one broadcast
+// schedule as a sweep row — the single execution entry point of the
+// Schedule API. The caller names *what* to run (a registry entry, its
+// topology, noise configuration and parameters) and how to fold each
+// outcome into the row's statistic; *how* it runs is the sweep's execution
+// plan: the radio engine resolves per topology (radio.Auto logic), and
+// whether trials execute scalar or as W-wide lockstep batches — and at
+// which W — follows SweepConfig.TrialBatch, with TrialBatchAuto planning W
+// from the trial count, the resolved engine and the recorded stepbatch
+// microbench trajectory. The scalar/batch fork never reaches the caller,
+// and the chosen plan is recorded in the process plan log (PlanLog).
+//
+// value maps one outcome to the row's float64; returning an error fails
+// the trial (lowest-trial-first, as for TrialFunc), returning NaN feeds
+// the accumulator's failed-trial sentinel. Rows are bit-identical at
+// every plan: trial i always draws from rng.NewFrom(seed, i) and executes
+// the schedule's canonical draw sequence whether it runs scalar or as one
+// lane of a batch (the broadcast package enforces this by test).
+func (s *Sweep) AddSchedule(sched *broadcast.Schedule, top graph.Topology, cfg radio.Config, p broadcast.ScheduleParams, trials int, seed uint64, value func(broadcast.Outcome) (float64, error)) *Row {
+	if sched == nil {
+		panic("sim: Sweep.AddSchedule nil schedule")
+	}
+	if value == nil {
+		panic("sim: Sweep.AddSchedule nil value function")
+	}
+	scalar := func(trial int, r *rng.Stream) (float64, error) {
+		out, err := sched.Run(top, cfg, r, p)
+		if err != nil {
+			return 0, err
+		}
+		return value(out)
+	}
+	batch := AdaptBatch(func(rnds []*rng.Stream) ([]broadcast.Outcome, error) {
+		return sched.RunBatch(top, cfg, rnds, p)
+	}, value)
+	row := s.AddBatch(trials, seed, scalar, batch)
+	row.sched = sched.Name
+	// Resolve the engine the radio layer would pick for the schedule's
+	// effective topology — the planner input. When the topology is unknown
+	// (underspecified params), the configured engine selection stands:
+	// radio.Auto then plans as dense, the engine batching was built for.
+	row.planEngine = cfg.Engine
+	if pt := sched.PlanTopology(top, p); pt.G != nil {
+		row.planEngine = cfg.ResolveEngine(pt.G)
+	}
+	return row
+}

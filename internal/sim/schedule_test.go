@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+)
+
+func mustSchedule(t *testing.T, name string) *broadcast.Schedule {
+	t.Helper()
+	s, err := broadcast.LookupSchedule(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// runScheduleRow runs one AddSchedule row to completion under the given
+// sweep configuration and returns its folded statistics.
+func runScheduleRow(t *testing.T, cfg SweepConfig, name string, top graph.Topology, ncfg radio.Config, p broadcast.ScheduleParams, trials int) (mean, ci float64, n int) {
+	t.Helper()
+	sw := NewSweep(cfg)
+	row := sw.AddSchedule(mustSchedule(t, name), top, ncfg, p, trials, 7, func(out broadcast.Outcome) (float64, error) {
+		if !out.Success {
+			return math.NaN(), nil
+		}
+		return float64(out.Rounds), nil
+	})
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := row.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return row.Mean(), row.CI95(), row.Acc().N()
+}
+
+// TestAddScheduleIdenticalAcrossPlans is the Schedule API's core promise:
+// the same row folds to bit-identical statistics whether it runs scalar,
+// at any forced width, or auto-planned.
+func TestAddScheduleIdenticalAcrossPlans(t *testing.T) {
+	top := graph.Path(48)
+	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	const trials = 23
+	baseMean, baseCI, baseN := runScheduleRow(t, SweepConfig{Workers: 1}, "decay", top, ncfg, broadcast.ScheduleParams{}, trials)
+	for _, tb := range []int{0, 1, 3, 4, 8, 16, 64, TrialBatchAuto} {
+		mean, ci, n := runScheduleRow(t, SweepConfig{Workers: 3, TrialBatch: tb}, "decay", top, ncfg, broadcast.ScheduleParams{}, trials)
+		if mean != baseMean || ci != baseCI || n != baseN {
+			t.Errorf("TrialBatch=%d: stats diverged: mean %v vs %v, ci %v vs %v, n %d vs %d",
+				tb, mean, baseMean, ci, baseCI, n, baseN)
+		}
+	}
+	// A multi-message schedule through the same entry point.
+	mBase, _, _ := runScheduleRow(t, SweepConfig{Workers: 1}, "star-routing", graph.Topology{}, radio.Config{Fault: radio.ReceiverFaults, P: 0.5}, broadcast.ScheduleParams{Leaves: 10, K: 3}, 9)
+	for _, tb := range []int{5, TrialBatchAuto} {
+		m, _, _ := runScheduleRow(t, SweepConfig{Workers: 2, TrialBatch: tb}, "star-routing", graph.Topology{}, radio.Config{Fault: radio.ReceiverFaults, P: 0.5}, broadcast.ScheduleParams{Leaves: 10, K: 3}, 9)
+		if m != mBase {
+			t.Errorf("star-routing TrialBatch=%d: mean %v vs %v", tb, m, mBase)
+		}
+	}
+}
+
+// TestAddScheduleAutoPlan checks the auto planner's decisions surface in
+// the plan log: a dense-topology row batches at a planned width, a
+// sparse-topology row stays scalar, and forced widths are recorded as
+// forced.
+func TestAddScheduleAutoPlan(t *testing.T) {
+	ResetPlanLog()
+	ncfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.3}
+	value := func(out broadcast.Outcome) (float64, error) { return float64(out.Rounds), nil }
+
+	sw := NewSweep(SweepConfig{Workers: 2, TrialBatch: TrialBatchAuto})
+	dense := sw.AddSchedule(mustSchedule(t, "decay"), graph.Complete(96), ncfg, broadcast.ScheduleParams{}, 20, 3, value)
+	sparse := sw.AddSchedule(mustSchedule(t, "decay"), graph.Path(32), ncfg, broadcast.ScheduleParams{}, 20, 4, value)
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dense.width <= 1 {
+		t.Errorf("dense-topology row planned width %d, want batched", dense.width)
+	}
+	if sparse.width > 1 {
+		t.Errorf("sparse-topology row planned width %d, want scalar", sparse.width)
+	}
+
+	plans := PlanLog()
+	if len(plans) != 2 {
+		t.Fatalf("plan log has %d entries, want 2: %+v", len(plans), plans)
+	}
+	for _, p := range plans {
+		if p.Schedule != "decay" || p.Trials != 20 || p.Count != 1 || p.Reason == "" {
+			t.Errorf("unexpected plan entry: %+v", p)
+		}
+		switch p.Engine {
+		case "dense":
+			if p.Width <= 1 {
+				t.Errorf("dense plan width %d, want batched: %+v", p.Width, p)
+			}
+		case "sparse":
+			if p.Width != 1 {
+				t.Errorf("sparse plan width %d, want 1: %+v", p.Width, p)
+			}
+		default:
+			t.Errorf("unexpected plan engine %q", p.Engine)
+		}
+	}
+
+	// Forced widths are recorded too, and identical plans aggregate.
+	ResetPlanLog()
+	sw2 := NewSweep(SweepConfig{Workers: 2, TrialBatch: 8})
+	sw2.AddSchedule(mustSchedule(t, "decay"), graph.Path(16), ncfg, broadcast.ScheduleParams{}, 6, 5, value)
+	sw2.AddSchedule(mustSchedule(t, "decay"), graph.Path(16), ncfg, broadcast.ScheduleParams{}, 6, 5, value)
+	if err := sw2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	plans = PlanLog()
+	if len(plans) != 1 || plans[0].Width != 8 || plans[0].Count != 2 {
+		t.Fatalf("forced plan log = %+v, want one width-8 entry with count 2", plans)
+	}
+	ResetPlanLog()
+}
+
+// TestAddScheduleErrors: a schedule error (nil WCT) surfaces as the row
+// error under both scalar and batched plans, lowest trial first.
+func TestAddScheduleErrors(t *testing.T) {
+	for _, tb := range []int{0, 4} {
+		sw := NewSweep(SweepConfig{Workers: 2, TrialBatch: tb})
+		row := sw.AddSchedule(mustSchedule(t, "wct-routing"), graph.Topology{}, radio.Config{Fault: radio.Faultless}, broadcast.ScheduleParams{K: 2}, 8, 1,
+			func(out broadcast.Outcome) (float64, error) { return float64(out.Rounds), nil })
+		if err := sw.Run(); err == nil {
+			t.Fatalf("TrialBatch=%d: nil-WCT schedule row succeeded", tb)
+		}
+		if err := row.Err(); err == nil {
+			t.Fatalf("TrialBatch=%d: row reports no error", tb)
+		}
+	}
+}

@@ -5,9 +5,29 @@ import (
 	"runtime"
 	"sync"
 
+	"noisyradio/internal/benchreport"
+	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 	"noisyradio/internal/stats"
 )
+
+// planWidth resolves the effective lockstep width of one batch-capable
+// row from the sweep's TrialBatch setting: a forced width is clamped to
+// MaxTrialBatch, TrialBatchAuto asks the radio planner with the row's
+// resolved engine and trial count, anything else runs scalar.
+func (s *Sweep) planWidth(row *Row) (int, string) {
+	tb := s.cfg.TrialBatch
+	switch {
+	case tb == TrialBatchAuto:
+		return radio.PlanBatchWidth(row.planEngine, row.trials)
+	case tb > MaxTrialBatch:
+		return MaxTrialBatch, fmt.Sprintf("forced width clamped to %d", MaxTrialBatch)
+	case tb > 1:
+		return tb, fmt.Sprintf("forced width %d", tb)
+	default:
+		return 1, "scalar (trial batching off)"
+	}
+}
 
 // SweepConfig tunes a Sweep. The zero value selects sensible defaults.
 type SweepConfig struct {
@@ -25,21 +45,27 @@ type SweepConfig struct {
 	// multiple of the batch width so chunks split into whole batches.
 	ChunkSize int
 	// TrialBatch is the lockstep batch width W for rows registered with a
-	// batch-capable trial function (AddBatch): a worker runs W consecutive
-	// trials of such a row through one batched execution instead of W
-	// scalar ones. <= 1 runs everything scalar; values beyond MaxTrialBatch
-	// are clamped. Purely a throughput knob: a batch trial function is
-	// required to reproduce its scalar twin trial-for-trial (the broadcast
-	// and radio packages enforce this by test), and values are folded in
-	// trial order either way, so every statistic is bit-identical at every
-	// width.
+	// batch-capable trial function (AddBatch or AddSchedule): a worker runs
+	// W consecutive trials of such a row through one batched execution
+	// instead of W scalar ones. 0 (or 1) runs everything scalar; values
+	// beyond MaxTrialBatch are clamped; TrialBatchAuto plans the width per
+	// row from its trial count, its resolved radio engine and the recorded
+	// stepbatch microbench trajectory (radio.PlanBatchWidth). Purely a
+	// throughput knob: a batch trial function is required to reproduce its
+	// scalar twin trial-for-trial (the broadcast and radio packages enforce
+	// this by test), and values are folded in trial order either way, so
+	// every statistic is bit-identical at every width and under auto
+	// planning.
 	TrialBatch int
 }
 
+// TrialBatchAuto selects the lockstep width per row by execution planning
+// instead of a fixed W: see SweepConfig.TrialBatch.
+const TrialBatchAuto = -1
+
 // MaxTrialBatch caps SweepConfig.TrialBatch: lockstep lane masks are one
-// machine word (radio.MaxBatchWidth; mirrored here to keep sim free of a
-// radio dependency).
-const MaxTrialBatch = 64
+// machine word (radio.MaxBatchWidth).
+const MaxTrialBatch = radio.MaxBatchWidth
 
 // Sweep schedules the Monte-Carlo rows of one experiment table on a single
 // shared worker pool. Usage is two-phase: register every row with Add (or
@@ -80,6 +106,12 @@ type Row struct {
 	chunk   int // trials per work unit
 	nchunks int
 	width   int // lockstep batch width in effect (<= 1: scalar)
+
+	// Schedule-row plan inputs (set by AddSchedule): the schedule name for
+	// plan reports and the resolved radio engine of the schedule's
+	// topology, which the auto planner consults.
+	sched      string
+	planEngine radio.Engine
 
 	mu      sync.Mutex
 	cond    sync.Cond // signalled when next advances; bounds the pending backlog
@@ -223,15 +255,24 @@ func (s *Sweep) Run() error {
 		if row.chunk <= 0 {
 			row.chunk = dispatchChunk(row.trials, workers)
 		}
-		if row.batch != nil && s.cfg.TrialBatch > 1 {
-			row.width = s.cfg.TrialBatch
-			if row.width > MaxTrialBatch {
-				row.width = MaxTrialBatch
+		if row.batch != nil {
+			width, reason := s.planWidth(row)
+			if width > 1 {
+				row.width = width
+				// Batch-aware chunking: round the chunk up to a whole number
+				// of batches so a chunk never ends mid-batch (the last chunk
+				// of the row may still carry a remainder batch).
+				row.chunk = (row.chunk + row.width - 1) / row.width * row.width
 			}
-			// Batch-aware chunking: round the chunk up to a whole number
-			// of batches so a chunk never ends mid-batch (the last chunk
-			// of the row may still carry a remainder batch).
-			row.chunk = (row.chunk + row.width - 1) / row.width * row.width
+			if row.sched != "" {
+				recordPlan(benchreport.Plan{
+					Schedule: row.sched,
+					Engine:   row.planEngine.String(),
+					Trials:   row.trials,
+					Width:    width,
+					Reason:   reason,
+				})
+			}
 		}
 		row.nchunks = (row.trials + row.chunk - 1) / row.chunk
 	}

@@ -12,20 +12,18 @@ import (
 	"math"
 
 	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 	"noisyradio/internal/sim"
 	"noisyradio/internal/stats"
 )
 
 // Runner produces one k-message broadcast execution under the given
-// randomness. Implementations wrap the schedules in internal/broadcast.
+// randomness. Implementations wrap the schedules in internal/broadcast;
+// harness code should prefer DeferSchedule, which names a registry entry
+// instead and lets the sweep plan the execution.
 type Runner func(r *rng.Stream) (broadcast.MultiResult, error)
-
-// BatchRunner produces one independent k-message broadcast execution per
-// stream, run in lockstep on a trial-batched radio network; result i must
-// be identical to the corresponding Runner applied to rnds[i].
-// Implementations wrap the Batch entry points in internal/broadcast.
-type BatchRunner func(rnds []*rng.Stream) ([]broadcast.MultiResult, error)
 
 // Estimate is an empirical throughput measurement.
 type Estimate struct {
@@ -53,19 +51,13 @@ type Pending struct {
 // successful trials only while SuccessRate still sees every trial —
 // exactly the Measure semantics, in O(1) memory per row. It panics on
 // invalid arguments (Measure keeps the error-returning validation).
+// Harness code measuring a registered schedule should use DeferSchedule
+// instead, which also lets the sweep batch the trials.
 func Defer(sw *sim.Sweep, k, trials int, seed uint64, run Runner) *Pending {
-	return DeferBatch(sw, k, trials, seed, run, nil)
-}
-
-// DeferBatch is Defer for a measurement that can also run in lockstep
-// trial batches: run is the scalar trial, batch its trial-batched twin
-// (nil degrades to Defer). Which one executes is the sweep's TrialBatch
-// decision; estimates are bit-identical either way.
-func DeferBatch(sw *sim.Sweep, k, trials int, seed uint64, run Runner, batch BatchRunner) *Pending {
 	if k < 1 {
 		panic(fmt.Sprintf("throughput: k = %d, need >= 1", k))
 	}
-	scalar := func(trial int, r *rng.Stream) (float64, error) {
+	row := sw.Add(trials, seed, func(trial int, r *rng.Stream) (float64, error) {
 		res, err := run(r)
 		if err != nil {
 			return 0, err
@@ -74,18 +66,31 @@ func DeferBatch(sw *sim.Sweep, k, trials int, seed uint64, run Runner, batch Bat
 			return math.NaN(), nil // dropped by the accumulator, counted by SuccessRate
 		}
 		return float64(res.Rounds), nil
-	}
-	var batched sim.BatchTrialFunc
-	if batch != nil {
-		batched = sim.AdaptBatch(batch, func(res broadcast.MultiResult) (float64, error) {
-			if !res.Success {
-				return math.NaN(), nil // dropped by the accumulator, counted by SuccessRate
-			}
-			return float64(res.Rounds), nil
-		})
-	}
-	row := sw.AddBatch(trials, seed, scalar, batched)
+	})
 	return &Pending{k: k, trials: trials, row: row}
+}
+
+// roundsOrNaN is the throughput value mapping: successful trials
+// contribute their round count, failures the accumulator's NaN sentinel
+// (dropped from MeanRounds, still counted by SuccessRate).
+func roundsOrNaN(out broadcast.Outcome) (float64, error) {
+	if !out.Success {
+		return math.NaN(), nil
+	}
+	return float64(out.Rounds), nil
+}
+
+// DeferSchedule registers a throughput measurement of one registered
+// broadcast schedule on sw, with k = p.K messages per execution. How the
+// trials execute — engine, scalar or lockstep batches and at which width —
+// is the sweep's execution plan (see sim.Sweep.AddSchedule); estimates
+// are bit-identical at every plan. It panics on p.K < 1, like Defer.
+func DeferSchedule(sw *sim.Sweep, sched *broadcast.Schedule, top graph.Topology, cfg radio.Config, p broadcast.ScheduleParams, trials int, seed uint64) *Pending {
+	if p.K < 1 {
+		panic(fmt.Sprintf("throughput: k = %d, need >= 1", p.K))
+	}
+	row := sw.AddSchedule(sched, top, cfg, p, trials, seed, roundsOrNaN)
+	return &Pending{k: p.K, trials: trials, row: row}
 }
 
 // Estimate resolves the deferred measurement. Valid only after the sweep
@@ -155,12 +160,14 @@ func DeferGap(sw *sim.Sweep, k, trials int, seed uint64, coding, routing Runner)
 	}
 }
 
-// DeferGapBatch is DeferGap with trial-batched twins for both sides (nil
-// twins degrade to scalar execution for that side).
-func DeferGapBatch(sw *sim.Sweep, k, trials int, seed uint64, coding, routing Runner, codingBatch, routingBatch BatchRunner) *PendingGap {
+// DeferGapSchedule is DeferGap over two registered schedules sharing one
+// topology and noise configuration, with the MeasureGap seed pairing
+// (seed for coding, seed+1 for routing). Each side's k is its own
+// params' K.
+func DeferGapSchedule(sw *sim.Sweep, coding, routing *broadcast.Schedule, top graph.Topology, cfg radio.Config, codingP, routingP broadcast.ScheduleParams, trials int, seed uint64) *PendingGap {
 	return &PendingGap{
-		coding:  DeferBatch(sw, k, trials, seed, coding, codingBatch),
-		routing: DeferBatch(sw, k, trials, seed+1, routing, routingBatch),
+		coding:  DeferSchedule(sw, coding, top, cfg, codingP, trials, seed),
+		routing: DeferSchedule(sw, routing, top, cfg, routingP, trials, seed+1),
 	}
 }
 

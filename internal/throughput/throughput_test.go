@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"noisyradio/internal/broadcast"
+	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 	"noisyradio/internal/sim"
@@ -213,4 +214,89 @@ func TestDeferPanicsOnBadK(t *testing.T) {
 	Defer(sim.NewSweep(sim.SweepConfig{}), 0, 1, 1, func(r *rng.Stream) (broadcast.MultiResult, error) {
 		return broadcast.MultiResult{}, nil
 	})
+}
+
+// TestDeferScheduleMatchesDefer: a schedule-registry measurement resolves
+// to the same Estimate as a hand-written Runner over the same schedule,
+// at every execution plan — scalar, forced widths and auto.
+func TestDeferScheduleMatchesDefer(t *testing.T) {
+	const k, trials = 16, 18
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	sched, err := broadcast.LookupSchedule("star-coding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Measure(k, trials, 2, 11, func(r *rng.Stream) (broadcast.MultiResult, error) {
+		return broadcast.StarCoding(20, k, cfg, r, broadcast.Options{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range []int{0, 3, 8, sim.TrialBatchAuto} {
+		sw := sim.NewSweep(sim.SweepConfig{Workers: 3, TrialBatch: tb})
+		p := DeferSchedule(sw, sched, graph.Topology{}, cfg, broadcast.ScheduleParams{Leaves: 20, K: k}, trials, 11)
+		if err := sw.Run(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Estimate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("TrialBatch=%d: schedule estimate %+v != runner estimate %+v", tb, got, want)
+		}
+	}
+}
+
+// TestDeferGapScheduleMatchesMeasureGap: the schedule-registry gap keeps
+// the MeasureGap seed pairing.
+func TestDeferGapScheduleMatchesMeasureGap(t *testing.T) {
+	const k, trials = 32, 12
+	cfg := radio.Config{Fault: radio.ReceiverFaults, P: 0.5}
+	want, err := MeasureGap(k, trials, 2, 21,
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkCoding(k, cfg, r, broadcast.Options{})
+		},
+		func(r *rng.Stream) (broadcast.MultiResult, error) {
+			return broadcast.SingleLinkAdaptive(k, cfg, r, broadcast.Options{})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coding, err := broadcast.LookupSchedule("single-link-coding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	routing, err := broadcast.LookupSchedule("single-link-adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := sim.NewSweep(sim.SweepConfig{Workers: 4, TrialBatch: sim.TrialBatchAuto})
+	kp := broadcast.ScheduleParams{K: k}
+	pg := DeferGapSchedule(sw, coding, routing, graph.Topology{}, cfg, kp, kp, trials, 21)
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := pg.Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("schedule gap %+v != runner gap %+v", got, want)
+	}
+}
+
+// TestDeferSchedulePanicsOnBadK mirrors TestDeferPanicsOnBadK for the
+// schedule entry point.
+func TestDeferSchedulePanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("DeferSchedule(K=0) did not panic")
+		}
+	}()
+	sched, err := broadcast.LookupSchedule("star-coding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	DeferSchedule(sim.NewSweep(sim.SweepConfig{}), sched, graph.Topology{}, radio.Config{Fault: radio.Faultless}, broadcast.ScheduleParams{Leaves: 4}, 1, 1)
 }

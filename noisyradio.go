@@ -10,12 +10,15 @@
 //     resolves the channel 64 nodes per machine word — selected by
 //     Config.Engine (EngineAuto picks per graph) and proven bit-identical
 //     by a differential test harness;
-//   - the paper's single-message broadcast algorithms — Decay, FASTBC and
-//     the new Robust FASTBC — and their multi-message extensions via random
-//     linear network coding;
-//   - the routing and Reed–Solomon coding schedules behind the paper's
-//     throughput-gap theorems (star, worst-case topology, single link,
-//     sender-fault transformations);
+//   - a first-class Schedule registry: every broadcast schedule of the
+//     paper — Decay, FASTBC, the new Robust FASTBC, their coded
+//     multi-message extensions, and the routing and Reed–Solomon coding
+//     schedules behind the throughput-gap theorems — is one registry
+//     entry carrying its name, paper reference and both execution
+//     strategies. Schedules lists them, LookupSchedule selects by name,
+//     and Run / RunBatch execute them; whether a set of trials runs
+//     scalar or as a W-wide lockstep batch is an execution-plan detail,
+//     not an API fork;
 //   - topology generators, including the worst-case topology (WCT) of
 //     Section 5.1.2;
 //   - an experiment harness (Experiments, RunExperiment) regenerating every
@@ -23,10 +26,14 @@
 //
 // This package is a thin facade over the internal implementation packages;
 // every identifier here is stable public API. See README.md for a tour and
-// DESIGN.md for the system inventory.
+// DESIGN.md for the system inventory. The per-algorithm functions of the
+// pre-registry API (Decay, StarCoding, ...) remain as deprecated wrappers
+// over the registry with byte-identical behaviour.
 package noisyradio
 
 import (
+	"fmt"
+
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/experiments"
 	"noisyradio/internal/graph"
@@ -104,6 +111,63 @@ const (
 // NewRand returns a deterministic random stream seeded from seed.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
 
+// The Schedule registry: the package's primary execution API.
+type (
+	// Schedule is one registered broadcast schedule: name, paper
+	// reference, result kind, and both execution strategies (scalar and
+	// lockstep trial-batched). Obtain entries from Schedules or
+	// LookupSchedule.
+	Schedule = broadcast.Schedule
+	// ScheduleParams is the union of schedule-specific parameters
+	// (message count K, star leaves, path length, WCT instance, tuning
+	// structs). Unread fields are ignored; the zero value selects each
+	// schedule's defaults.
+	ScheduleParams = broadcast.ScheduleParams
+	// Outcome is the unified result of one schedule execution.
+	Outcome = broadcast.Outcome
+	// ScheduleKind distinguishes single- from multi-message schedules.
+	ScheduleKind = broadcast.ScheduleKind
+	// UnknownScheduleError reports a LookupSchedule name that is not
+	// registered.
+	UnknownScheduleError = broadcast.UnknownScheduleError
+)
+
+// Schedule kinds re-exported from the broadcast package.
+const (
+	SingleMessage = broadcast.SingleMessage
+	MultiMessage  = broadcast.MultiMessage
+)
+
+// Schedules returns every registered broadcast schedule in paper order.
+func Schedules() []*Schedule { return broadcast.Schedules() }
+
+// LookupSchedule returns the schedule registered under name, or an
+// *UnknownScheduleError.
+func LookupSchedule(name string) (*Schedule, error) { return broadcast.LookupSchedule(name) }
+
+// ScheduleNames returns all registered schedule names, sorted.
+func ScheduleNames() []string { return broadcast.ScheduleNames() }
+
+// Run executes one trial of a registered schedule — the single execution
+// entry point of the Schedule API. Schedules that synthesise their own
+// topology (stars, the single link, the pipelined paths) ignore top; pass
+// Topology{}.
+func Run(sched *Schedule, top Topology, cfg Config, r *Rand, p ScheduleParams) (Outcome, error) {
+	return sched.Run(top, cfg, r, p)
+}
+
+// RunBatch executes one independent trial per stream, in lockstep on a
+// trial-batched radio network where profitable; outcome i is identical to
+// Run over rnds[i]. Callers running Monte-Carlo sweeps should prefer the
+// experiment harness, which plans engine and batch width automatically.
+func RunBatch(sched *Schedule, top Topology, cfg Config, rnds []*Rand, p ScheduleParams) ([]Outcome, error) {
+	return sched.RunBatch(top, cfg, rnds, p)
+}
+
+// MustSchedule returns a registry entry by name, panicking on a miss —
+// for compile-time-constant names, where a typo is a programming error.
+func MustSchedule(name string) *Schedule { return broadcast.MustSchedule(name) }
+
 // Topology generators.
 var (
 	// Path is the path graph with the source at one end.
@@ -139,97 +203,56 @@ var (
 	DefaultWCTParams = graph.DefaultWCTParams
 )
 
-// Single-message broadcast algorithms (Section 4.1).
-var (
-	// Decay is the Bar-Yehuda–Goldreich–Itai algorithm (robust as-is,
-	// Lemma 9).
-	Decay = broadcast.Decay
-	// DecayUnknownN is Decay without knowledge of the network size.
-	DecayUnknownN = broadcast.DecayUnknownN
-	// FASTBC is the Gąsieniec–Peleg–Xin algorithm (Lemma 8; deteriorates
-	// under noise, Lemma 10).
-	FASTBC = broadcast.FASTBC
-	// RobustFASTBC is the paper's noise-robust diameter-linear algorithm
-	// (Theorem 11).
-	RobustFASTBC = broadcast.RobustFASTBC
-)
+// Single-message broadcast algorithms (Section 4.1), as thin wrappers
+// over their registry entries.
 
-// Trial-batched twins of the broadcast schedules: each runs one
-// independent trial per rng stream, in lockstep on a trial-batched radio
-// network, with trial i identical to the scalar function applied to
-// stream i. Purely a Monte-Carlo throughput optimisation.
-var (
-	// DecayBatch is the trial-batched Decay.
-	DecayBatch = broadcast.DecayBatch
-	// DecayUnknownNBatch is the trial-batched DecayUnknownN.
-	DecayUnknownNBatch = broadcast.DecayUnknownNBatch
-	// FASTBCBatch is the trial-batched FASTBC.
-	FASTBCBatch = broadcast.FASTBCBatch
-	// RobustFASTBCBatch is the trial-batched RobustFASTBC.
-	RobustFASTBCBatch = broadcast.RobustFASTBCBatch
-	// RLNCBroadcastBatch is the trial-batched RLNCBroadcast.
-	RLNCBroadcastBatch = broadcast.RLNCBroadcastBatch
-	// SequentialDecayRoutingBatch is the trial-batched
-	// SequentialDecayRouting.
-	SequentialDecayRoutingBatch = broadcast.SequentialDecayRoutingBatch
-	// StarRoutingBatch is the trial-batched StarRouting.
-	StarRoutingBatch = broadcast.StarRoutingBatch
-	// StarCodingBatch is the trial-batched StarCoding.
-	StarCodingBatch = broadcast.StarCodingBatch
-	// WCTRoutingBatch is the trial-batched WCTRouting.
-	WCTRoutingBatch = broadcast.WCTRoutingBatch
-	// WCTCodingBatch is the trial-batched WCTCoding.
-	WCTCodingBatch = broadcast.WCTCodingBatch
-	// SingleLinkNonAdaptiveBatch is the trial-batched SingleLinkNonAdaptive.
-	SingleLinkNonAdaptiveBatch = broadcast.SingleLinkNonAdaptiveBatch
-	// SingleLinkAdaptiveBatch is the trial-batched SingleLinkAdaptive.
-	SingleLinkAdaptiveBatch = broadcast.SingleLinkAdaptiveBatch
-	// SingleLinkCodingBatch is the trial-batched SingleLinkCoding.
-	SingleLinkCodingBatch = broadcast.SingleLinkCodingBatch
-	// PathPipelineRoutingBatch is the trial-batched PathPipelineRouting.
-	PathPipelineRoutingBatch = broadcast.PathPipelineRoutingBatch
-	// PipelinedBatchRoutingBatch is the trial-batched PipelinedBatchRouting.
-	PipelinedBatchRoutingBatch = broadcast.PipelinedBatchRoutingBatch
-	// TransformedPathRoutingBatch is the trial-batched
-	// TransformedPathRouting.
-	TransformedPathRoutingBatch = broadcast.TransformedPathRoutingBatch
-	// TransformedPathCodingBatch is the trial-batched TransformedPathCoding.
-	TransformedPathCodingBatch = broadcast.TransformedPathCodingBatch
-)
+// Decay is the Bar-Yehuda–Goldreich–Itai algorithm (robust as-is,
+// Lemma 9).
+//
+// Deprecated: use LookupSchedule("decay") and Run. Kept with
+// byte-identical behaviour.
+func Decay(top Topology, cfg Config, r *Rand, opts Options) (Result, error) {
+	out, err := MustSchedule("decay").Run(top, cfg, r, ScheduleParams{Options: opts})
+	return out.AsResult(), err
+}
 
-// Multi-message broadcast and throughput schedules (Sections 4.2 and 5).
+// DecayUnknownN is Decay without knowledge of the network size.
+//
+// Deprecated: use LookupSchedule("decay-unknown-n") and Run.
+func DecayUnknownN(top Topology, cfg Config, r *Rand, opts Options) (Result, error) {
+	out, err := MustSchedule("decay-unknown-n").Run(top, cfg, r, ScheduleParams{Options: opts})
+	return out.AsResult(), err
+}
+
+// FASTBC is the Gąsieniec–Peleg–Xin algorithm (Lemma 8; deteriorates
+// under noise, Lemma 10).
+//
+// Deprecated: use LookupSchedule("fastbc") and Run.
+func FASTBC(top Topology, cfg Config, r *Rand, opts Options) (Result, error) {
+	out, err := MustSchedule("fastbc").Run(top, cfg, r, ScheduleParams{Options: opts})
+	return out.AsResult(), err
+}
+
+// RobustFASTBC is the paper's noise-robust diameter-linear algorithm
+// (Theorem 11).
+//
+// Deprecated: use LookupSchedule("robust-fastbc") and Run.
+func RobustFASTBC(top Topology, cfg Config, r *Rand, opts Options, params RobustParams) (Result, error) {
+	out, err := MustSchedule("robust-fastbc").Run(top, cfg, r, ScheduleParams{Options: opts, Robust: params})
+	return out.AsResult(), err
+}
+
+// Multi-message broadcast and throughput schedules (Sections 4.2 and 5),
+// as thin wrappers over their registry entries. RLNCBroadcast stays a
+// direct export: it takes caller-provided messages and returns a witness
+// decode, which the registry's Monte-Carlo entry (schedule "rlnc", which
+// draws random messages per trial) intentionally does not.
 var (
 	// RLNCBroadcast broadcasts k messages with random linear network
 	// coding (Lemmas 12–13).
 	RLNCBroadcast = broadcast.RLNCBroadcast
 	// RandomMessages draws k random payloads for RLNCBroadcast.
 	RandomMessages = broadcast.RandomMessages
-	// SequentialDecayRouting is the naive k-message routing baseline.
-	SequentialDecayRouting = broadcast.SequentialDecayRouting
-	// StarRouting is the adaptive routing schedule of Lemma 15.
-	StarRouting = broadcast.StarRouting
-	// StarCoding is the Reed–Solomon schedule of Lemma 16.
-	StarCoding = broadcast.StarCoding
-	// WCTRouting is the adaptive routing schedule of Lemmas 19/21.
-	WCTRouting = broadcast.WCTRouting
-	// WCTCoding is the coding schedule of Lemma 23.
-	WCTCoding = broadcast.WCTCoding
-	// SingleLinkNonAdaptive is the Lemma 29 schedule.
-	SingleLinkNonAdaptive = broadcast.SingleLinkNonAdaptive
-	// SingleLinkAdaptive is the Lemma 32 ARQ schedule.
-	SingleLinkAdaptive = broadcast.SingleLinkAdaptive
-	// SingleLinkCoding is the Lemma 30 schedule.
-	SingleLinkCoding = broadcast.SingleLinkCoding
-	// PathPipelineRouting is the pipelined path schedule used by the
-	// transformation experiments.
-	PathPipelineRouting = broadcast.PathPipelineRouting
-	// PipelinedBatchRouting is the Lemma 20/21 layered pipelining schedule
-	// achieving Ω(1/log²n) routing throughput on any network.
-	PipelinedBatchRouting = broadcast.PipelinedBatchRouting
-	// TransformedPathRouting realises the Lemma 25 meta-round transform.
-	TransformedPathRouting = broadcast.TransformedPathRouting
-	// TransformedPathCoding realises the Lemma 26 meta-round transform.
-	TransformedPathCoding = broadcast.TransformedPathCoding
 	// DefaultSingleLinkRepeats is the Lemma 29 repetition count.
 	DefaultSingleLinkRepeats = broadcast.DefaultSingleLinkRepeats
 	// WaveTraversalRounds simulates the Lemma 10 wave process.
@@ -238,9 +261,114 @@ var (
 	WaveTraversalExpectation = broadcast.WaveTraversalExpectation
 )
 
+// SequentialDecayRouting is the naive k-message routing baseline.
+//
+// Deprecated: use LookupSchedule("sequential-decay-routing") and Run.
+func SequentialDecayRouting(top Topology, cfg Config, k int, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("sequential-decay-routing").Run(top, cfg, r, ScheduleParams{K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// StarRouting is the adaptive routing schedule of Lemma 15.
+//
+// Deprecated: use LookupSchedule("star-routing") and Run.
+func StarRouting(leaves, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("star-routing").Run(Topology{}, cfg, r, ScheduleParams{Leaves: leaves, K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// StarCoding is the Reed–Solomon schedule of Lemma 16.
+//
+// Deprecated: use LookupSchedule("star-coding") and Run.
+func StarCoding(leaves, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("star-coding").Run(Topology{}, cfg, r, ScheduleParams{Leaves: leaves, K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// WCTRouting is the adaptive routing schedule of Lemmas 19/21.
+//
+// Deprecated: use LookupSchedule("wct-routing") and Run.
+func WCTRouting(w *WCT, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("wct-routing").Run(Topology{}, cfg, r, ScheduleParams{WCT: w, K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// WCTCoding is the coding schedule of Lemma 23.
+//
+// Deprecated: use LookupSchedule("wct-coding") and Run.
+func WCTCoding(w *WCT, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("wct-coding").Run(Topology{}, cfg, r, ScheduleParams{WCT: w, K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// SingleLinkNonAdaptive is the Lemma 29 schedule.
+//
+// Deprecated: use LookupSchedule("single-link-nonadaptive") and Run.
+func SingleLinkNonAdaptive(k, repeats int, cfg Config, r *Rand) (MultiResult, error) {
+	if repeats == 0 {
+		// The registry treats Repeats 0 as "use the Lemma 29 default"; the
+		// pre-registry function rejected it. Keep the wrapper's behaviour
+		// exactly as before.
+		return MultiResult{}, fmt.Errorf("broadcast: single-link non-adaptive needs k >= 1 and repeats >= 1, got (%d,%d)", k, repeats)
+	}
+	out, err := MustSchedule("single-link-nonadaptive").Run(Topology{}, cfg, r, ScheduleParams{K: k, Repeats: repeats})
+	return out.AsMultiResult(), err
+}
+
+// SingleLinkAdaptive is the Lemma 32 ARQ schedule.
+//
+// Deprecated: use LookupSchedule("single-link-adaptive") and Run.
+func SingleLinkAdaptive(k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("single-link-adaptive").Run(Topology{}, cfg, r, ScheduleParams{K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// SingleLinkCoding is the Lemma 30 schedule.
+//
+// Deprecated: use LookupSchedule("single-link-coding") and Run.
+func SingleLinkCoding(k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("single-link-coding").Run(Topology{}, cfg, r, ScheduleParams{K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// PathPipelineRouting is the pipelined path schedule used by the
+// transformation experiments.
+//
+// Deprecated: use LookupSchedule("path-pipeline-routing") and Run.
+func PathPipelineRouting(pathLen, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("path-pipeline-routing").Run(Topology{}, cfg, r, ScheduleParams{PathLen: pathLen, K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// PipelinedBatchRouting is the Lemma 20/21 layered pipelining schedule
+// achieving Ω(1/log²n) routing throughput on any network.
+//
+// Deprecated: use LookupSchedule("pipelined-batch-routing") and Run.
+func PipelinedBatchRouting(top Topology, k int, cfg Config, r *Rand, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("pipelined-batch-routing").Run(top, cfg, r, ScheduleParams{K: k, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// TransformedPathRouting realises the Lemma 25 meta-round transform.
+//
+// Deprecated: use LookupSchedule("transformed-path-routing") and Run.
+func TransformedPathRouting(pathLen, k int, cfg Config, r *Rand, params TransformParams, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("transformed-path-routing").Run(Topology{}, cfg, r, ScheduleParams{PathLen: pathLen, K: k, Transform: params, Options: opts})
+	return out.AsMultiResult(), err
+}
+
+// TransformedPathCoding realises the Lemma 26 meta-round transform.
+//
+// Deprecated: use LookupSchedule("transformed-path-coding") and Run.
+func TransformedPathCoding(pathLen, k int, cfg Config, r *Rand, params TransformParams, opts Options) (MultiResult, error) {
+	out, err := MustSchedule("transformed-path-coding").Run(Topology{}, cfg, r, ScheduleParams{PathLen: pathLen, K: k, Transform: params, Options: opts})
+	return out.AsMultiResult(), err
+}
+
 // Experiment harness.
 type (
-	// ExperimentConfig controls trials, seed, parallelism and sweep size.
+	// ExperimentConfig controls trials, seed, parallelism, sweep size and
+	// the trial-batch plan (TrialBatch: 0 scalar, W forced, -1 auto).
 	ExperimentConfig = experiments.Config
 	// ExperimentTable is a formatted experiment result.
 	ExperimentTable = experiments.Table
@@ -248,7 +376,7 @@ type (
 	Experiment = experiments.Entry
 )
 
-// Experiments returns every registered experiment (E1–E18, F1–F2, A1–A2).
+// Experiments returns every registered experiment (E1–E19, F1–F2, A1–A3).
 func Experiments() []Experiment { return experiments.Registry() }
 
 // RunExperiment runs the experiment with the given id.

@@ -2,6 +2,7 @@ package noisyradio
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -88,5 +89,92 @@ func TestFacadeWaveModel(t *testing.T) {
 	}
 	if got := WaveTraversalExpectation(100, 6, 0); got != 100 {
 		t.Fatalf("expectation = %v", got)
+	}
+}
+
+// TestFacadeScheduleRegistry drives the Schedule API surface: listing,
+// lookup, Run/RunBatch, and equality of a deprecated wrapper with its
+// registry entry.
+func TestFacadeScheduleRegistry(t *testing.T) {
+	scheds := Schedules()
+	if len(scheds) != 17 {
+		t.Fatalf("registry has %d schedules, want 17", len(scheds))
+	}
+	names := ScheduleNames()
+	if len(names) != len(scheds) {
+		t.Fatalf("%d names for %d schedules", len(names), len(scheds))
+	}
+	decay, err := LookupSchedule("decay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decay.Kind != SingleMessage || decay.Ref == "" {
+		t.Fatalf("decay entry = %+v", decay)
+	}
+	top := Grid(5, 5)
+	cfg := Config{Fault: ReceiverFaults, P: 0.2}
+	out, err := Run(decay, top, cfg, NewRand(9), ScheduleParams{})
+	if err != nil || !out.Success {
+		t.Fatalf("Run: %v %+v", err, out)
+	}
+	// The deprecated wrapper and the registry produce identical results.
+	want, err := Decay(top, cfg, NewRand(9), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AsResult() != want {
+		t.Fatalf("registry %+v != wrapper %+v", out.AsResult(), want)
+	}
+	// RunBatch trial i equals Run over stream i.
+	rnds := []*Rand{NewRand(9), NewRand(10)}
+	batch, err := RunBatch(decay, top, cfg, rnds, ScheduleParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 2 || batch[0] != out {
+		t.Fatalf("RunBatch[0] = %+v, want %+v", batch[0], out)
+	}
+	// A multi-message schedule through the unified entry point.
+	star, err := LookupSchedule("star-coding")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mout, err := Run(star, Topology{}, Config{Fault: ReceiverFaults, P: 0.5}, NewRand(11), ScheduleParams{Leaves: 16, K: 4})
+	if err != nil || !mout.Success {
+		t.Fatalf("star-coding Run: %v %+v", err, mout)
+	}
+}
+
+// TestFacadeErrorPaths covers the facade's error surfaces: unknown
+// experiment ids, engine parse rejects, and unknown schedule names.
+func TestFacadeErrorPaths(t *testing.T) {
+	_, err := RunExperiment("E99", ExperimentConfig{})
+	var unkExp *UnknownExperimentError
+	if !errors.As(err, &unkExp) || unkExp.ID != "E99" {
+		t.Fatalf("RunExperiment: err = %v, want *UnknownExperimentError{E99}", err)
+	}
+	if !strings.Contains(err.Error(), "E99") {
+		t.Fatalf("UnknownExperimentError does not name the id: %v", err)
+	}
+
+	for _, bad := range []string{"turbo", "DENSE", "sparse ", "0"} {
+		if _, err := ParseEngine(bad); err == nil {
+			t.Errorf("ParseEngine(%q) accepted", bad)
+		}
+	}
+	for s, want := range map[string]Engine{"": EngineAuto, "auto": EngineAuto, "sparse": EngineSparse, "dense": EngineDense} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+
+	_, err = LookupSchedule("warp-drive")
+	var unkSched *UnknownScheduleError
+	if !errors.As(err, &unkSched) || unkSched.Name != "warp-drive" {
+		t.Fatalf("LookupSchedule: err = %v, want *UnknownScheduleError{warp-drive}", err)
+	}
+	if !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("UnknownScheduleError does not name the schedule: %v", err)
 	}
 }
