@@ -26,9 +26,11 @@
 // a CI determinism job enforce this.
 //
 // The -engine flag selects the radio execution engine (auto | sparse |
-// dense). Results are bit-identical across engines — auto picks per graph
-// by average degree, dense forces word-parallel channel resolution, sparse
-// forces CSR neighbour walking. Purely a performance knob.
+// dense | implicit). Results are bit-identical across engines — auto picks
+// per graph by average degree and storage mode, dense forces word-parallel
+// channel resolution, sparse forces CSR neighbour walking, implicit
+// answers neighbourhood queries from the topology's closed form without
+// any stored adjacency. Purely a performance knob.
 //
 // The -trialbatch flag sets the lockstep trial-batch plan: "auto" (the
 // default) plans the width W per row from its trial count, its resolved
@@ -63,6 +65,15 @@
 //
 //	noisysim -demo decay -n 24 -p 0.3 -fault receiver -seed 3
 //	noisysim -demo robust-fastbc -n 40 -fault sender -p 0.5
+//
+// The -topology flag shapes the workload graph for demo and
+// topology-taking schedule runs (path | complete | star | cycle | grid |
+// hypercube; default path). At n >= 4096 the workload is built in the
+// CSR-less implicit storage mode — no adjacency is materialized, so runs
+// scale to node counts where a bit matrix or CSR cannot exist:
+//
+//	noisysim -demo decay -topology complete -n 100000 -fault sender -p 0.1
+//	noisysim -schedule decay -topology complete -n 100000 -trials 3 -fault sender -p 0.1
 package main
 
 import (
@@ -104,12 +115,13 @@ func run(args []string, out *os.File) error {
 		workers    = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
 		rowWkrs    = fs.Int("rowworkers", 0, "max table rows in flight at once (0 = all); memory/scheduling knob, output identical")
 		quick      = fs.Bool("quick", false, "reduced sweeps and trial counts")
-		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense (results identical, speed differs)")
+		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense | implicit (results identical, speed differs)")
 		trialBatch = fs.String("trialbatch", "auto", "lockstep trial-batch plan: auto | 0 (scalar) | W; output identical at every setting")
 		asJSON     = fs.Bool("json", false, "emit experiment tables as a JSON array")
 		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial, chosen plans) to this path")
 		demo       = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
-		demoN      = fs.Int("n", 24, "demo/schedule: workload size (path length, star leaves, WCT target size)")
+		topology   = fs.String("topology", "path", "demo/schedule: workload graph: path | complete | star | cycle | grid | hypercube (n >= 4096 builds the CSR-less implicit form)")
+		demoN      = fs.Int("n", 24, "demo/schedule: workload size (node count, WCT target size)")
 		demoK      = fs.Int("k", 8, "schedule: message count for multi-message schedules")
 		demoP      = fs.Float64("p", 0.3, "demo/schedule: fault probability")
 		faultMd    = fs.String("fault", "receiver", "demo/schedule: fault model: none | sender | receiver")
@@ -125,8 +137,11 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if *trials < 0 {
+		return fmt.Errorf("-trials must be >= 0, got %d", *trials)
+	}
 	if *demo != "" {
-		return runDemo(out, *demo, *demoN, *demoP, *faultMd, *seed, eng)
+		return runDemo(out, *demo, *topology, *demoN, *demoP, *faultMd, *seed, eng)
 	}
 	if *schedName != "" {
 		if *schedName == "list" {
@@ -135,7 +150,7 @@ func run(args []string, out *os.File) error {
 			}
 			return nil
 		}
-		return runSchedule(out, *schedName, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb)
+		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb)
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -278,11 +293,86 @@ func parseFault(faultName string, p float64, eng radio.Engine) (radio.Config, er
 	return cfg, nil
 }
 
+// largeNImplicit is the node count at which workloadTopology switches the
+// workload to the CSR-less implicit storage mode: past it, materialized
+// adjacency (a Θ(n²/8)-byte bit matrix, an O(m) CSR) stops fitting memory
+// for the dense topologies the flag offers, while every offered topology
+// has a closed-form NeighborModel. Engines are bit-identical across
+// storage modes, so the switch never changes output.
+const largeNImplicit = 4096
+
+// workloadTopology builds the -topology/-n workload graph for demo and
+// schedule runs, validating the CLI-derived sizes up front so the graph
+// generators' panics surface as usage errors instead of crashes.
+func workloadTopology(name string, n int) (graph.Topology, error) {
+	if n < 2 {
+		return graph.Topology{}, fmt.Errorf("-topology %s needs -n >= 2, got %d", name, n)
+	}
+	implicit := n >= largeNImplicit
+	switch name {
+	case "path":
+		if implicit {
+			return graph.ImplicitPath(n), nil
+		}
+		return graph.Path(n), nil
+	case "complete":
+		if implicit {
+			return graph.ImplicitComplete(n), nil
+		}
+		return graph.Complete(n), nil
+	case "star":
+		if implicit {
+			return graph.ImplicitStar(n - 1), nil
+		}
+		return graph.Star(n - 1), nil
+	case "cycle":
+		if n < 3 {
+			return graph.Topology{}, fmt.Errorf("-topology cycle needs -n >= 3, got %d", n)
+		}
+		if implicit {
+			return graph.ImplicitCycle(n), nil
+		}
+		return graph.Cycle(n), nil
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		for side*side < n {
+			side++
+		}
+		for side*side > n {
+			side--
+		}
+		if side < 1 || side*side != n {
+			return graph.Topology{}, fmt.Errorf("-topology grid needs a square -n, got %d (nearest squares: %d, %d)", n, side*side, (side+1)*(side+1))
+		}
+		if implicit {
+			return graph.ImplicitGrid(side, side), nil
+		}
+		return graph.Grid(side, side), nil
+	case "hypercube":
+		if n&(n-1) != 0 {
+			return graph.Topology{}, fmt.Errorf("-topology hypercube needs a power-of-two -n, got %d", n)
+		}
+		dim := 0
+		for 1<<uint(dim+1) <= n {
+			dim++
+		}
+		if dim > 30 {
+			return graph.Topology{}, fmt.Errorf("-topology hypercube supports at most 2^30 nodes, got 2^%d", dim)
+		}
+		if implicit {
+			return graph.ImplicitHypercube(dim), nil
+		}
+		return graph.Hypercube(dim), nil
+	default:
+		return graph.Topology{}, fmt.Errorf("unknown -topology %q (path|complete|star|cycle|grid|hypercube)", name)
+	}
+}
+
 // scheduleWorkload builds the topology and parameters a -schedule run
-// executes: a size-n workload shaped for the schedule (path, star leaves,
-// WCT instance, pipeline length), with k messages for multi-message
-// schedules.
-func scheduleWorkload(sched *broadcast.Schedule, n, k int, seed uint64) (graph.Topology, broadcast.ScheduleParams, error) {
+// executes: a size-n workload shaped for the schedule (the -topology graph
+// for topology-taking schedules, star leaves, a WCT instance, a pipeline
+// length), with k messages for multi-message schedules.
+func scheduleWorkload(sched *broadcast.Schedule, topology string, n, k int, seed uint64) (graph.Topology, broadcast.ScheduleParams, error) {
 	if n < 2 {
 		return graph.Topology{}, broadcast.ScheduleParams{}, fmt.Errorf("schedule run needs -n >= 2, got %d", n)
 	}
@@ -306,14 +396,18 @@ func scheduleWorkload(sched *broadcast.Schedule, n, k int, seed uint64) (graph.T
 		p.PathLen = n
 		return graph.Topology{}, p, nil
 	default:
-		return graph.Path(n), p, nil
+		top, err := workloadTopology(topology, n)
+		if err != nil {
+			return graph.Topology{}, p, err
+		}
+		return top, p, nil
 	}
 }
 
 // runSchedule runs -trials Monte-Carlo trials of one registry schedule on
 // the sweep scheduler and prints the round statistics and the execution
 // plan the sweep chose.
-func runSchedule(out *os.File, name string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int) error {
+func runSchedule(out *os.File, name, topology string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int) error {
 	sched, err := broadcast.LookupSchedule(name)
 	if err != nil {
 		names := strings.Join(broadcast.ScheduleNames(), ", ")
@@ -323,9 +417,15 @@ func runSchedule(out *os.File, name string, n, k int, p float64, faultName strin
 	if err != nil {
 		return err
 	}
-	top, params, err := scheduleWorkload(sched, n, k, seed)
+	top, params, err := scheduleWorkload(sched, topology, n, k, seed)
 	if err != nil {
 		return err
+	}
+	// The FASTBC family builds a BFS tree up front; the implicit storage
+	// mode cannot serve that, so reject it as a usage error rather than let
+	// the graph layer panic.
+	if top.G != nil && !top.G.HasCSR() && (sched.Name == "fastbc" || sched.Name == "robust-fastbc") {
+		return fmt.Errorf("schedule %s needs materialized adjacency, but -n %d >= %d builds the implicit form; use a smaller -n", sched.Name, n, largeNImplicit)
 	}
 	if trials <= 0 {
 		trials = 20
@@ -378,9 +478,9 @@ func runSchedule(out *os.File, name string, n, k int, p float64, faultName strin
 	return nil
 }
 
-// runDemo traces one single-message broadcast on a small path and renders
-// the round-by-round timeline.
-func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
+// runDemo traces one single-message broadcast on the -topology workload
+// and renders the round-by-round timeline.
+func runDemo(out *os.File, algo, topology string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
 	if n < 2 {
 		return fmt.Errorf("demo needs -n >= 2, got %d", n)
 	}
@@ -388,7 +488,13 @@ func runDemo(out *os.File, algo string, n int, p float64, faultName string, seed
 	if err != nil {
 		return err
 	}
-	top := graph.Path(n)
+	top, err := workloadTopology(topology, n)
+	if err != nil {
+		return err
+	}
+	if !top.G.HasCSR() && algo != "decay" {
+		return fmt.Errorf("%s builds a BFS tree and needs materialized adjacency, but -n %d >= %d builds the implicit form; use a smaller -n or -demo decay", algo, n, largeNImplicit)
+	}
 	rec := trace.NewRecorder(top.G.N())
 	opts := broadcast.Options{Trace: rec.Observe}
 	r := rng.New(seed)

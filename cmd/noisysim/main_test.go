@@ -169,6 +169,87 @@ func TestDemoValidation(t *testing.T) {
 	}
 }
 
+// TestTopologyFlag: every -topology choice runs the demo end to end and
+// names the workload in the header.
+func TestTopologyFlag(t *testing.T) {
+	for _, tt := range []struct {
+		topology string
+		n        string
+		want     string
+	}{
+		{"path", "12", "path(n=12)"},
+		{"complete", "12", "complete(n=12)"},
+		{"star", "12", "star(leaves=11)"},
+		{"cycle", "12", "cycle(n=12)"},
+		{"grid", "16", "grid(4x4)"},
+		{"hypercube", "16", "hypercube(dim=4)"},
+	} {
+		out, err := capture(t, "-demo", "decay", "-topology", tt.topology, "-n", tt.n, "-fault", "none", "-seed", "2")
+		if err != nil {
+			t.Fatalf("-topology %s: %v", tt.topology, err)
+		}
+		if !strings.Contains(out, tt.want) || !strings.Contains(out, "success=true") {
+			t.Fatalf("-topology %s output missing %q or success:\n%s", tt.topology, tt.want, out)
+		}
+	}
+}
+
+// TestTopologySizeValidation: CLI-derived sizes that would panic inside
+// the graph generators must surface as usage errors instead.
+func TestTopologySizeValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-demo", "decay", "-topology", "bogus", "-n", "12"},
+		{"-demo", "decay", "-topology", "cycle", "-n", "2"},
+		{"-demo", "decay", "-topology", "grid", "-n", "12"},
+		{"-demo", "decay", "-topology", "hypercube", "-n", "12"},
+		{"-demo", "decay", "-topology", "complete", "-n", "0"},
+		{"-demo", "decay", "-topology", "star", "-n", "-3"},
+		{"-schedule", "decay", "-topology", "grid", "-n", "12"},
+		{"-schedule", "decay", "-topology", "bogus", "-n", "12"},
+		{"-exp", "F1", "-quick", "-trials", "-5"},
+	} {
+		if _, err := capture(t, args...); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestDemoLargeNImplicit is the large-n demo row: at n >= 4096 the
+// workload builds without materialized adjacency and the broadcast still
+// completes. 2^17 complete-graph nodes would need a 2 GB bit matrix —
+// possible only because nothing is materialized.
+func TestDemoLargeNImplicit(t *testing.T) {
+	out, err := capture(t, "-demo", "decay", "-topology", "complete", "-n", "131072", "-fault", "sender", "-p", "0.1", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "complete(n=131072)") || !strings.Contains(out, "success=true") {
+		t.Fatalf("large-n implicit demo failed:\n%s", out)
+	}
+	// Algorithms that need materialized adjacency reject the implicit
+	// workload as a usage error instead of panicking.
+	if _, err := capture(t, "-demo", "fastbc", "-topology", "complete", "-n", "8192"); err == nil {
+		t.Fatal("fastbc on an implicit workload accepted")
+	}
+	if _, err := capture(t, "-schedule", "fastbc", "-topology", "complete", "-n", "8192", "-trials", "2"); err == nil {
+		t.Fatal("fastbc schedule on an implicit workload accepted")
+	}
+}
+
+// TestScheduleLargeNImplicit: a schedule sweep on an implicit workload
+// resolves the implicit engine and reports its scalar plan.
+func TestScheduleLargeNImplicit(t *testing.T) {
+	out, err := capture(t, "-schedule", "decay", "-topology", "complete", "-n", "100000", "-trials", "3", "-fault", "sender", "-p", "0.1", "-seed", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"complete(n=100000)", "plan: engine implicit", "success: 3/3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("large-n schedule output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 // The scheduling knobs must not change any output byte: -workers sizes the
 // shared pool and -rowworkers bounds row admission, nothing else.
 func TestRowWorkersFlagOutputsIdentical(t *testing.T) {

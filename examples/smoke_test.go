@@ -1,0 +1,49 @@
+// Package examples holds runnable demo binaries, one per subdirectory.
+// This smoke test builds and runs every one of them, so refactors of the
+// facade or the engines cannot silently break the documented entry points.
+package examples
+
+import (
+	"context"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun builds and runs each example binary end to end and
+// checks its closing output marker — the line each demo prints only after
+// its verification (decode check, success assertion, timeline render)
+// passed. The demos' built-in parameters are already smoke-sized: the
+// whole set completes in about a second.
+func TestExamplesRun(t *testing.T) {
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go toolchain not on PATH: %v", err)
+	}
+	for _, tt := range []struct {
+		dir    string
+		marker string
+	}{
+		{"quickstart", "robust-fastbc"},
+		{"sensorgrid", "payloads verified bit-for-bit"},
+		{"codinggap", "coding rounds"},
+		{"wctgap", "Theorem 24"},
+		{"tracedemo", "legend: B = broadcast"},
+	} {
+		t.Run(tt.dir, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, goBin, "run", "./examples/"+tt.dir)
+			cmd.Dir = ".." // module root, so the ./examples/... path resolves
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run ./examples/%s: %v\n%s", tt.dir, err, out)
+			}
+			if !strings.Contains(string(out), tt.marker) {
+				t.Fatalf("examples/%s output missing %q:\n%s", tt.dir, tt.marker, out)
+			}
+		})
+	}
+}

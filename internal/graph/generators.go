@@ -25,7 +25,9 @@ func Path(n int) Topology {
 	for i := 0; i+1 < n; i++ {
 		b.AddEdge(i, i+1)
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("path(n=%d)", n)}
+	g := b.MustBuild()
+	g.model = PathModel{Nodes: n}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("path(n=%d)", n)}
 }
 
 // Star returns the star topology of Section 5.1.1: source 0 adjacent to n
@@ -38,7 +40,9 @@ func Star(leaves int) Topology {
 	for i := 1; i <= leaves; i++ {
 		b.AddEdge(0, i)
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("star(leaves=%d)", leaves)}
+	g := b.MustBuild()
+	g.model = StarModel{Leaves: leaves}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("star(leaves=%d)", leaves)}
 }
 
 // SingleLink returns the two-vertex topology of Appendix A.
@@ -59,7 +63,9 @@ func Complete(n int) Topology {
 			b.AddEdge(i, j)
 		}
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("complete(n=%d)", n)}
+	g := b.MustBuild()
+	g.model = CompleteModel{Nodes: n}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("complete(n=%d)", n)}
 }
 
 // Grid returns the rows×cols grid with source at the corner (0,0). Vertex
@@ -80,7 +86,9 @@ func Grid(rows, cols int) Topology {
 			}
 		}
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("grid(%dx%d)", rows, cols)}
+	g := b.MustBuild()
+	g.model = GridModel{Rows: rows, Cols: cols}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("grid(%dx%d)", rows, cols)}
 }
 
 // RandomTree returns a uniform random recursive tree on n vertices rooted at
@@ -140,7 +148,9 @@ func Layered(numLayers, width int) Topology {
 			}
 		}
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("layered(D=%d,w=%d)", numLayers, width)}
+	g := b.MustBuild()
+	g.model = LayeredModel{Layers: numLayers, Width: width}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("layered(D=%d,w=%d)", numLayers, width)}
 }
 
 // Cycle returns the cycle graph on n >= 3 vertices with source 0.
@@ -154,7 +164,9 @@ func Cycle(n int) Topology {
 	for i := 0; i < n; i++ {
 		b.AddEdge(i, (i+1)%n)
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("cycle(n=%d)", n)}
+	g := b.MustBuild()
+	g.model = CycleModel{Nodes: n}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("cycle(n=%d)", n)}
 }
 
 // Hypercube returns the dim-dimensional hypercube (2^dim vertices) with
@@ -174,7 +186,9 @@ func Hypercube(dim int) Topology {
 			}
 		}
 	}
-	return Topology{G: b.MustBuild(), Source: 0, Name: fmt.Sprintf("hypercube(dim=%d)", dim)}
+	g := b.MustBuild()
+	g.model = HypercubeModel{Dim: dim}
+	return Topology{G: g, Source: 0, Name: fmt.Sprintf("hypercube(dim=%d)", dim)}
 }
 
 // BinaryTree returns the complete binary tree of the given depth rooted at

@@ -19,10 +19,25 @@ import (
 )
 
 // Graph is an immutable undirected graph on vertices 0..N()-1.
+//
+// Two storage modes exist. CSR graphs (everything a Builder produces)
+// materialize sorted neighbour lists and support the full API. Implicit
+// graphs (NewImplicit) carry only a NeighborModel — a closed-form
+// neighbourhood description — so per-node state is O(1): they answer
+// degree/edge/eccentricity queries from the model and panic on the
+// methods that exist to expose materialized adjacency (Neighbors, BFS,
+// Layers, AdjacencyBits). HasCSR distinguishes the modes. Generators
+// whose structure has a closed form attach the model to their CSR graphs
+// too, so consumers can pick either view of the same topology.
 type Graph struct {
 	n       int
-	offsets []int32 // len n+1
+	offsets []int32 // len n+1; nil for implicit graphs
 	adj     []int32 // concatenated sorted neighbour lists
+
+	// Closed-form neighbourhood description, when the graph has one.
+	// Always set for implicit graphs; also set on CSR graphs built by
+	// closed-form generators.
+	model NeighborModel
 
 	// Lazily-built bit-matrix adjacency view for the dense radio engine;
 	// see AdjacencyBits. Guarded by bitsOnce so concurrent trials sharing
@@ -104,17 +119,39 @@ func (b *Builder) MustBuild() *Graph {
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
+// NeighborModel returns the closed-form neighbourhood model of the graph,
+// or nil when it has none. Implicit graphs always have one; CSR graphs
+// have one when their generator's structure has a closed form.
+func (g *Graph) NeighborModel() NeighborModel { return g.model }
+
+// HasCSR reports whether the graph materializes adjacency (Neighbors,
+// BFS, Layers, AdjacencyBits are available). False exactly for implicit
+// graphs built with NewImplicit.
+func (g *Graph) HasCSR() bool { return g.offsets != nil }
+
 // M returns the number of undirected edges.
-func (g *Graph) M() int { return len(g.adj) / 2 }
+func (g *Graph) M() int {
+	if g.offsets == nil {
+		return int(g.model.Edges())
+	}
+	return len(g.adj) / 2
+}
 
 // Degree returns the degree of vertex v.
 func (g *Graph) Degree(v int) int {
+	if g.offsets == nil {
+		return g.model.Degree(v)
+	}
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
 // Neighbors returns the sorted neighbour list of v. The returned slice
-// aliases internal storage and must not be modified.
+// aliases internal storage and must not be modified. Panics on implicit
+// graphs, which exist precisely to avoid materializing neighbour lists.
 func (g *Graph) Neighbors(v int) []int32 {
+	if g.offsets == nil {
+		panic("graph: Neighbors needs materialized adjacency; this is an implicit graph (HasCSR() == false)")
+	}
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
 
@@ -125,6 +162,9 @@ func (g *Graph) Neighbors(v int) []int32 {
 // it is safe to call from concurrent trials sharing the graph. Sparse
 // consumers should keep using Neighbors.
 func (g *Graph) AdjacencyBits() *bitset.Matrix {
+	if g.offsets == nil {
+		panic("graph: AdjacencyBits needs materialized adjacency; this is an implicit graph (HasCSR() == false)")
+	}
 	g.bitsOnce.Do(func() {
 		m := bitset.NewMatrix(g.n, g.n)
 		for v := 0; v < g.n; v++ {
@@ -139,19 +179,28 @@ func (g *Graph) AdjacencyBits() *bitset.Matrix {
 
 // AvgDegree returns the average vertex degree 2m/n.
 func (g *Graph) AvgDegree() float64 {
+	if g.offsets == nil {
+		return 2 * float64(g.model.Edges()) / float64(g.n)
+	}
 	return float64(len(g.adj)) / float64(g.n)
 }
 
 // HasEdge reports whether {u, v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
+	if g.offsets == nil {
+		return g.model.HasEdge(u, v)
+	}
 	ns := g.Neighbors(u)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
 	return i < len(ns) && ns[i] == int32(v)
 }
 
 // BFS returns the vector of hop distances from src; unreachable vertices
-// get distance -1.
+// get distance -1. Panics on implicit graphs.
 func (g *Graph) BFS(src int) []int32 {
+	if g.offsets == nil {
+		panic("graph: BFS needs materialized adjacency; this is an implicit graph (HasCSR() == false)")
+	}
 	dist := make([]int32, g.n)
 	for i := range dist {
 		dist[i] = -1
@@ -174,8 +223,12 @@ func (g *Graph) BFS(src int) []int32 {
 }
 
 // Eccentricity returns the maximum BFS distance from src, or -1 if some
-// vertex is unreachable.
+// vertex is unreachable. Implicit graphs answer from the model's closed
+// form (and are connected by construction).
 func (g *Graph) Eccentricity(src int) int {
+	if g.offsets == nil {
+		return g.model.Eccentricity(src)
+	}
 	dist := g.BFS(src)
 	ecc := int32(0)
 	for _, d := range dist {
@@ -213,7 +266,11 @@ func (g *Graph) Diameter() int {
 
 // Layers groups vertices by BFS distance from src: Layers(src)[d] lists the
 // vertices at distance exactly d. Unreachable vertices are omitted.
+// Panics on implicit graphs.
 func (g *Graph) Layers(src int) [][]int32 {
+	if g.offsets == nil {
+		panic("graph: Layers needs materialized adjacency; this is an implicit graph (HasCSR() == false)")
+	}
 	dist := g.BFS(src)
 	maxD := int32(-1)
 	for _, d := range dist {

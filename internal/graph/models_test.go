@@ -1,0 +1,210 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/rng"
+)
+
+// modelCases pairs every closed-form generator with its implicit twin.
+// Sizes are chosen to hit each model's structural edge cases (single
+// vertex/layer, even/odd cycles, non-square grids, …).
+func modelCases() []struct {
+	name               string
+	explicit, implicit Topology
+} {
+	return []struct {
+		name               string
+		explicit, implicit Topology
+	}{
+		{"complete-1", Complete(1), ImplicitComplete(1)},
+		{"complete-2", Complete(2), ImplicitComplete(2)},
+		{"complete-9", Complete(9), ImplicitComplete(9)},
+		{"complete-64", Complete(64), ImplicitComplete(64)},
+		{"star-1", Star(1), ImplicitStar(1)},
+		{"star-2", Star(2), ImplicitStar(2)},
+		{"star-17", Star(17), ImplicitStar(17)},
+		{"path-1", Path(1), ImplicitPath(1)},
+		{"path-2", Path(2), ImplicitPath(2)},
+		{"path-33", Path(33), ImplicitPath(33)},
+		{"cycle-3", Cycle(3), ImplicitCycle(3)},
+		{"cycle-4", Cycle(4), ImplicitCycle(4)},
+		{"cycle-31", Cycle(31), ImplicitCycle(31)},
+		{"grid-1x1", Grid(1, 1), ImplicitGrid(1, 1)},
+		{"grid-1x7", Grid(1, 7), ImplicitGrid(1, 7)},
+		{"grid-5x1", Grid(5, 1), ImplicitGrid(5, 1)},
+		{"grid-4x6", Grid(4, 6), ImplicitGrid(4, 6)},
+		{"hypercube-1", Hypercube(1), ImplicitHypercube(1)},
+		{"hypercube-3", Hypercube(3), ImplicitHypercube(3)},
+		{"hypercube-6", Hypercube(6), ImplicitHypercube(6)},
+		{"layered-1x1", Layered(1, 1), ImplicitLayered(1, 1)},
+		{"layered-1x4", Layered(1, 4), ImplicitLayered(1, 4)},
+		{"layered-3x1", Layered(3, 1), ImplicitLayered(3, 1)},
+		{"layered-4x5", Layered(4, 5), ImplicitLayered(4, 5)},
+	}
+}
+
+// TestModelMatchesExplicit proves each NeighborModel agrees exactly with
+// the generator's materialized adjacency — the foundation of the implicit
+// engine's bit-identity contract.
+func TestModelMatchesExplicit(t *testing.T) {
+	for _, tc := range modelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			eg, ig := tc.explicit.G, tc.implicit.G
+			if !eg.HasCSR() {
+				t.Fatal("explicit generator lost its CSR")
+			}
+			if ig.HasCSR() {
+				t.Fatal("implicit graph claims a CSR")
+			}
+			m := eg.NeighborModel()
+			if m == nil {
+				t.Fatal("closed-form generator did not attach a model")
+			}
+			if m != ig.NeighborModel() {
+				t.Fatalf("explicit and implicit models differ: %#v vs %#v", m, ig.NeighborModel())
+			}
+			if tc.explicit.Name != tc.implicit.Name {
+				t.Fatalf("topology names differ: %q vs %q", tc.explicit.Name, tc.implicit.Name)
+			}
+			if got, want := ig.N(), eg.N(); got != want {
+				t.Fatalf("N: %d != %d", got, want)
+			}
+			if got, want := ig.M(), eg.M(); got != want {
+				t.Fatalf("M: %d != %d", got, want)
+			}
+			if got, want := ig.AvgDegree(), eg.AvgDegree(); got != want {
+				t.Fatalf("AvgDegree: %v != %v", got, want)
+			}
+			for v := 0; v < eg.N(); v++ {
+				if got, want := ig.Degree(v), eg.Degree(v); got != want {
+					t.Fatalf("Degree(%d): %d != %d", v, got, want)
+				}
+				if got, want := ig.Eccentricity(v), eg.Eccentricity(v); got != want {
+					t.Fatalf("Eccentricity(%d): %d != %d", v, got, want)
+				}
+				for u := 0; u < eg.N(); u++ {
+					if got, want := ig.HasEdge(u, v), eg.HasEdge(u, v); got != want {
+						t.Fatalf("HasEdge(%d,%d): %v != %v", u, v, got, want)
+					}
+				}
+			}
+			if got, want := ig.Diameter(), eg.Diameter(); got != want {
+				t.Fatalf("Diameter: %d != %d", got, want)
+			}
+			if !ig.Connected() {
+				t.Fatal("implicit graph reports disconnected")
+			}
+		})
+	}
+}
+
+// TestTxCounterMatchesBruteForce drives each model's TxCounter with random
+// broadcast sets and checks count/from against a direct scan of the
+// explicit neighbour lists.
+func TestTxCounterMatchesBruteForce(t *testing.T) {
+	for _, tc := range modelCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			eg := tc.explicit.G
+			n := eg.N()
+			counter := eg.NeighborModel().NewTxCounter()
+			r := rng.New(0xC0FFEE)
+			tx := bitset.New(n)
+			for round := 0; round < 200; round++ {
+				tx.Reset()
+				// Sweep densities from empty through saturated.
+				p := float64(round%11) / 10
+				for v := 0; v < n; v++ {
+					if r.Bool(p) {
+						tx.Set(v)
+					}
+				}
+				counter.Begin(tx)
+				for u := 0; u < n; u++ {
+					wantCount, wantFrom := 0, int32(-1)
+					for _, v := range eg.Neighbors(u) {
+						if tx.Test(int(v)) {
+							wantCount++
+							wantFrom = v
+						}
+					}
+					if wantCount > 2 {
+						wantCount = 2
+					}
+					gotCount, gotFrom := counter.Count(int32(u))
+					if gotCount != wantCount {
+						t.Fatalf("round %d u=%d: count %d, want %d (tx=%v)", round, u, gotCount, wantCount, tx.Elements())
+					}
+					if wantCount == 1 && gotFrom != wantFrom {
+						t.Fatalf("round %d u=%d: from %d, want %d (tx=%v)", round, u, gotFrom, wantFrom, tx.Elements())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestImplicitGraphPanics locks in the contract that adjacency-exposing
+// methods fail loudly instead of misbehaving on implicit graphs.
+func TestImplicitGraphPanics(t *testing.T) {
+	g := ImplicitComplete(8).G
+	for _, tc := range []struct {
+		name string
+		call func()
+	}{
+		{"Neighbors", func() { g.Neighbors(0) }},
+		{"BFS", func() { g.BFS(0) }},
+		{"Layers", func() { g.Layers(0) }},
+		{"AdjacencyBits", func() { g.AdjacencyBits() }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic on an implicit graph", tc.name)
+				}
+			}()
+			tc.call()
+		})
+	}
+}
+
+// TestModellessGenerators documents which generators have no closed form:
+// their graphs must keep working with a nil model.
+func TestModellessGenerators(t *testing.T) {
+	r := rng.New(7)
+	for _, top := range []Topology{
+		RandomTree(16, r),
+		GNP(16, 0.3, r),
+		BinaryTree(3),
+		Caterpillar(4, 2),
+		Lollipop(2, 3),
+		SingleLink(),
+	} {
+		if top.G.NeighborModel() != nil {
+			t.Errorf("%s unexpectedly has a neighbour model", top.Name)
+		}
+		if !top.G.HasCSR() {
+			t.Errorf("%s lost its CSR", top.Name)
+		}
+	}
+}
+
+// TestImplicitScale builds a million-node implicit complete graph — the
+// regime the implicit engine exists for — and checks a few closed-form
+// answers; a CSR/bit-matrix build at this size would be ~125 GB.
+func TestImplicitScale(t *testing.T) {
+	const n = 1_000_000
+	top := ImplicitComplete(n)
+	g := top.G
+	if g.N() != n || g.Degree(n-1) != n-1 || g.Eccentricity(0) != 1 {
+		t.Fatalf("closed-form answers wrong at n=%d", n)
+	}
+	if want := int64(n) * int64(n-1) / 2; int64(g.M()) != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if name := fmt.Sprintf("complete(n=%d)", n); top.Name != name {
+		t.Fatalf("name %q, want %q", top.Name, name)
+	}
+}

@@ -26,10 +26,11 @@ const MaxBatchWidth = 64
 // resolves all W lanes' broadcast words against each row word it loads
 // (the transposed bitset.Block layout makes those W words adjacent), so
 // the dominant row-traversal cost is paid once per round instead of once
-// per trial. The sparse engine executes the lanes sequentially within the
-// round (its cost is already O(Σ deg(broadcaster)) per lane, so there is
-// no shared traversal to amortise) — batching is then purely a scheduling
-// convenience with identical results.
+// per trial. The sparse and implicit engines execute the lanes
+// sequentially within the round (their per-lane cost has no shared
+// traversal to amortise: O(Σ deg(broadcaster)) for sparse, O(n)
+// closed-form resolution for implicit) — batching is then purely a
+// scheduling convenience with identical results.
 //
 // Lanes may finish at different times: StepBatch takes an active-lane
 // mask, and inactive lanes consume no randomness, collect no statistics
@@ -40,7 +41,7 @@ const MaxBatchWidth = 64
 type BatchNetwork[P any] struct {
 	g      *graph.Graph
 	cfg    Config
-	engine Engine // resolved engine: Sparse or Dense, never Auto
+	engine Engine // resolved engine: Sparse, Dense or Implicit, never Auto
 	w      int
 	full   uint64 // mask of all w lanes
 
@@ -66,6 +67,13 @@ type BatchNetwork[P any] struct {
 	txCount []int32
 	txFrom  []int32
 	touched []int32
+
+	// Implicit-engine state: the closed-form counter (shared across lanes
+	// within a round — lanes run sequentially) and the scratch Set one
+	// lane's broadcast column is unpacked into for the scalar-equivalent
+	// round.
+	counter graph.TxCounter
+	laneTx  *bitset.Set
 
 	// Dense-engine per-listener lane scratch: hit/hitBase[l] are the
 	// scalar engine's hit/hitBase locals, one slot per lane, valid for
@@ -93,10 +101,7 @@ func NewBatch[P any](g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetw
 	if w < 1 || w > MaxBatchWidth {
 		return nil, fmt.Errorf("radio: batch width %d outside [1, %d]", w, MaxBatchWidth)
 	}
-	engine := cfg.Engine
-	if engine == Auto {
-		engine = autoEngine(g)
-	}
+	engine := resolveEngine(g, cfg.Engine)
 	b := &BatchNetwork[P]{
 		g:      g,
 		cfg:    cfg,
@@ -131,6 +136,9 @@ func NewBatch[P any](g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetw
 		b.hit = make([]uint64, w)
 		b.hitBase = make([]int32, w)
 		b.anyTx = make([]uint64, b.adjStride)
+	case Implicit:
+		b.counter = g.NeighborModel().NewTxCounter()
+		b.laneTx = bitset.New(g.N())
 	default:
 		b.txCount = make([]int32, g.N())
 		b.txFrom = make([]int32, g.N())
@@ -179,7 +187,8 @@ func (b *BatchNetwork[P]) Graph() *graph.Graph { return b.g }
 // Config returns the noise configuration.
 func (b *BatchNetwork[P]) Config() Config { return b.cfg }
 
-// Engine returns the resolved execution engine (Sparse or Dense).
+// Engine returns the resolved execution engine (Sparse, Dense or
+// Implicit).
 func (b *BatchNetwork[P]) Engine() Engine { return b.engine }
 
 // Width returns the lane count.
@@ -278,9 +287,12 @@ func (b *BatchNetwork[P]) StepBatch(tx *bitset.Block, payloads [][]P, rx *bitset
 	if act == 0 {
 		return
 	}
-	if b.engine == Dense {
+	switch b.engine {
+	case Dense:
 		b.stepBatchDense(tx, payloads, rx, act, deliver)
-	} else {
+	case Implicit:
+		b.stepBatchImplicit(tx, payloads, rx, act, deliver)
+	default:
 		b.stepBatchSparse(tx, payloads, rx, act, deliver)
 	}
 	// Clear the sender-fault flags set this round, per lane off that
@@ -340,6 +352,45 @@ func (b *BatchNetwork[P]) stepBatchSparse(tx *bitset.Block, payloads [][]P, rx *
 			b.txCount[u] = 0
 		}
 		b.touched = b.touched[:0]
+	}
+}
+
+// stepBatchImplicit executes the round lane by lane on the closed-form
+// engine: each lane's broadcast column is unpacked into the scratch Set
+// and the lane runs the scalar implicit round verbatim (mark
+// broadcasters, Begin the counter, resolve every listener in ascending
+// id). There is no shared traversal to amortise — per-lane cost is O(n)
+// regardless — so, as for sparse, batching here is purely a scheduling
+// convenience with identical results. Lane order is ascending, observable
+// only through the deliver callback.
+func (b *BatchNetwork[P]) stepBatchImplicit(tx *bitset.Block, payloads [][]P, rx *bitset.Block, act uint64, deliver func(lane int, d Delivery[P])) {
+	nn := b.g.N()
+	for m := act; m != 0; m &= m - 1 {
+		l := bits.TrailingZeros64(m)
+		if lo, hi := tx.LaneNonzeroRange(l); lo == hi {
+			continue // silent lane: no draws, as in the scalar engine
+		}
+		tx.LaneToSet(l, b.laneTx)
+		txw := b.laneTx.Words()
+		txLo, txHi := b.laneTx.NonzeroRange()
+		for wi := txLo; wi < txHi; wi++ {
+			for w := txw[wi]; w != 0; w &= w - 1 {
+				b.markBroadcaster(l, wi*64+bits.TrailingZeros64(w))
+			}
+		}
+		b.counter.Begin(b.laneTx)
+		for u := 0; u < nn; u++ {
+			if txw[u>>6]&(1<<(uint(u)&63)) != 0 {
+				continue // transmitting nodes do not listen
+			}
+			count, from := b.counter.Count(int32(u))
+			switch {
+			case count > 1:
+				b.stats[l].Collisions++
+			case count == 1:
+				b.resolveUnique(l, int32(u), from, payloads, rx, deliver)
+			}
+		}
 	}
 }
 

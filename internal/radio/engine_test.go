@@ -8,7 +8,7 @@ import (
 )
 
 func TestEngineString(t *testing.T) {
-	if Auto.String() != "auto" || Sparse.String() != "sparse" || Dense.String() != "dense" {
+	if Auto.String() != "auto" || Sparse.String() != "sparse" || Dense.String() != "dense" || Implicit.String() != "implicit" {
 		t.Fatal("Engine String names wrong")
 	}
 	if Engine(99).String() == "" {
@@ -26,6 +26,7 @@ func TestParseEngine(t *testing.T) {
 		{in: "", want: Auto},
 		{in: "sparse", want: Sparse},
 		{in: "dense", want: Dense},
+		{in: "implicit", want: Implicit},
 		{in: "turbo", wantErr: true},
 	} {
 		got, err := ParseEngine(tt.in)

@@ -13,9 +13,11 @@ import (
 
 // EngineMicrobench measures the per-round engine microbenchmarks the CI
 // bench gate tracks: ns/round and allocs/round through StepSet for
-// sparse/dense × faultless/sender/receiver at n ∈ {256, 1024}, each engine
-// on its home topology (sparse on a bounded-degree grid, dense on a
-// complete graph). The schedule is the sparse-broadcaster regime the
+// sparse/dense/implicit × faultless/sender/receiver at n ∈ {256, 1024},
+// each engine on its home topology (sparse on a bounded-degree grid,
+// dense and implicit on a complete graph — implicit forced below its
+// auto threshold so the trajectory of the closed-form counter is on
+// record at comparable sizes). The schedule is the sparse-broadcaster regime the
 // windowed dense path targets — n/64 contiguous broadcasters in the middle
 // of the id range, as in an early Decay phase or a single WCT cluster
 // layer's schedule slot.
@@ -43,6 +45,7 @@ func EngineMicrobench() []benchreport.Microbench {
 			}{
 				{Sparse, grid, "sparse/grid"},
 				{Dense, complete, "dense/complete"},
+				{Implicit, complete, "implicit/complete"},
 			} {
 				cfg.Engine = m.engine
 				ns, allocs := measureRounds(m.top, cfg, n, stepModeSet, false)

@@ -53,15 +53,19 @@ func batchTrialCost(count int) float64 {
 // chosen width (1 = scalar) and a short human-readable reason for plan
 // reports.
 //
-// The sparse engine runs batch lanes sequentially — there is no shared
-// listener sweep to amortise — so it always plans scalar. On the dense
-// engine the planner minimises the modelled total cost over the unrolled
-// widths: full batches of width w at the recorded trajectory cost, the
-// T mod w remainder at the cost of the largest kernel it still fills
-// (single-trial remainders run scalar, as the sweep dispatches them).
+// The sparse and implicit engines run batch lanes sequentially — there is
+// no shared listener sweep to amortise — so they always plan scalar. On
+// the dense engine the planner minimises the modelled total cost over the
+// unrolled widths: full batches of width w at the recorded trajectory
+// cost, the T mod w remainder at the cost of the largest kernel it still
+// fills (single-trial remainders run scalar, as the sweep dispatches
+// them).
 func PlanBatchWidth(engine Engine, trials int) (int, string) {
-	if engine == Sparse {
+	switch engine {
+	case Sparse:
 		return 1, "scalar: sparse engine runs lanes sequentially"
+	case Implicit:
+		return 1, "scalar: implicit engine runs lanes sequentially"
 	}
 	if trials < 2 {
 		return 1, "scalar: nothing to batch"

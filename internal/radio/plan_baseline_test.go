@@ -1,0 +1,96 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"noisyradio/internal/benchreport"
+)
+
+// baselinePath is the checked-in bench baseline the CI gate compares
+// against — the same file the stepBatchRelCost doc comment cites as the
+// source of the planner's cost trajectory.
+const baselinePath = "../../.github/bench/BENCH_sweep.baseline.json"
+
+// baselineMicrobench loads the checked-in baseline report and indexes its
+// microbench rows by name.
+func baselineMicrobench(t *testing.T) map[string]float64 {
+	t.Helper()
+	if _, err := os.Stat(filepath.FromSlash(baselinePath)); err != nil {
+		t.Skipf("no checked-in bench baseline: %v", err)
+	}
+	rep, err := benchreport.Load(filepath.FromSlash(baselinePath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make(map[string]float64, len(rep.Microbench))
+	for _, m := range rep.Microbench {
+		rows[m.Name] = m.NsPerRound
+	}
+	return rows
+}
+
+// TestStepBatchRelCostTracksBaseline pins the planner's hand-copied cost
+// constants to the measurements they claim to be: each stepBatchRelCost[w]
+// must match the checked-in baseline's stepbatch/w=N trajectory
+// (dense/complete, faultless, n=1024, normalised to the scalar StepSet
+// round) within tolerance. When a baseline refresh moves the trajectory
+// materially, this fails until plan.go is updated — the constants can no
+// longer silently drift from the artifact they cite.
+func TestStepBatchRelCostTracksBaseline(t *testing.T) {
+	const tolerance = 0.25 // relative divergence before the constant is stale
+
+	rows := baselineMicrobench(t)
+	scalarName := fmt.Sprintf("stepset/dense/complete/%s/n=1024", Faultless)
+	scalar, ok := rows[scalarName]
+	if !ok || scalar <= 0 {
+		t.Fatalf("baseline has no usable %q row (ns=%v)", scalarName, scalar)
+	}
+
+	widths := append([]int{1}, BatchWidths...)
+	if len(widths) != len(stepBatchRelCost) {
+		t.Errorf("stepBatchRelCost has %d entries, want %d (width 1 + BatchWidths %v)",
+			len(stepBatchRelCost), len(widths), BatchWidths)
+	}
+	for _, w := range widths {
+		name := fmt.Sprintf("stepbatch/w=%d/dense/complete/%s/n=1024", w, Faultless)
+		ns, ok := rows[name]
+		if !ok || ns <= 0 {
+			t.Errorf("baseline has no usable %q row (ns=%v)", name, ns)
+			continue
+		}
+		// Baseline ns are per trial-round already (EngineMicrobench divides
+		// by w), so the ratio to the scalar row is the planner's unit.
+		measured := ns / scalar
+		constant, ok := stepBatchRelCost[w]
+		if !ok {
+			t.Errorf("stepBatchRelCost has no entry for width %d (baseline ratio %.4f)", w, measured)
+			continue
+		}
+		if rel := math.Abs(constant-measured) / measured; rel > tolerance {
+			t.Errorf("stepBatchRelCost[%d] = %v diverges %.0f%% from baseline ratio %.4f (%s / %s); update plan.go from the refreshed baseline",
+				w, constant, rel*100, measured, name, scalarName)
+		}
+	}
+}
+
+// TestStepBatchRelCostOrdering: whatever the measured values, the planner
+// assumes wider kernels are cheaper per trial and width 1 is pure
+// overhead; a baseline refresh that breaks that shape should fail loudly
+// rather than quietly produce degenerate plans.
+func TestStepBatchRelCostOrdering(t *testing.T) {
+	if stepBatchRelCost[1] <= 1 {
+		t.Errorf("stepBatchRelCost[1] = %v, want > 1 (batch plane overhead over scalar)", stepBatchRelCost[1])
+	}
+	prev := stepBatchRelCost[1]
+	for _, w := range BatchWidths {
+		c := stepBatchRelCost[w]
+		if c <= 0 || c >= prev {
+			t.Errorf("stepBatchRelCost[%d] = %v, want in (0, %v) — wider kernels must amortise", w, c, prev)
+		}
+		prev = c
+	}
+}

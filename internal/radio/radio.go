@@ -32,7 +32,7 @@
 //
 // # Execution engines
 //
-// Two engines implement the model with bit-identical results:
+// Three engines implement the model with bit-identical results:
 //
 //   - Sparse walks the CSR neighbour lists of the broadcasters, doing
 //     O(Σ deg(broadcaster)) work per round — best for bounded-degree
@@ -41,12 +41,26 @@
 //     bitset and a listener's transmitting-neighbour count is
 //     popcount(adj[u] & tx), 64 candidate senders per machine word, doing
 //     O(n²/64) work per round — best for dense topologies (complete
-//     graphs, high-p GNP, WCT cluster layers, star coding schedules).
+//     graphs, high-p GNP, WCT cluster layers, star coding schedules). At
+//     n ≥ 4096 its listener loop runs cache-blocked (64-listener tiles
+//     with next-row window prefetch), since each adjacency row is then
+//     ≥ 512 bytes and row misses dominate.
+//   - Implicit answers the transmitting-neighbour query from the
+//     topology's closed form (graph.NeighborModel) — no adjacency is
+//     stored at all, so per-node state is O(1) and complete graphs at
+//     n = 10⁵–10⁶ run in O(n) resident memory, far past the Θ(n²/8)-byte
+//     bit-matrix ceiling of Dense. Available exactly when the graph
+//     carries a model (Complete, Star, Path, Cycle, Grid, Hypercube,
+//     Layered); the only engine for implicit graphs (graph.NewImplicit).
 //
 // Config.Engine selects the engine; the default Auto picks by average
-// degree. Because the two engines consume the rng.Stream in the same
-// canonical order, Stats, deliveries and traces are bit-identical across
-// engines (enforced by differential and fuzz tests).
+// degree and model availability. A forced engine the graph cannot support
+// (Sparse/Dense on a CSR-less implicit graph, Implicit on a graph with no
+// model) falls back to the Auto choice — benign, because engines are
+// interchangeable by construction. Because all engines consume the
+// rng.Stream in the same canonical order, Stats, deliveries and traces
+// are bit-identical across engines (enforced by differential and fuzz
+// tests).
 //
 // # Set-native rounds
 //
@@ -97,16 +111,18 @@ func (m FaultModel) String() string {
 	}
 }
 
-// Engine selects the round-execution strategy. Both engines produce
+// Engine selects the round-execution strategy. All engines produce
 // bit-identical executions; they differ only in speed and memory.
 type Engine int
 
 const (
-	// Auto picks Sparse or Dense from the graph's average degree: Dense
-	// when the graph is large enough and dense enough that word-parallel
-	// channel resolution wins (avg degree ≥ n/8, n ≥ 64), Sparse
-	// otherwise. The zero value, so existing configurations keep their
-	// behaviour.
+	// Auto picks the engine from the graph: Implicit for CSR-less
+	// implicit graphs (the only option there); otherwise Dense when the
+	// graph is large enough and dense enough that word-parallel channel
+	// resolution wins (avg degree ≥ n/8, n ≥ 64) — upgraded to Implicit
+	// when a closed-form model exists and n ≥ 4096, where the bit matrix
+	// stops fitting cache; Sparse otherwise. The zero value, so existing
+	// configurations keep their behaviour.
 	Auto Engine = iota
 	// Sparse walks CSR neighbour lists of the broadcasters.
 	Sparse
@@ -114,6 +130,11 @@ const (
 	// It materialises the graph's Θ(n²/8)-byte bit-matrix adjacency view
 	// on construction (cached on the graph, shared across networks).
 	Dense
+	// Implicit answers the transmitting-neighbour query from the graph's
+	// closed-form neighbourhood model (graph.NeighborModel): O(n) work
+	// per round, O(1) per-node state, no stored adjacency. Requires the
+	// graph to carry a model.
+	Implicit
 )
 
 // String returns a short human-readable name of the engine.
@@ -125,6 +146,8 @@ func (e Engine) String() string {
 		return "sparse"
 	case Dense:
 		return "dense"
+	case Implicit:
+		return "implicit"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -140,8 +163,10 @@ func ParseEngine(s string) (Engine, error) {
 		return Sparse, nil
 	case "dense":
 		return Dense, nil
+	case "implicit":
+		return Implicit, nil
 	}
-	return Auto, fmt.Errorf("radio: unknown engine %q (auto|sparse|dense)", s)
+	return Auto, fmt.Errorf("radio: unknown engine %q (auto|sparse|dense|implicit)", s)
 }
 
 // Config describes the noise environment of a network.
@@ -163,14 +188,31 @@ type Config struct {
 }
 
 // ResolveEngine returns the engine New would actually run g with under
-// this configuration: the explicitly selected engine, or the Auto choice
-// for g (by average degree). Execution planners use this to predict the
-// engine of a network they have not built yet.
+// this configuration: the explicitly selected engine when g supports it,
+// otherwise the Auto choice for g. Execution planners use this to predict
+// the engine of a network they have not built yet.
 func (c Config) ResolveEngine(g *graph.Graph) Engine {
-	if c.Engine == Auto {
-		return autoEngine(g)
+	return resolveEngine(g, c.Engine)
+}
+
+// resolveEngine maps a configured engine to the one that will actually
+// run g. A forced engine the graph cannot support falls back to the Auto
+// choice: Sparse/Dense need materialized adjacency, Implicit needs a
+// closed-form model. The fallback is benign — engines are bit-identical —
+// and is what lets a suite-wide -engine override run mixed workloads
+// (WCT and GNP have no model; implicit graphs have no CSR).
+func resolveEngine(g *graph.Graph, e Engine) Engine {
+	switch e {
+	case Sparse, Dense:
+		if g.HasCSR() {
+			return e
+		}
+	case Implicit:
+		if g.NeighborModel() != nil {
+			return Implicit
+		}
 	}
-	return c.Engine
+	return autoEngine(g)
 }
 
 // Validate returns an error for inconsistent configurations.
@@ -190,7 +232,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("radio: unknown fault model %d", int(c.Fault))
 	}
 	switch c.Engine {
-	case Auto, Sparse, Dense:
+	case Auto, Sparse, Dense, Implicit:
 	default:
 		return fmt.Errorf("radio: unknown engine %d", int(c.Engine))
 	}
@@ -241,6 +283,16 @@ type Network[P any] struct {
 	adjStride    int
 	rowLo, rowHi []int32
 
+	// prefetchSink absorbs the blocked dense listener loop's prefetch
+	// loads so the compiler cannot elide them. Per-network (not package
+	// level) so concurrent trials never share a write target.
+	prefetchSink uint64
+
+	// Implicit-engine state: the per-round transmitting-neighbour counter
+	// built from the graph's closed-form model. Owned by this network —
+	// counters are stateful between Begin and Count and not safe to share.
+	counter graph.TxCounter
+
 	// scratchTx is the packed broadcast set the Step adapter assembles
 	// from its []bool argument before forwarding to StepSet. FromBools
 	// overwrites it wholesale each round, so it needs no clearing.
@@ -260,12 +312,33 @@ type Network[P any] struct {
 	traceRx     []int32 // receivers this round (tracing only)
 }
 
-// autoEngine picks the engine for g: Dense when word-parallel resolution
-// pays for itself (the graph is dense enough that scanning all n bitset
-// rows beats walking the broadcasters' neighbour lists), Sparse otherwise.
+// implicitMinN is the node count from which Auto prefers Implicit over
+// Dense when the graph has a closed-form model: at n ≥ 4096 the Θ(n²/8)
+// bit matrix exceeds L2-cache scale and the O(n)-per-round closed-form
+// counter wins (and keeps winning all the way to n = 10⁶, where the
+// matrix cannot even be allocated). It deliberately matches
+// denseBlockMinStride·64: below it Dense runs unblocked, above it the
+// only graphs still on Dense are model-less ones, which get the blocked
+// loop.
+const implicitMinN = 4096
+
+// autoEngine picks the engine for g. Implicit graphs (no CSR) can only
+// run implicitly. Otherwise: Dense when word-parallel resolution pays for
+// itself (the graph is dense enough that scanning all n bitset rows beats
+// walking the broadcasters' neighbour lists) — upgraded to Implicit when
+// the graph has a closed-form model and is past the bit-matrix cache
+// ceiling — and Sparse for everything else. Sparse-leaning topologies
+// with models (paths, stars) stay sparse: O(Σ deg) per round beats the
+// implicit engine's O(n) there.
 func autoEngine(g *graph.Graph) Engine {
+	if !g.HasCSR() {
+		return Implicit
+	}
 	n := g.N()
 	if n >= 64 && g.AvgDegree() >= float64(n)/8 {
+		if g.NeighborModel() != nil && n >= implicitMinN {
+			return Implicit
+		}
 		return Dense
 	}
 	return Sparse
@@ -280,10 +353,7 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 	if cfg.PerNodeP != nil && len(cfg.PerNodeP) != g.N() {
 		return nil, fmt.Errorf("radio: PerNodeP has length %d, graph has %d nodes", len(cfg.PerNodeP), g.N())
 	}
-	engine := cfg.Engine
-	if engine == Auto {
-		engine = autoEngine(g)
-	}
+	engine := resolveEngine(g, cfg.Engine)
 	n := &Network[P]{
 		g:         g,
 		cfg:       cfg,
@@ -310,6 +380,8 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 		n.adjWords = n.adjBits.Words()
 		n.adjStride = n.adjBits.Stride()
 		n.rowLo, n.rowHi = n.adjBits.RowRanges()
+	case Implicit:
+		n.counter = g.NeighborModel().NewTxCounter()
 	default:
 		n.txCount = make([]int32, g.N())
 		n.txFrom = make([]int32, g.N())
@@ -381,8 +453,8 @@ func (n *Network[P]) Graph() *graph.Graph { return n.g }
 // Config returns the noise configuration.
 func (n *Network[P]) Config() Config { return n.cfg }
 
-// Engine returns the resolved execution engine (Sparse or Dense, never
-// Auto).
+// Engine returns the resolved execution engine (Sparse, Dense or
+// Implicit, never Auto).
 func (n *Network[P]) Engine() Engine { return n.engine }
 
 // Stats returns a copy of the accumulated statistics.
@@ -462,9 +534,12 @@ func (n *Network[P]) StepSet(tx *bitset.Set, payload []P, rx *bitset.Set, delive
 		panic(fmt.Sprintf("radio: StepSet rx length %d != N (%d)", rx.Len(), nn))
 	}
 	n.stats.Rounds++
-	if n.engine == Dense {
+	switch n.engine {
+	case Dense:
 		n.stepSetDense(tx, payload, rx, deliver)
-	} else {
+	case Implicit:
+		n.stepSetImplicit(tx, payload, rx, deliver)
+	default:
 		n.stepSetSparse(tx, payload, rx, deliver)
 	}
 	n.finishRound(tx)
@@ -591,6 +666,10 @@ func (n *Network[P]) stepSetDense(tx *bitset.Set, payload []P, rx *bitset.Set, d
 	if n.fullScan {
 		txLo, txHi = 0, len(txw)
 	}
+	if n.adjStride >= denseBlockMinStride {
+		n.denseListenersBlocked(txw, txLo, txHi, payload, rx, deliver)
+		return
+	}
 
 	// Resolve receptions in ascending receiver id order, counting
 	// transmitting neighbours word-wise over the window overlap with an
@@ -635,6 +714,119 @@ func (n *Network[P]) stepSetDense(tx *bitset.Set, payload []P, rx *bitset.Set, d
 			n.stats.Collisions++
 		case count == 1:
 			n.resolveUnique(int32(u), int32(hitBase+bits.TrailingZeros64(hit)), payload, rx, deliver)
+		}
+	}
+}
+
+// denseBlockMinStride gates the cache-blocked dense listener loop: from
+// 64 row words (n ≥ 4096, rows ≥ 512 bytes) adjacency rows dwarf cache
+// lines and row misses dominate the round, so listeners run in
+// 64-listener tiles — one hoisted tx-occupancy word selects the tile's
+// listeners branch-free — with the next listener's window start
+// prefetched while the current row resolves. Below the gate the rows are
+// small enough that the straight loop's simplicity wins. Listener order
+// is unchanged (ascending id), so the blocked loop is draw-for-draw
+// identical to the straight one.
+const denseBlockMinStride = 64
+
+// denseListenersBlocked is the n ≥ 4096 dense listener loop: identical
+// resolution to the straight loop in stepSetDense, restructured into
+// 64-listener tiles with software prefetch of the next row's overlap
+// window. The prefetch is an ordinary load XOR-folded into a sink the
+// network retains, which the compiler therefore cannot drop.
+func (n *Network[P]) denseListenersBlocked(txw []uint64, txLo, txHi int, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
+	nn := n.g.N()
+	adj, stride := n.adjWords, n.adjStride
+	rowLo, rowHi := n.rowLo, n.rowHi
+	var sink uint64
+	for tw := 0; tw*64 < nn; tw++ {
+		listen := ^txw[tw] // transmitting nodes do not listen
+		if rem := nn - tw*64; rem < 64 {
+			listen &= (1 << uint(rem)) - 1
+		}
+		for lw := listen; lw != 0; lw &= lw - 1 {
+			u := tw*64 + bits.TrailingZeros64(lw)
+			// Touch the next listener's first overlap word now, so its
+			// row is in flight while this row resolves.
+			if nxt := lw & (lw - 1); nxt != 0 {
+				un := tw*64 + bits.TrailingZeros64(nxt)
+				pl := txLo
+				if rl := int(rowLo[un]); rl > pl {
+					pl = rl
+				}
+				ph := txHi
+				if rh := int(rowHi[un]); rh < ph {
+					ph = rh
+				}
+				if pl < ph {
+					sink ^= adj[un*stride+pl]
+				}
+			}
+			lo, hi := txLo, txHi
+			if rl := int(rowLo[u]); rl > lo {
+				lo = rl
+			}
+			if rh := int(rowHi[u]); rh < hi {
+				hi = rh
+			}
+			if lo >= hi {
+				continue
+			}
+			base := u * stride
+			count := 0
+			var hit uint64
+			var hitBase int
+			for w := lo; w < hi; w++ {
+				x := adj[base+w] & txw[w]
+				if x == 0 {
+					continue
+				}
+				count += bits.OnesCount64(x)
+				if count > 1 {
+					break
+				}
+				hit, hitBase = x, w*64
+			}
+			switch {
+			case count > 1:
+				n.stats.Collisions++
+			case count == 1:
+				n.resolveUnique(int32(u), int32(hitBase+bits.TrailingZeros64(hit)), payload, rx, deliver)
+			}
+		}
+	}
+	n.prefetchSink = sink
+}
+
+// stepSetImplicit is the closed-form engine: no adjacency is consulted at
+// all. The graph's TxCounter aggregates the round's broadcast set once
+// (Begin), then answers every listener's transmitting-neighbour count in
+// O(1) — O(n) work per round, independent of density, with O(1) per-node
+// state. Broadcasters are marked and listeners resolved in ascending id
+// order, the canonical draw order shared with the other engines.
+func (n *Network[P]) stepSetImplicit(tx *bitset.Set, payload []P, rx *bitset.Set, deliver func(d Delivery[P])) {
+	txw := tx.Words()
+	txLo, txHi := tx.NonzeroRange()
+	if txLo == txHi {
+		return // silent round: no transmissions, no receptions, no draws
+	}
+	for wi := txLo; wi < txHi; wi++ {
+		for w := txw[wi]; w != 0; w &= w - 1 {
+			n.markBroadcaster(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+	n.counter.Begin(tx)
+	nn := n.g.N()
+	for u := 0; u < nn; u++ {
+		if txw[u>>6]&(1<<(uint(u)&63)) != 0 {
+			continue // transmitting nodes do not listen
+		}
+		count, from := n.counter.Count(int32(u))
+		switch {
+		case count > 1:
+			n.stats.Collisions++
+		case count == 1:
+			n.resolveUnique(int32(u), from, payload, rx, deliver)
 		}
 	}
 }

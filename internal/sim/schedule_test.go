@@ -122,6 +122,45 @@ func TestAddScheduleAutoPlan(t *testing.T) {
 	ResetPlanLog()
 }
 
+// TestAddScheduleImplicitPlan: a CSR-less implicit topology flows through
+// the Schedule API end to end — the planner resolves the implicit engine,
+// records a scalar plan (the implicit engine runs lanes sequentially), and
+// the row folds to the same statistics as its explicit twin under any plan.
+func TestAddScheduleImplicitPlan(t *testing.T) {
+	ResetPlanLog()
+	ncfg := radio.Config{Fault: radio.SenderFaults, P: 0.2}
+	value := func(out broadcast.Outcome) (float64, error) { return float64(out.Rounds), nil }
+
+	sw := NewSweep(SweepConfig{Workers: 2, TrialBatch: TrialBatchAuto})
+	row := sw.AddSchedule(mustSchedule(t, "decay"), graph.ImplicitComplete(96), ncfg, broadcast.ScheduleParams{}, 12, 3, value)
+	if err := sw.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := row.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if row.planEngine != radio.Implicit {
+		t.Fatalf("plan engine = %v, want implicit", row.planEngine)
+	}
+	if row.width > 1 {
+		t.Fatalf("implicit row planned width %d, want scalar", row.width)
+	}
+	plans := PlanLog()
+	if len(plans) != 1 || plans[0].Engine != "implicit" || plans[0].Width != 1 || plans[0].Count != 1 {
+		t.Fatalf("plan log = %+v, want one scalar implicit entry", plans)
+	}
+	ResetPlanLog()
+
+	// Same row, both storage modes, any plan: bit-identical statistics.
+	iMean, iCI, iN := runScheduleRow(t, SweepConfig{Workers: 1}, "decay", graph.ImplicitComplete(96), ncfg, broadcast.ScheduleParams{}, 12)
+	eMean, eCI, eN := runScheduleRow(t, SweepConfig{Workers: 3, TrialBatch: TrialBatchAuto}, "decay", graph.Complete(96), ncfg, broadcast.ScheduleParams{}, 12)
+	if iMean != eMean || iCI != eCI || iN != eN {
+		t.Errorf("implicit row diverged from explicit twin: mean %v vs %v, ci %v vs %v, n %d vs %d",
+			iMean, eMean, iCI, eCI, iN, eN)
+	}
+	ResetPlanLog()
+}
+
 // TestAddScheduleErrors: a schedule error (nil WCT) surfaces as the row
 // error under both scalar and batched plans, lowest trial first.
 func TestAddScheduleErrors(t *testing.T) {

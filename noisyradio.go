@@ -5,11 +5,13 @@
 // It provides:
 //
 //   - the noisy radio network model (sender faults / receiver faults) as a
-//     deterministic round simulator with two interchangeable execution
-//     engines — a sparse CSR walker and a bit-parallel dense engine that
-//     resolves the channel 64 nodes per machine word — selected by
-//     Config.Engine (EngineAuto picks per graph) and proven bit-identical
-//     by a differential test harness;
+//     deterministic round simulator with three interchangeable execution
+//     engines — a sparse CSR walker, a bit-parallel dense engine that
+//     resolves the channel 64 nodes per machine word, and an implicit
+//     engine answering neighbourhood queries from closed-form topology
+//     models with O(1) per-node state (unlocking n = 10⁵–10⁶ sweeps) —
+//     selected by Config.Engine (EngineAuto picks per graph) and proven
+//     bit-identical by a differential test harness;
 //   - a first-class Schedule registry: every broadcast schedule of the
 //     paper — Decay, FASTBC, the new Robust FASTBC, their coded
 //     multi-message extensions, and the routing and Reed–Solomon coding
@@ -53,10 +55,13 @@ type (
 	// the execution-engine selector.
 	Config = radio.Config
 	// Engine selects the round-execution strategy of the radio simulator:
-	// EngineAuto picks per graph by average degree, EngineSparse walks CSR
-	// neighbour lists, EngineDense resolves the channel word-parallel over
-	// bitset adjacency rows (64 candidate senders per machine word).
-	// Executions are bit-identical across engines; only speed differs.
+	// EngineAuto picks per graph by average degree and model availability,
+	// EngineSparse walks CSR neighbour lists, EngineDense resolves the
+	// channel word-parallel over bitset adjacency rows (64 candidate
+	// senders per machine word), and EngineImplicit answers the
+	// transmitting-neighbour query from the topology's closed-form model —
+	// no stored adjacency at all. Executions are bit-identical across
+	// engines; only speed and memory differ.
 	Engine = radio.Engine
 	// Rand is the deterministic random stream driving every execution.
 	Rand = rng.Stream
@@ -71,13 +76,14 @@ const (
 
 // Execution engines re-exported from the radio engine.
 const (
-	EngineAuto   = radio.Auto
-	EngineSparse = radio.Sparse
-	EngineDense  = radio.Dense
+	EngineAuto     = radio.Auto
+	EngineSparse   = radio.Sparse
+	EngineDense    = radio.Dense
+	EngineImplicit = radio.Implicit
 )
 
-// ParseEngine converts "auto" | "sparse" | "dense" to an Engine, for
-// command-line flags.
+// ParseEngine converts "auto" | "sparse" | "dense" | "implicit" to an
+// Engine, for command-line flags.
 func ParseEngine(s string) (Engine, error) { return radio.ParseEngine(s) }
 
 // Algorithm result and option types.
@@ -201,6 +207,18 @@ var (
 	NewWCT = graph.NewWCT
 	// DefaultWCTParams sizes a WCT for ~n total nodes.
 	DefaultWCTParams = graph.DefaultWCTParams
+
+	// Implicit topologies: the same generators without materialized
+	// adjacency — O(1) per-node state, for node counts (10⁵–10⁶) far past
+	// the CSR/bit-matrix ceiling. They run on the implicit engine and are
+	// bit-identical to their explicit twins on every schedule.
+	ImplicitComplete  = graph.ImplicitComplete
+	ImplicitStar      = graph.ImplicitStar
+	ImplicitPath      = graph.ImplicitPath
+	ImplicitCycle     = graph.ImplicitCycle
+	ImplicitGrid      = graph.ImplicitGrid
+	ImplicitHypercube = graph.ImplicitHypercube
+	ImplicitLayered   = graph.ImplicitLayered
 )
 
 // Single-message broadcast algorithms (Section 4.1), as thin wrappers
