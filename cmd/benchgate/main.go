@@ -36,6 +36,7 @@ func main() {
 		maxReg       = flag.Float64("max-regression", 0.30, "maximum allowed fractional wall-clock regression")
 		maxMicroReg  = flag.Float64("max-microbench-regression", 0.50, "maximum allowed fractional ns/round regression per engine microbenchmark")
 		minBatchSpd  = flag.Float64("min-stepbatch-speedup", 0, "minimum required scalar-stepset/stepbatch ns-per-trial-round ratio at w=8 on dense/complete n=1024 (0 disables)")
+		minGeomSpd   = flag.Float64("min-geomskip-speedup", 0, "minimum required v1/v2 faultdraw ns-per-round ratio at p=0.001 n=100000 (0 disables)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -60,6 +61,16 @@ func main() {
 	}
 	if *minBatchSpd > 0 {
 		verdict, err := gateStepBatch(current, *minBatchSpd)
+		if verdict != "" {
+			fmt.Println("benchgate:", verdict)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+	}
+	if *minGeomSpd > 0 {
+		verdict, err := gateGeomSkip(current, *minGeomSpd)
 		if verdict != "" {
 			fmt.Println("benchgate:", verdict)
 		}
@@ -99,6 +110,43 @@ func gateStepBatch(current benchreport.Report, minSpeedup float64) (string, erro
 	speedup := scalar.NsPerRound / batch.NsPerRound
 	summary := fmt.Sprintf("stepbatch w=8 %.0f ns/trial-round vs scalar %.0f: %.2fx (floor %.2fx)",
 		batch.NsPerRound, scalar.NsPerRound, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return summary, fmt.Errorf("%s", summary)
+	}
+	return "ok — " + summary, nil
+}
+
+// The microbenchmark rows the geometric-skip speedup gate compares: the
+// sender-fault draw kernel over 10⁵ sites per round in the sparse-failure
+// regime (p = 0.001), under the per-site Bernoulli contract (v1) and the
+// geometric-skip contract (v2).
+const (
+	geomSkipV1Row = "faultdraw/v1/p=0.001/n=100000"
+	geomSkipV2Row = "faultdraw/v2/p=0.001/n=100000"
+)
+
+// gateGeomSkip enforces the draw-contract acceptance floor against the
+// *current* report alone: at sparse fault rates the geometric-skip draw
+// (v2) must be at least minSpeedup times cheaper per round than the
+// per-site Bernoulli draw (v1) on the same site count. Like the stepbatch
+// floor this is an absolute property of the kernel, so no baseline is
+// involved.
+func gateGeomSkip(current benchreport.Report, minSpeedup float64) (string, error) {
+	rows := make(map[string]benchreport.Microbench, len(current.Microbench))
+	for _, m := range current.Microbench {
+		rows[m.Name] = m
+	}
+	v1, ok1 := rows[geomSkipV1Row]
+	v2, ok2 := rows[geomSkipV2Row]
+	if !ok1 || !ok2 {
+		return "", fmt.Errorf("geomskip gate: report lacks %q or %q", geomSkipV1Row, geomSkipV2Row)
+	}
+	if v1.NsPerRound <= 0 || v2.NsPerRound <= 0 {
+		return "", fmt.Errorf("geomskip gate: non-positive ns/round (v1 %.1f, v2 %.1f)", v1.NsPerRound, v2.NsPerRound)
+	}
+	speedup := v1.NsPerRound / v2.NsPerRound
+	summary := fmt.Sprintf("faultdraw v2 %.0f ns/round vs v1 %.0f at p=0.001 n=100000: %.2fx (floor %.2fx)",
+		v2.NsPerRound, v1.NsPerRound, speedup, minSpeedup)
 	if speedup < minSpeedup {
 		return summary, fmt.Errorf("%s", summary)
 	}

@@ -158,3 +158,42 @@ func TestGateStepBatchRejectsNonPositive(t *testing.T) {
 		t.Fatal("non-positive scalar ns accepted")
 	}
 }
+
+func geomSkipRep(v1Ns, v2Ns float64) benchreport.Report {
+	return microRep(10,
+		benchreport.Microbench{Name: geomSkipV1Row, NsPerRound: v1Ns},
+		benchreport.Microbench{Name: geomSkipV2Row, NsPerRound: v2Ns},
+	)
+}
+
+func TestGateGeomSkipAboveFloor(t *testing.T) {
+	if _, err := gateGeomSkip(geomSkipRep(60000, 9000), 5.0); err != nil {
+		t.Fatalf("6.7x speedup rejected at 5x floor: %v", err)
+	}
+}
+
+func TestGateGeomSkipBelowFloor(t *testing.T) {
+	_, err := gateGeomSkip(geomSkipRep(60000, 20000), 5.0)
+	if err == nil {
+		t.Fatal("3x speedup accepted at 5x floor")
+	}
+	if !strings.Contains(err.Error(), "floor") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestGateGeomSkipMissingRows(t *testing.T) {
+	if _, err := gateGeomSkip(microRep(10), 5.0); err == nil {
+		t.Fatal("report without faultdraw rows passed the speedup gate")
+	}
+	onlyV1 := microRep(10, benchreport.Microbench{Name: geomSkipV1Row, NsPerRound: 60000})
+	if _, err := gateGeomSkip(onlyV1, 5.0); err == nil {
+		t.Fatal("report without the v2 row passed the speedup gate")
+	}
+}
+
+func TestGateGeomSkipRejectsNonPositive(t *testing.T) {
+	if _, err := gateGeomSkip(geomSkipRep(60000, 0), 5.0); err == nil {
+		t.Fatal("non-positive v2 ns accepted")
+	}
+}

@@ -43,6 +43,17 @@
 // every setting, and the chosen plans are recorded in the -benchjson
 // report.
 //
+// The -drawcontract flag selects the fault-draw contract version (v1 |
+// v2). v1 — the default and today's behaviour — draws one Bernoulli coin
+// per fault site in canonical order; v2 draws geometric skip distances
+// over the same site order, visiting only the faulty sites (a large
+// speedup at small p on large fault-site counts). Unlike -engine and
+// -trialbatch this is NOT a pure performance knob: each version is its own
+// deterministic universe. Within a version, outputs are bit-identical
+// across engines, workers and batch widths; across versions the fault
+// draws differ, so v2 runs are compared against their own committed
+// goldens (the CI determinism job checks both).
+//
 // The -schedule flag exposes the broadcast Schedule registry directly:
 //
 //	noisysim -schedule list            # list every registered schedule
@@ -117,6 +128,7 @@ func run(args []string, out *os.File) error {
 		quick      = fs.Bool("quick", false, "reduced sweeps and trial counts")
 		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense | implicit (results identical, speed differs)")
 		trialBatch = fs.String("trialbatch", "auto", "lockstep trial-batch plan: auto | 0 (scalar) | W; output identical at every setting")
+		drawC      = fs.String("drawcontract", "v1", "fault-draw contract version: v1 (per-site Bernoulli) | v2 (geometric skip); versions are separate deterministic universes")
 		asJSON     = fs.Bool("json", false, "emit experiment tables as a JSON array")
 		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial, chosen plans) to this path")
 		demo       = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
@@ -137,11 +149,15 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	dc, err := radio.ParseDrawContract(*drawC)
+	if err != nil {
+		return err
+	}
 	if *trials < 0 {
 		return fmt.Errorf("-trials must be >= 0, got %d", *trials)
 	}
 	if *demo != "" {
-		return runDemo(out, *demo, *topology, *demoN, *demoP, *faultMd, *seed, eng)
+		return runDemo(out, *demo, *topology, *demoN, *demoP, *faultMd, *seed, eng, dc)
 	}
 	if *schedName != "" {
 		if *schedName == "list" {
@@ -150,7 +166,7 @@ func run(args []string, out *os.File) error {
 			}
 			return nil
 		}
-		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb)
+		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb, dc)
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -170,6 +186,7 @@ func run(args []string, out *os.File) error {
 		Quick:      *quick,
 		Engine:     eng,
 		TrialBatch: tb,
+		Draw:       dc,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -185,14 +202,15 @@ func run(args []string, out *os.File) error {
 	}
 
 	bench := benchreport.Report{
-		Suite:      *exp,
-		Quick:      *quick,
-		Engine:     eng.String(),
-		Seed:       *seed,
-		Workers:    *workers,
-		RowWorkers: *rowWkrs,
-		TrialBatch: tb,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Suite:        *exp,
+		Quick:        *quick,
+		Engine:       eng.String(),
+		DrawContract: dc.String(),
+		Seed:         *seed,
+		Workers:      *workers,
+		RowWorkers:   *rowWkrs,
+		TrialBatch:   tb,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
 	}
 	var memBefore runtime.MemStats
 	var benchFile *os.File
@@ -278,8 +296,8 @@ func parseTrialBatch(s string) (int, error) {
 }
 
 // parseFault converts the -fault flag plus probability into a radio config.
-func parseFault(faultName string, p float64, eng radio.Engine) (radio.Config, error) {
-	cfg := radio.Config{Engine: eng}
+func parseFault(faultName string, p float64, eng radio.Engine, dc radio.DrawContract) (radio.Config, error) {
+	cfg := radio.Config{Engine: eng, Draw: dc}
 	switch faultName {
 	case "none":
 		cfg.Fault = radio.Faultless
@@ -407,13 +425,13 @@ func scheduleWorkload(sched *broadcast.Schedule, topology string, n, k int, seed
 // runSchedule runs -trials Monte-Carlo trials of one registry schedule on
 // the sweep scheduler and prints the round statistics and the execution
 // plan the sweep chose.
-func runSchedule(out *os.File, name, topology string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int) error {
+func runSchedule(out *os.File, name, topology string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int, dc radio.DrawContract) error {
 	sched, err := broadcast.LookupSchedule(name)
 	if err != nil {
 		names := strings.Join(broadcast.ScheduleNames(), ", ")
 		return fmt.Errorf("%w (use -schedule list; known: %s)", err, names)
 	}
-	cfg, err := parseFault(faultName, p, eng)
+	cfg, err := parseFault(faultName, p, eng, dc)
 	if err != nil {
 		return err
 	}
@@ -480,11 +498,11 @@ func runSchedule(out *os.File, name, topology string, n, k int, p float64, fault
 
 // runDemo traces one single-message broadcast on the -topology workload
 // and renders the round-by-round timeline.
-func runDemo(out *os.File, algo, topology string, n int, p float64, faultName string, seed uint64, eng radio.Engine) error {
+func runDemo(out *os.File, algo, topology string, n int, p float64, faultName string, seed uint64, eng radio.Engine, dc radio.DrawContract) error {
 	if n < 2 {
 		return fmt.Errorf("demo needs -n >= 2, got %d", n)
 	}
-	cfg, err := parseFault(faultName, p, eng)
+	cfg, err := parseFault(faultName, p, eng, dc)
 	if err != nil {
 		return err
 	}

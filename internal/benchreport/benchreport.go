@@ -15,6 +15,7 @@ type Report struct {
 	Suite          string       `json:"suite"`
 	Quick          bool         `json:"quick"`
 	Engine         string       `json:"engine"`
+	DrawContract   string       `json:"drawcontract,omitempty"`
 	Seed           uint64       `json:"seed"`
 	Workers        int          `json:"workers"`
 	RowWorkers     int          `json:"rowworkers"`
@@ -41,6 +42,7 @@ type Report struct {
 type Plan struct {
 	Schedule string `json:"schedule"`
 	Engine   string `json:"engine"`
+	Draw     string `json:"draw,omitempty"`
 	Trials   int    `json:"trials"`
 	Width    int    `json:"width"`
 	Reason   string `json:"reason"`

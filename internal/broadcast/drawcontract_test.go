@@ -1,0 +1,76 @@
+package broadcast
+
+import (
+	"testing"
+
+	"noisyradio/internal/radio"
+	"noisyradio/internal/rng"
+)
+
+// TestScheduleDrawV1DefaultUnchanged pins the contract default at the
+// schedule level: a config that never mentions the draw contract (the
+// zero value) and one that spells radio.DrawV1 explicitly must produce
+// identical outcomes for every registry entry — DrawV1 IS today's
+// behaviour, not a near-copy of it.
+func TestScheduleDrawV1DefaultUnchanged(t *testing.T) {
+	for name, c := range scheduleCases(t) {
+		s, err := LookupSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		explicit := c.cfg
+		explicit.Draw = radio.DrawV1
+		for i := 0; i < 3; i++ {
+			want, err := s.Run(c.top, c.cfg, rng.NewFrom(41, uint64(i)), c.p)
+			if err != nil {
+				t.Fatalf("%s: default trial %d: %v", name, i, err)
+			}
+			got, err := s.Run(c.top, explicit, rng.NewFrom(41, uint64(i)), c.p)
+			if err != nil {
+				t.Fatalf("%s: explicit-v1 trial %d: %v", name, i, err)
+			}
+			if got != want {
+				t.Errorf("%s: trial %d diverged under explicit DrawV1\ndefault %+v\nv1      %+v", name, i, want, got)
+			}
+		}
+	}
+}
+
+// TestScheduleDrawV2BatchMatchesRun extends the registry-level
+// batch-equivalence contract to the geometric-skip draw version: under
+// radio.DrawV2, RunBatch over W streams must still reproduce W scalar
+// Runs outcome for outcome for every entry. This is the schedule-level
+// closure of the radio-layer lane-parity tests — if any engine consumed
+// its stream differently per lane under v2, it would surface here.
+func TestScheduleDrawV2BatchMatchesRun(t *testing.T) {
+	for name, c := range scheduleCases(t) {
+		s, err := LookupSchedule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := c.cfg
+		cfg.Draw = radio.DrawV2
+		const w = 3
+		want := make([]Outcome, w)
+		for i := range want {
+			out, err := s.Run(c.top, cfg, rng.NewFrom(83, uint64(i)), c.p)
+			if err != nil {
+				t.Fatalf("%s: scalar trial %d: %v", name, i, err)
+			}
+			want[i] = out
+		}
+		rnds := make([]*rng.Stream, w)
+		for i := range rnds {
+			rnds[i] = rng.NewFrom(83, uint64(i))
+		}
+		got, err := s.RunBatch(c.top, cfg, rnds, c.p)
+		if err != nil {
+			t.Fatalf("%s: batch: %v", name, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: trial %d diverged under DrawV2\nscalar %+v\nbatch  %+v", name, i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -48,6 +48,12 @@ type Config struct {
 	// this is purely a speed knob: tables are bit-identical at every
 	// setting (enforced by the golden test and the CI determinism job).
 	TrialBatch int
+	// Draw selects the fault-draw contract version for every noisy network
+	// the experiment builds. Unlike Engine and TrialBatch this is NOT a pure
+	// speed knob: each version is its own deterministic universe (bit-stable
+	// within the version, different draws across versions), so tables under
+	// radio.DrawV2 are compared against their own goldens, never v1's.
+	Draw radio.DrawContract
 }
 
 // newSweep builds the shared row/trial scheduler for one table. Every
@@ -58,9 +64,9 @@ func (c Config) newSweep() *sim.Sweep {
 }
 
 // noise builds the radio.Config for one fault environment of this run,
-// carrying the run's engine selection along.
+// carrying the run's engine selection and draw contract along.
 func (c Config) noise(m radio.FaultModel, p float64) radio.Config {
-	return radio.Config{Fault: m, P: p, Engine: c.Engine}
+	return radio.Config{Fault: m, P: p, Engine: c.Engine, Draw: c.Draw}
 }
 
 func (c Config) trials(def, quick int) int {

@@ -81,3 +81,51 @@ func TestGoldenTablesBitIdentical(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenTablesBitIdenticalDrawV2 pins the quick suite under the
+// geometric-skip draw contract to its own golden
+// (testdata/golden_quick_v2.json): within DrawV2, every
+// (Workers, Engine, TrialBatch) combination must reproduce it byte for
+// byte — the contract version changes which universe runs, never lets
+// scheduling or engine choice leak into results. The v2 golden is a
+// different file than v1's by design; a v2 run must never be compared
+// against the v1 golden.
+//
+// Regenerate (only on a deliberate semantic change to v2 or an
+// experiment):
+//
+//	go run ./cmd/noisysim -exp all -quick -json -seed 1 -drawcontract v2 > internal/experiments/testdata/golden_quick_v2.json
+func TestGoldenTablesBitIdenticalDrawV2(t *testing.T) {
+	want, err := os.ReadFile("testdata/golden_quick_v2.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := os.ReadFile("testdata/golden_quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(want, v1) {
+		t.Fatal("v2 golden is byte-identical to the v1 golden — the contracts cannot share a universe")
+	}
+	configs := []Config{
+		{Quick: true, Seed: 1, Draw: radio.DrawV2},                                                                  // library defaults
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, Workers: 1, RowWorkers: 1},                                       // fully serial
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, Workers: 8, Engine: radio.Sparse},                                // forced sparse engine
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, Workers: 2, RowWorkers: 1, Engine: radio.Dense},                  // forced dense engine
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, TrialBatch: 8},                                                   // lockstep trial batches
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, Workers: 1, TrialBatch: 3},                                       // serial, width not dividing trial counts
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, TrialBatch: sim.TrialBatchAuto},                                  // auto-planned widths
+		{Quick: true, Seed: 1, Draw: radio.DrawV2, Workers: 8, TrialBatch: sim.TrialBatchAuto, Engine: radio.Dense}, // auto plan, forced dense engine
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		name := fmt.Sprintf("workers=%d,rowworkers=%d,engine=%s,trialbatch=%d", cfg.Workers, cfg.RowWorkers, cfg.Engine, cfg.TrialBatch)
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			got := runAll(t, cfg)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("v2 suite output diverged from the v2 golden at %s (%d vs %d bytes)", name, len(got), len(want))
+			}
+		})
+	}
+}

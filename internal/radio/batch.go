@@ -52,9 +52,19 @@ type BatchNetwork[P any] struct {
 	faultCoin  rng.Bernoulli
 	faultCoins []rng.Bernoulli
 
+	// draws[l] is lane l's draw-contract state; every lane fault decision
+	// routes through it, exactly as the scalar engine's draw field. Lanes
+	// never share countdown state — each consumes its own stream.
+	draws []drawState
+
 	// senderNoise[l][v]: lane l's per-round sender-fault flags. Allocated
 	// only under SenderFaults, the only model that writes it.
 	senderNoise [][]bool
+
+	// noisySites[l]: lane l's sender-fault sites this round, recorded when
+	// the skip contract is active so the end-of-round clear is O(faults)
+	// per lane — the batch twin of the scalar noisySites.
+	noisySites [][]int32
 
 	// Dense-engine state, shared across lanes (the adjacency is).
 	adjBits      *bitset.Matrix
@@ -111,10 +121,20 @@ func NewBatch[P any](g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetw
 		rnds:   slices.Clone(rnds),
 		stats:  make([]Stats, w),
 	}
+	b.draws = make([]drawState, w)
+	for l := range b.draws {
+		b.draws[l] = makeDrawState(cfg)
+	}
 	if cfg.Fault == SenderFaults {
 		b.senderNoise = make([][]bool, w)
 		for l := range b.senderNoise {
 			b.senderNoise[l] = make([]bool, g.N())
+		}
+		if b.draws[0].skip {
+			b.noisySites = make([][]int32, w)
+			for l := range b.noisySites {
+				b.noisySites[l] = make([]int32, 0, 16)
+			}
 		}
 	}
 	if cfg.Fault != Faultless {
@@ -179,6 +199,12 @@ func (b *BatchNetwork[P]) Reset(rnds []*rng.Stream) {
 		b.txCount[u] = 0
 	}
 	b.touched = b.touched[:0]
+	for l := range b.draws {
+		b.draws[l].endRound()
+	}
+	for l := range b.noisySites {
+		b.noisySites[l] = b.noisySites[l][:0]
+	}
 }
 
 // Graph returns the underlying graph.
@@ -206,15 +232,21 @@ func (b *BatchNetwork[P]) faultFor(v int32) rng.Bernoulli {
 }
 
 // markBroadcaster performs lane l's per-broadcaster bookkeeping:
-// accounting and the canonical sender-fault draw, exactly as the scalar
-// engine's markBroadcaster does for its single trial.
+// accounting and the canonical sender-fault decision, exactly as the
+// scalar engine's markBroadcaster does for its single trial. Under the
+// skip contract the per-site countdown consumes the lane stream exactly
+// as the scalar engine's bulk walk does, so lane executions stay
+// bit-identical to scalar without a batched bulk path.
 func (b *BatchNetwork[P]) markBroadcaster(l, v int) {
 	b.stats[l].Broadcasts++
 	if b.cfg.Fault == SenderFaults {
-		noisy := b.faultFor(int32(v)).Draw(b.rnds[l])
+		noisy := b.draws[l].site(b.faultFor(int32(v)), b.rnds[l])
 		b.senderNoise[l][v] = noisy
 		if noisy {
 			b.stats[l].SenderFaults++
+			if b.draws[l].skip {
+				b.noisySites[l] = append(b.noisySites[l], int32(v))
+			}
 		}
 	}
 }
@@ -227,7 +259,7 @@ func (b *BatchNetwork[P]) resolveUnique(l int, u, from int32, payloads [][]P, rx
 	if b.cfg.Fault == SenderFaults && b.senderNoise[l][from] {
 		return // content destroyed at the sender
 	}
-	if b.cfg.Fault == ReceiverFaults && b.faultFor(u).Draw(b.rnds[l]) {
+	if b.cfg.Fault == ReceiverFaults && b.draws[l].site(b.faultFor(u), b.rnds[l]) {
 		b.stats[l].ReceiverFaults++
 		return
 	}
@@ -295,19 +327,38 @@ func (b *BatchNetwork[P]) StepBatch(tx *bitset.Block, payloads [][]P, rx *bitset
 	default:
 		b.stepBatchSparse(tx, payloads, rx, act, deliver)
 	}
-	// Clear the sender-fault flags set this round, per lane off that
-	// lane's tx words — the batch twin of the scalar finishRound.
+	// Clear the sender-fault flags set this round — off each active lane's
+	// recorded fault sites under the skip contract (O(faults) per lane),
+	// otherwise per lane off that lane's tx words — and close every lane's
+	// draw-contract round boundary: the batch twin of the scalar
+	// finishRound.
 	if b.cfg.Fault == SenderFaults {
-		words := tx.Words()
-		for m := act; m != 0; m &= m - 1 {
-			l := bits.TrailingZeros64(m)
-			noise := b.senderNoise[l]
-			lo, hi := tx.LaneNonzeroRange(l)
-			for wi := lo; wi < hi; wi++ {
-				for w := words[wi*b.w+l]; w != 0; w &= w - 1 {
-					noise[wi*64+bits.TrailingZeros64(w)] = false
+		if b.noisySites != nil {
+			for m := act; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				noise := b.senderNoise[l]
+				for _, v := range b.noisySites[l] {
+					noise[v] = false
+				}
+				b.noisySites[l] = b.noisySites[l][:0]
+			}
+		} else {
+			words := tx.Words()
+			for m := act; m != 0; m &= m - 1 {
+				l := bits.TrailingZeros64(m)
+				noise := b.senderNoise[l]
+				lo, hi := tx.LaneNonzeroRange(l)
+				for wi := lo; wi < hi; wi++ {
+					for w := words[wi*b.w+l]; w != 0; w &= w - 1 {
+						noise[wi*64+bits.TrailingZeros64(w)] = false
+					}
 				}
 			}
+		}
+	}
+	if b.cfg.Fault != Faultless {
+		for m := act; m != 0; m &= m - 1 {
+			b.draws[bits.TrailingZeros64(m)].endRound()
 		}
 	}
 }

@@ -205,7 +205,7 @@ func TestBatchMatchesScalarRandomSweep(t *testing.T) {
 		r := rng.New(seed)
 		n := 2 + r.Intn(100)
 		top := graph.GNP(n, r.Float64(), r.Split())
-		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95}
+		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95, Draw: DrawContract(r.Intn(2))}
 		w := 1 + r.Intn(10)
 		prob := r.Float64()
 		rounds := 5 + r.Intn(25)
@@ -214,7 +214,7 @@ func TestBatchMatchesScalarRandomSweep(t *testing.T) {
 		for _, eng := range []Engine{Sparse, Dense} {
 			got := executeBatchLanes(t, top.G, cfg, eng, seed+1000, w, roundsFor, sched)
 			for l := 0; l < w; l++ {
-				name := fmt.Sprintf("seed %d (%s, %v, %v, w=%d, lane=%d)", seed, top.Name, cfg.Fault, eng, w, l)
+				name := fmt.Sprintf("seed %d (%s, %v, draw %v, %v, w=%d, lane=%d)", seed, top.Name, cfg.Fault, cfg.Draw, eng, w, l)
 				want := executeScalarLane(t, top.G, cfg, eng, seed+1000, l, roundsFor(l), sched)
 				requireLaneIdentical(t, name, want, got[l])
 			}
@@ -259,7 +259,12 @@ func TestBatchResetBitIdentical(t *testing.T) {
 	cfg := Config{Fault: SenderFaults, P: 0.3}
 	sched := batchSchedule(9, 0.3)
 	roundsFor := func(int) int { return 20 }
-	for _, eng := range []Engine{Sparse, Dense} {
+	for _, tc := range []struct {
+		eng  Engine
+		draw DrawContract
+	}{{Sparse, DrawV1}, {Dense, DrawV1}, {Sparse, DrawV2}, {Dense, DrawV2}} {
+		eng := tc.eng
+		cfg.Draw = tc.draw
 		want := executeBatchLanes(t, top.G, cfg, eng, 5, 4, roundsFor, sched)
 
 		// Same run on a dirtied, then Reset, network.

@@ -161,6 +161,14 @@ func diffConfigs(n int) []Config {
 		{Fault: ReceiverFaults, P: 0.3},
 		{Fault: SenderFaults, P: 0.5, PerNodeP: perNode},
 		{Fault: ReceiverFaults, P: 0.5, PerNodeP: perNode},
+		// The v2 geometric-skip contract, over both models: dense faults
+		// (skips mostly 0–2 sites), the sparse-fault regime (skips spanning
+		// words and whole rounds, the case the contract exists for), and the
+		// PerNodeP degenerate case that falls back to per-site draws.
+		{Fault: SenderFaults, P: 0.3, Draw: DrawV2},
+		{Fault: ReceiverFaults, P: 0.3, Draw: DrawV2},
+		{Fault: SenderFaults, P: 0.02, Draw: DrawV2},
+		{Fault: ReceiverFaults, P: 0.5, PerNodeP: perNode, Draw: DrawV2},
 	}
 }
 
@@ -180,7 +188,7 @@ func TestDifferentialEnginesAcrossTopologies(t *testing.T) {
 			for _, txProb := range []float64{0.05, 0.3, 0.8} {
 				ref := runEngine(t, top.G, cfg, engineModes[0].eng, engineModes[0].mode, 42, 77, 60, txProb)
 				for _, em := range engineModes[1:] {
-					name := fmt.Sprintf("%s/%s/%v/%v txProb=%v", top.Name, cfg.Fault, em.eng, em.mode, txProb)
+					name := fmt.Sprintf("%s/%s/draw %v/%v/%v txProb=%v", top.Name, cfg.Fault, cfg.Draw, em.eng, em.mode, txProb)
 					got := runEngine(t, top.G, cfg, em.eng, em.mode, 42, 77, 60, txProb)
 					requireIdentical(t, name, ref, got)
 				}
@@ -197,11 +205,11 @@ func TestDifferentialEnginesRandomSweep(t *testing.T) {
 		r := rng.New(seed)
 		n := 2 + r.Intn(120)
 		top := graph.GNP(n, r.Float64(), r.Split())
-		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95}
+		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95, Draw: DrawContract(r.Intn(2))}
 		txProb := r.Float64()
 		ref := runEngine(t, top.G, cfg, engineModes[0].eng, engineModes[0].mode, seed+1000, seed+2000, 40, txProb)
 		for _, em := range engineModes[1:] {
-			name := fmt.Sprintf("seed %d (%s, %v, %v/%v, txProb=%.2f)", seed, top.Name, cfg.Fault, em.eng, em.mode, txProb)
+			name := fmt.Sprintf("seed %d (%s, %v, draw %v, %v/%v, txProb=%.2f)", seed, top.Name, cfg.Fault, cfg.Draw, em.eng, em.mode, txProb)
 			got := runEngine(t, top.G, cfg, em.eng, em.mode, seed+1000, seed+2000, 40, txProb)
 			requireIdentical(t, name, ref, got)
 		}

@@ -1,0 +1,225 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+func TestDrawContractString(t *testing.T) {
+	if DrawV1.String() != "v1" || DrawV2.String() != "v2" {
+		t.Fatal("DrawContract String names wrong")
+	}
+	if DrawContract(99).String() == "" {
+		t.Fatal("unknown draw contract should still stringify")
+	}
+}
+
+func TestParseDrawContract(t *testing.T) {
+	for _, tt := range []struct {
+		in      string
+		want    DrawContract
+		wantErr bool
+	}{
+		{in: "v1", want: DrawV1},
+		{in: "", want: DrawV1},
+		{in: "v2", want: DrawV2},
+		{in: "v3", wantErr: true},
+		{in: "geometric", wantErr: true},
+	} {
+		got, err := ParseDrawContract(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("ParseDrawContract(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+		}
+		if err == nil && got != tt.want {
+			t.Fatalf("ParseDrawContract(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestValidateRejectsUnknownDrawContract(t *testing.T) {
+	cfg := Config{Fault: Faultless, Draw: DrawContract(7)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown draw contract accepted")
+	}
+}
+
+// drawSiteWalk is the reference implementation of one round of the
+// contract: visit every site of the round in order through drawState.site
+// — the per-site countdown the sparse engine and every batch lane run —
+// and return the faulty subset. The bulk tests and the fuzz target
+// compare the optimized skip-jump walk against this.
+func drawSiteWalk(d *drawState, coin rng.Bernoulli, r *rng.Stream, sites []int) map[int]bool {
+	faulty := map[int]bool{}
+	for _, v := range sites {
+		if d.site(coin, r) {
+			faulty[v] = true
+		}
+	}
+	d.endRound()
+	return faulty
+}
+
+// checkBulkMatchesPerSite drives rounds of random site sets through the
+// scalar bulk marking path (markBroadcasters on a trace-less sender-fault
+// network — the dense/implicit engines' path) and through the per-site
+// reference walk on an identically-seeded stream, requiring the same
+// fault sets, the same stats and the same stream positions after every
+// round. Shared by the deterministic grid test and FuzzDrawContract.
+func checkBulkMatchesPerSite(t *testing.T, dc DrawContract, n int, p float64, seed uint64, rounds int, pick func(r *rng.Stream, v int) bool) {
+	t.Helper()
+	cfg := Config{Fault: SenderFaults, P: p, Draw: dc}
+	coin := rng.NewBernoulli(p)
+	refDraw := makeDrawState(cfg)
+	refStream := rng.New(seed)
+	netStream := rng.New(seed)
+	net := MustNew[int32](graph.ImplicitComplete(n).G, cfg, netStream)
+
+	siteGen := rng.New(seed + 0x5173)
+	tx := bitset.New(n)
+	var wantFaults int64
+	for round := 0; round < rounds; round++ {
+		tx.Reset()
+		sites := make([]int, 0, n)
+		for v := 0; v < n; v++ {
+			if pick(siteGen, v) {
+				tx.Set(v)
+				sites = append(sites, v)
+			}
+		}
+		want := drawSiteWalk(&refDraw, coin, refStream, sites)
+		wantFaults += int64(len(want))
+
+		txw := tx.Words()
+		lo, hi := tx.NonzeroRange()
+		net.markBroadcasters(txw, lo, hi)
+		for _, v := range sites {
+			if net.senderNoise[v] != want[v] {
+				t.Fatalf("%v p=%v round %d: site %d noisy=%v, reference=%v", dc, p, round, v, net.senderNoise[v], want[v])
+			}
+		}
+		if got := net.stats.SenderFaults; got != wantFaults {
+			t.Fatalf("%v p=%v round %d: SenderFaults=%d, reference=%d", dc, p, round, got, wantFaults)
+		}
+		net.finishRound(tx)
+		if *refStream != *netStream {
+			t.Fatalf("%v p=%v round %d: stream states diverged after the round", dc, p, round)
+		}
+		// finishRound must leave no residue for the next round.
+		for _, v := range sites {
+			if net.senderNoise[v] {
+				t.Fatalf("%v p=%v round %d: senderNoise[%d] not cleared", dc, p, round, v)
+			}
+		}
+	}
+}
+
+// TestDrawBulkMatchesPerSite pins the v2 bulk skip-jump walk to the
+// per-site reference over a p grid spanning dense faults, the
+// sparse-skip regime and skips that span many rounds. The v1 rows run
+// the same harness (v1 sender marking stays per-site by construction),
+// doubling as a check of the harness itself.
+func TestDrawBulkMatchesPerSite(t *testing.T) {
+	for _, dc := range []DrawContract{DrawV1, DrawV2} {
+		for _, p := range []float64{0.9, 0.5, 0.1, 0.02, 0.001} {
+			for _, density := range []float64{1, 0.5, 0.05} {
+				d := density
+				checkBulkMatchesPerSite(t, dc, 300, p, 0xd0c0+uint64(d*100), 40, func(r *rng.Stream, v int) bool {
+					return r.Bool(d)
+				})
+			}
+		}
+	}
+}
+
+// TestDrawV2DegenerateFallsBackToV1 pins the degenerate DrawV2 cases —
+// p = 0 and PerNodeP — to v1 bit for bit: same executions, same stream
+// positions, on the same seeds. (These cases cannot skip, so the contract
+// defines them as the v1 sequence.)
+func TestDrawV2DegenerateFallsBackToV1(t *testing.T) {
+	perNode := make([]float64, 80)
+	for v := range perNode {
+		perNode[v] = float64(v%7) / 10
+	}
+	cfgs := []Config{
+		{Fault: SenderFaults, P: 0},
+		{Fault: ReceiverFaults, P: 0},
+		{Fault: SenderFaults, P: 0.4, PerNodeP: perNode},
+		{Fault: ReceiverFaults, P: 0.4, PerNodeP: perNode},
+	}
+	top := graph.GNP(80, 0.15, rng.New(12))
+	for _, cfg := range cfgs {
+		for _, em := range engineModes {
+			v1 := cfg
+			v1.Draw = DrawV1
+			v2 := cfg
+			v2.Draw = DrawV2
+			ref := runEngine(t, top.G, v1, em.eng, em.mode, 7, 13, 40, 0.3)
+			got := runEngine(t, top.G, v2, em.eng, em.mode, 7, 13, 40, 0.3)
+			name := fmt.Sprintf("%v pernode=%v %v/%v", cfg.Fault, cfg.PerNodeP != nil, em.eng, em.mode)
+			requireIdentical(t, name, ref, got)
+		}
+	}
+}
+
+// TestDrawV2TracedMatchesUntraced: tracing forces the per-site marking
+// path on engines that would otherwise bulk-mark, so a traced run must
+// reproduce an untraced run's stats and deliveries exactly.
+func TestDrawV2TracedMatchesUntraced(t *testing.T) {
+	top := graph.Complete(150)
+	for _, p := range []float64{0.02, 0.3} {
+		cfg := Config{Fault: SenderFaults, P: p, Draw: DrawV2, Engine: Dense}
+		traced := executeEngine(t, top.G, cfg, Dense, viaStepSet, 21, 50, func(round, v int) bool {
+			return (round+v)%2 == 0
+		})
+		untraced := MustNew[int32](top.G, cfg, rng.New(21))
+		n := top.G.N()
+		tx := bitset.New(n)
+		payload := make([]int32, n)
+		for round := 0; round < 50; round++ {
+			tx.Reset()
+			for v := 0; v < n; v++ {
+				if (round+v)%2 == 0 {
+					tx.Set(v)
+				}
+			}
+			untraced.StepSet(tx, payload, nil, nil)
+		}
+		if traced.stats != untraced.Stats() {
+			t.Fatalf("p=%v: traced stats %+v != untraced %+v", p, traced.stats, untraced.Stats())
+		}
+	}
+}
+
+// TestDrawV2ScalarResetBitIdentical: a dirtied-then-Reset network under
+// the skip contract must reproduce a fresh network exactly — Reset has to
+// discard a pending skip countdown and the recorded fault sites.
+func TestDrawV2ScalarResetBitIdentical(t *testing.T) {
+	top := graph.Complete(200)
+	cfg := Config{Fault: SenderFaults, P: 0.01, Draw: DrawV2, Engine: Dense}
+	run := func(net *Network[int32]) Stats {
+		n := top.G.N()
+		tx := bitset.New(n)
+		payload := make([]int32, n)
+		for round := 0; round < 30; round++ {
+			tx.Reset()
+			for v := round % 3; v < n; v += 3 {
+				tx.Set(v)
+			}
+			net.StepSet(tx, payload, nil, nil)
+		}
+		return net.Stats()
+	}
+	fresh := MustNew[int32](top.G, cfg, rng.New(77))
+	want := run(fresh)
+
+	dirty := MustNew[int32](top.G, cfg, rng.New(999))
+	run(dirty)
+	dirty.Reset(rng.New(77))
+	if got := run(dirty); got != want {
+		t.Fatalf("stats after Reset diverged\nwant %+v\ngot  %+v", want, got)
+	}
+}

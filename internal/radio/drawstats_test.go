@@ -1,0 +1,119 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"noisyradio/internal/bitset"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/rng"
+)
+
+// faultCountsPerRound runs `rounds` all-broadcast rounds on Complete(n)
+// under the given contract and returns the sender-fault count of each
+// round — the per-round marginal the draw contract must preserve.
+func faultCountsPerRound(n int, p float64, dc DrawContract, seed uint64, rounds int) []int {
+	top := graph.ImplicitComplete(n)
+	net := MustNew[int32](top.G, Config{Fault: SenderFaults, P: p, Draw: dc}, rng.New(seed))
+	tx := bitset.New(n)
+	for v := 0; v < n; v++ {
+		tx.Set(v)
+	}
+	txw := tx.Words()
+	lo, hi := tx.NonzeroRange()
+	counts := make([]int, rounds)
+	var prev int64
+	for r := 0; r < rounds; r++ {
+		net.markBroadcasters(txw, lo, hi)
+		net.finishRound(tx)
+		now := net.Stats().SenderFaults
+		counts[r] = int(now - prev)
+		prev = now
+	}
+	return counts
+}
+
+func meanVar(counts []int) (mean, variance float64) {
+	for _, c := range counts {
+		mean += float64(c)
+	}
+	mean /= float64(len(counts))
+	for _, c := range counts {
+		d := float64(c) - mean
+		variance += d * d
+	}
+	variance /= float64(len(counts) - 1)
+	return mean, variance
+}
+
+// binCounts histograms fault counts into equal-width bins spanning
+// np ± 4·sd, with open-ended tail bins, for the two-sample chi-square.
+func binCounts(counts []int, np, sd float64, bins int) []float64 {
+	lo := np - 4*sd
+	width := 8 * sd / float64(bins)
+	h := make([]float64, bins+2)
+	for _, c := range counts {
+		i := int(math.Floor((float64(c) - lo) / width))
+		switch {
+		case i < 0:
+			h[0]++
+		case i >= bins:
+			h[bins+1]++
+		default:
+			h[i+1]++
+		}
+	}
+	return h
+}
+
+// TestDrawV2BinomialFaultCounts is the statistical sanity check behind the
+// contract equivalence proofs: per-round reset means a v2 round's fault
+// count on Complete(4096) is exactly Binomial(4096, p) — the same marginal
+// v1 draws site by site. Deterministic (fixed seeds): the per-round counts
+// must match the Binomial mean and variance, and a two-sample chi-square
+// against the v1 empirical distribution must stay below a generous
+// critical value. A v2 implementation that leaked skip state across rounds
+// (no endRound reset) or mis-handled the last site of a round would shift
+// the mean or fatten the variance and fail here even though the
+// bit-identity tests — which compare v2 only against itself — would pass.
+func TestDrawV2BinomialFaultCounts(t *testing.T) {
+	const (
+		n      = 4096
+		rounds = 600
+	)
+	for _, p := range []float64{0.01, 0.1} {
+		np := float64(n) * p
+		sd := math.Sqrt(np * (1 - p))
+
+		v1 := faultCountsPerRound(n, p, DrawV1, 0xb10a, rounds)
+		v2 := faultCountsPerRound(n, p, DrawV2, 0xb10b, rounds)
+
+		for name, counts := range map[string][]int{"v1": v1, "v2": v2} {
+			mean, variance := meanVar(counts)
+			if tol := 4 * sd / math.Sqrt(rounds); math.Abs(mean-np) > tol {
+				t.Errorf("p=%v %s: mean fault count %.2f outside %.2f ± %.2f", p, name, mean, np, tol)
+			}
+			if wantVar := np * (1 - p); variance < 0.7*wantVar || variance > 1.3*wantVar {
+				t.Errorf("p=%v %s: variance %.1f not within 30%% of Binomial %.1f", p, name, variance, wantVar)
+			}
+		}
+
+		// Two-sample chi-square v2-vs-v1 over binned histograms:
+		// Σ (a_i - b_i)² / (a_i + b_i), df ≈ occupied bins − 1. With ~18
+		// bins the 99.9th percentile sits near 43; 80 leaves headroom for
+		// the fixed seeds while still catching a shifted or skewed v2.
+		const bins = 16
+		a := binCounts(v1, np, sd, bins)
+		b := binCounts(v2, np, sd, bins)
+		var chi2 float64
+		for i := range a {
+			if s := a[i] + b[i]; s > 0 {
+				d := a[i] - b[i]
+				chi2 += d * d / s
+			}
+		}
+		if chi2 > 80 {
+			t.Errorf("p=%v: chi-square v2-vs-v1 = %.1f, distributions diverged", p, chi2)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package radio
+
+import (
+	"testing"
+
+	"noisyradio/internal/rng"
+)
+
+// FuzzDrawContract fuzzes the draw contract itself, below the engines:
+// for an arbitrary sequence of rounds over arbitrary site sets and an
+// arbitrary p, the optimized marking path (the bulk skip-jump walk the
+// dense/implicit engines run when untraced) must produce exactly the
+// fault membership that a per-site recomputation of the same contract
+// yields on an identically-seeded stream — same fault sets, same stats,
+// same stream position after every round. Both contract versions run
+// through the same harness (modelRaw bit 1 picks v2). Seed corpus lives
+// in testdata/fuzz/FuzzDrawContract.
+func FuzzDrawContract(f *testing.F) {
+	f.Add(uint64(1), uint64(64), uint64(1), uint64(500), []byte{0xff, 0x0f, 0xaa})
+	f.Add(uint64(2), uint64(200), uint64(1), uint64(1), []byte{0x01, 0x80})
+	f.Add(uint64(3), uint64(40), uint64(0), uint64(300), []byte{0x5a})
+	f.Add(uint64(4), uint64(130), uint64(1), uint64(999), []byte{})
+	f.Fuzz(func(t *testing.T, seed, nRaw, modelRaw, pRaw uint64, siteBytes []byte) {
+		n := int(nRaw%300) + 2
+		dc := DrawContract(modelRaw % 2)
+		p := float64(pRaw%1000) / 1000 // [0, 0.999]: includes the p=0 degenerate case
+		rounds := len(siteBytes)
+		if rounds < 1 {
+			rounds = 1
+		}
+		if rounds > 20 {
+			rounds = 20
+		}
+		pick := func(r *rng.Stream, v int) bool {
+			if len(siteBytes) == 0 {
+				return v%3 != 0
+			}
+			// Site membership from the fuzz bytes, stretched over rounds by
+			// the per-round stream below mixing in randomness.
+			idx := v % (len(siteBytes) * 8)
+			if siteBytes[idx/8]>>(idx%8)&1 == 1 {
+				return true
+			}
+			return r.Bool(0.25)
+		}
+		checkBulkMatchesPerSite(t, dc, n, p, seed, rounds, pick)
+	})
+}

@@ -47,12 +47,17 @@ func FuzzStepImplicit(f *testing.F) {
 	f.Add(uint64(1), uint64(0), uint64(40), uint64(0), uint64(0), []byte{0xff, 0x0f})
 	f.Add(uint64(7), uint64(3), uint64(17), uint64(1), uint64(30), []byte{0xaa, 0x55, 0x33})
 	f.Add(uint64(9), uint64(6), uint64(71), uint64(2), uint64(80), []byte{0x01})
+	// modelRaw >= 3 selects the v2 geometric-skip draw contract: seed both
+	// models under v2, on the implicit engine's home topologies.
+	f.Add(uint64(3), uint64(0), uint64(80), uint64(4), uint64(2), []byte{0x5a, 0xc3})
+	f.Add(uint64(4), uint64(4), uint64(55), uint64(5), uint64(40), []byte{0x0f, 0xf0})
 	f.Fuzz(func(t *testing.T, seed, kindRaw, sizeRaw, modelRaw, pRaw uint64, sched []byte) {
 		explicit, implicit := fuzzModelTopology(kindRaw, sizeRaw)
 		n := explicit.G.N()
 		cfg := Config{
 			Fault: FaultModel(modelRaw%3 + 1),
 			P:     float64(pRaw%95) / 100,
+			Draw:  DrawContract(modelRaw / 3 % 2),
 		}
 		rounds := len(sched)
 		if rounds < 1 {

@@ -84,7 +84,48 @@ func EngineMicrobench() []benchreport.Microbench {
 			})
 		}
 	}
+	// Fault-draw kernel rows: the sender-fault marking pass alone (plus
+	// its end-of-round clear) with every node of an implicit Complete(10⁵)
+	// broadcasting — 10⁵ draw sites per round, the regime the draw
+	// contract versioning exists for. v1 pays one Bernoulli per site; v2
+	// pays one geometric draw per fault, so the v1/v2 ratio at sparse p is
+	// the geometric-skip speedup the CI gate enforces
+	// (benchgate -min-geomskip-speedup, on the p=0.001 rows). The p=0.5
+	// rows document the crossover end: at dense fault rates skipping buys
+	// nothing and the log/divide per fault may even lose to the integer
+	// Bernoulli — which is why v2 targets the sparse-failure regime and v1
+	// remains the default.
+	for _, dc := range []DrawContract{DrawV1, DrawV2} {
+		for _, p := range []float64{0.5, 0.01, 0.001} {
+			ns, allocs := measureFaultDraws(100000, p, dc)
+			out = append(out, benchreport.Microbench{
+				Name:           fmt.Sprintf("faultdraw/%s/p=%g/n=%d", dc, p, 100000),
+				NsPerRound:     ns,
+				AllocsPerRound: allocs,
+			})
+		}
+	}
 	return out
+}
+
+// measureFaultDraws times the sender-fault draw kernel under the given
+// contract: markBroadcasters over an all-ones broadcast set (the marking
+// pass every engine's round starts with) followed by finishRound's
+// sender-noise clear. No listener resolution — the row isolates exactly
+// the cost the draw contract governs.
+func measureFaultDraws(n int, p float64, dc DrawContract) (nsPerRound, allocsPerRound float64) {
+	top := graph.ImplicitComplete(n)
+	net := MustNew[int32](top.G, Config{Fault: SenderFaults, P: p, Draw: dc}, rng.New(0x6d6963726f))
+	tx := bitset.New(n)
+	for v := 0; v < n; v++ {
+		tx.Set(v)
+	}
+	txw := tx.Words()
+	lo, hi := tx.NonzeroRange()
+	return timeRounds(func() {
+		net.markBroadcasters(txw, lo, hi)
+		net.finishRound(tx)
+	})
 }
 
 // gridTopology returns a √n×√n grid (n must be a square of a power of 2,

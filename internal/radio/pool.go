@@ -8,7 +8,8 @@ import (
 )
 
 // poolKey identifies networks that are interchangeable after a Reset: the
-// same graph, fault environment, engine selection and batch width (0 for
+// same graph, fault environment, engine selection, draw-contract version
+// and batch width (0 for
 // scalar networks — a scalar checkout must never be handed batch-sized
 // scratch, and vice versa, so the width is part of the key exactly like
 // the graph is). Configs with per-node fault probabilities are not pooled
@@ -18,7 +19,8 @@ type poolKey struct {
 	fault  FaultModel
 	p      float64
 	engine Engine
-	width  int // 0 = scalar Network, >= 1 = BatchNetwork lane count
+	draw   DrawContract // networks under different contracts never mix
+	width  int          // 0 = scalar Network, >= 1 = BatchNetwork lane count
 }
 
 // Pool reuses Networks (and their batch counterparts) across Monte-Carlo
@@ -66,7 +68,7 @@ const (
 // batch network's scratch.
 func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error) {
 	if cfg.PerNodeP == nil {
-		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine}
+		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, draw: cfg.Draw}
 		p.mu.Lock()
 		if list := p.free[key]; len(list) > 0 {
 			n := list[len(list)-1]
@@ -89,7 +91,7 @@ func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P],
 // It is equivalent to NewBatch[P](g, cfg, rnds) in every observable way.
 func (p *Pool[P]) GetBatch(g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetwork[P], error) {
 	if cfg.PerNodeP == nil {
-		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, width: len(rnds)}
+		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, draw: cfg.Draw, width: len(rnds)}
 		p.mu.Lock()
 		if list := p.freeBatch[key]; len(list) > 0 {
 			b := list[len(list)-1]
@@ -151,7 +153,7 @@ func (p *Pool[P]) Put(n *Network[P]) {
 	if n == nil || n.cfg.PerNodeP != nil {
 		return
 	}
-	key := poolKey{g: n.g, fault: n.cfg.Fault, p: n.cfg.P, engine: n.cfg.Engine}
+	key := poolKey{g: n.g, fault: n.cfg.Fault, p: n.cfg.P, engine: n.cfg.Engine, draw: n.cfg.Draw}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free[key]) >= poolKeyCap {
@@ -176,7 +178,7 @@ func (p *Pool[P]) PutBatch(b *BatchNetwork[P]) {
 	if b == nil || b.cfg.PerNodeP != nil {
 		return
 	}
-	key := poolKey{g: b.g, fault: b.cfg.Fault, p: b.cfg.P, engine: b.cfg.Engine, width: b.w}
+	key := poolKey{g: b.g, fault: b.cfg.Fault, p: b.cfg.P, engine: b.cfg.Engine, draw: b.cfg.Draw, width: b.w}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.freeBatch[key]) >= poolKeyCap {

@@ -25,10 +25,17 @@
 // sender-fault flags for broadcasting nodes in ascending node id (sender
 // model only), then receiver-fault flags for eligible listeners in
 // ascending node id (receiver model only). Deliveries and trace callbacks
-// follow the same ascending-id order. A (graph, seed, driver) triple
-// therefore always yields the identical execution, regardless of the
-// execution engine below. The engine is not safe for concurrent use; run
-// independent trials on independent Network values.
+// follow the same ascending-id order. A (graph, seed, driver, contract)
+// quadruple therefore always yields the identical execution, regardless
+// of the execution engine below. The engine is not safe for concurrent
+// use; run independent trials on independent Network values.
+//
+// How the stream is consumed to decide those sites is itself versioned by
+// Config.Draw (see DrawContract): DrawV1 draws one Bernoulli per site,
+// DrawV2 jumps fault-to-fault with geometric skips over the same site
+// order. Versions are deliberately not interchangeable — each pins its
+// own goldens — but within a version every engine, batch width and entry
+// point is bit-identical.
 //
 // # Execution engines
 //
@@ -169,6 +176,65 @@ func ParseEngine(s string) (Engine, error) {
 	return Auto, fmt.Errorf("radio: unknown engine %q (auto|sparse|dense|implicit)", s)
 }
 
+// DrawContract names the canonical fault-draw sequence a network
+// executes. Every contract version visits the same sites in the same
+// order (sender flags for broadcasters ascending, then receiver flags for
+// eligible listeners ascending — the package-comment order); versions
+// differ only in how the rng.Stream is consumed to decide those sites.
+// Within one version, executions are bit-identical across engines, batch
+// widths, storage modes and entry points — the same guarantee Engine has
+// always had — but versions are NOT interchangeable with each other: each
+// records its own goldens, and CI gates each separately.
+//
+// Versioning exists so draw-sequence changes are named instead of silent:
+// a new noise model (correlated bursts, jamming) or a faster sampler
+// registers a new contract value with its own goldens, and every existing
+// version's outputs stay frozen forever.
+type DrawContract int
+
+const (
+	// DrawV1 draws one Bernoulli per site (broadcaster or eligible
+	// listener) in canonical order. The original contract and the zero
+	// value, so existing configurations keep their exact outputs.
+	DrawV1 DrawContract = iota
+	// DrawV2 selects the faulty sites by geometric skip: one
+	// rng.Geometric draw jumps straight to the next faulty site in the
+	// same canonical order, making fault cost O(faults) instead of
+	// O(sites) — decisive in the sparse-failure regime p·n ≪ n. The skip
+	// countdown resets at every round boundary (a partial skip is
+	// discarded), so per-round fault counts are exactly Binomial(sites, p)
+	// just like v1 — same distribution, different draw sequence. Applies
+	// when the fault probability is a uniform p ∈ (0,1); degenerate cases
+	// (p = 0, NaN, PerNodeP) fall back to v1's per-site draws, which are
+	// already O(faults) or cannot skip.
+	DrawV2
+)
+
+// String returns the short contract name used by flags and reports.
+func (d DrawContract) String() string {
+	switch d {
+	case DrawV1:
+		return "v1"
+	case DrawV2:
+		return "v2"
+	default:
+		return fmt.Sprintf("DrawContract(%d)", int(d))
+	}
+}
+
+// ParseDrawContract converts a string produced by DrawContract.String
+// back to the contract value, for command-line flags. The empty string is
+// the default contract, v1.
+func ParseDrawContract(s string) (DrawContract, error) {
+	switch s {
+	case "v1", "":
+		return DrawV1, nil
+	case "v2":
+		return DrawV2, nil
+	}
+	return DrawV1, fmt.Errorf("radio: unknown draw contract %q (v1|v2)", s)
+}
+
 // Config describes the noise environment of a network.
 type Config struct {
 	Fault FaultModel
@@ -185,6 +251,12 @@ type Config struct {
 	// average degree. Purely a performance knob: results are bit-identical
 	// across engines.
 	Engine Engine
+	// Draw selects the fault-draw contract version; the zero value DrawV1
+	// is the original per-site Bernoulli sequence. Unlike Engine this is
+	// NOT purely a performance knob: different versions consume the
+	// rng.Stream differently and produce different (equally valid)
+	// executions, each pinned by its own goldens.
+	Draw DrawContract
 }
 
 // ResolveEngine returns the engine New would actually run g with under
@@ -236,8 +308,63 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("radio: unknown engine %d", int(c.Engine))
 	}
+	switch c.Draw {
+	case DrawV1, DrawV2:
+	default:
+		return fmt.Errorf("radio: unknown draw contract %d", int(c.Draw))
+	}
 	return nil
 }
+
+// drawState executes the configured draw contract over one stream's
+// canonical site sequence. Every fault decision in the simulator — scalar
+// or batch, any engine — goes through here (or through the bulk walk in
+// markBroadcastersBulk, which replays the identical countdown), so the
+// contract is enforced in exactly one place.
+//
+// Under DrawV1, or under DrawV2's degenerate cases (PerNodeP, p = 0,
+// NaN), site() is simply the per-site Bernoulli draw. Under active DrawV2
+// skip it runs a countdown: one geometric draw yields the distance to the
+// next faulty site, and intervening sites consume no randomness. The
+// countdown is per-round state — endRound discards a partial skip — so a
+// round's fault count is Binomial(sites, p) in both contracts.
+type drawState struct {
+	skip      bool          // DrawV2 with uniform p in (0,1): geometric skip active
+	geom      rng.Geometric // skip sampler, set iff skip
+	remaining int           // sites until the next fault; -1 = no pending draw
+}
+
+// makeDrawState builds the draw state for cfg. The zero remaining value
+// would mean "fault at the next site", so -1 is the explicit idle state.
+func makeDrawState(cfg Config) drawState {
+	d := drawState{remaining: -1}
+	if cfg.Draw == DrawV2 && cfg.Fault != Faultless && cfg.PerNodeP == nil && cfg.P > 0 && cfg.P < 1 {
+		d.skip = true
+		d.geom = rng.NewGeometric(cfg.P)
+	}
+	return d
+}
+
+// site decides one canonical-order site: coin is the site's Bernoulli
+// sampler (used verbatim when the skip contract is inactive).
+func (d *drawState) site(coin rng.Bernoulli, r *rng.Stream) bool {
+	if !d.skip {
+		return coin.Draw(r)
+	}
+	if d.remaining < 0 {
+		d.remaining = d.geom.Draw(r) - 1
+	}
+	if d.remaining == 0 {
+		d.remaining = -1
+		return true
+	}
+	d.remaining--
+	return false
+}
+
+// endRound closes the round's site sequence: a partial skip does not
+// carry into the next round.
+func (d *drawState) endRound() { d.remaining = -1 }
 
 // Stats accumulates channel-level accounting across rounds.
 type Stats struct {
@@ -268,6 +395,16 @@ type Network[P any] struct {
 	// Unset (zero-value, never drawn) when Fault is Faultless.
 	faultCoin  rng.Bernoulli
 	faultCoins []rng.Bernoulli
+
+	// draw executes the configured DrawContract over the canonical site
+	// sequence; all fault decisions route through it.
+	draw drawState
+
+	// noisySites records the sender-fault sites of the current round when
+	// the skip contract is active, so finishRound clears senderNoise in
+	// O(faults) instead of walking every broadcaster — without it the
+	// clear would eat the savings the skip draw buys.
+	noisySites []int32
 
 	// Sparse-engine per-round scratch, reused across rounds to avoid
 	// allocation.
@@ -361,8 +498,12 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 		engine:    engine,
 		scratchTx: bitset.New(g.N()),
 	}
+	n.draw = makeDrawState(cfg)
 	if cfg.Fault == SenderFaults {
 		n.senderNoise = make([]bool, g.N())
+		if n.draw.skip {
+			n.noisySites = make([]int32, 0, 64)
+		}
 	}
 	if cfg.Fault != Faultless {
 		if cfg.PerNodeP != nil {
@@ -445,6 +586,8 @@ func (n *Network[P]) Reset(rnd *rng.Stream) {
 	for v := range n.senderNoise {
 		n.senderNoise[v] = false
 	}
+	n.draw.endRound()
+	n.noisySites = n.noisySites[:0]
 }
 
 // Graph returns the underlying graph.
@@ -545,19 +688,87 @@ func (n *Network[P]) StepSet(tx *bitset.Set, payload []P, rx *bitset.Set, delive
 	n.finishRound(tx)
 }
 
-// markBroadcaster performs the per-broadcaster bookkeeping shared by both
-// engines: accounting, tracing and the canonical sender-fault draw.
+// markBroadcaster performs the per-broadcaster bookkeeping shared by all
+// engines: accounting, tracing and the canonical sender-fault decision.
 func (n *Network[P]) markBroadcaster(v int) {
 	n.stats.Broadcasts++
 	if n.trace != nil {
 		n.traceTx = append(n.traceTx, int32(v))
 	}
 	if n.cfg.Fault == SenderFaults {
-		noisy := n.faultFor(int32(v)).Draw(n.rnd)
+		noisy := n.draw.site(n.faultFor(int32(v)), n.rnd)
 		n.senderNoise[v] = noisy
 		if noisy {
 			n.stats.SenderFaults++
+			if n.draw.skip {
+				n.noisySites = append(n.noisySites, int32(v))
+			}
 		}
+	}
+}
+
+// markBroadcasters performs the round's broadcaster marking off the tx
+// words [txLo, txHi): per site when per-broadcaster bookkeeping is needed
+// (tracing, or v1's one-draw-per-site sender contract), in bulk otherwise
+// — broadcast accounting by popcount, and under the active skip contract
+// the fault sites located by select-the-k-th-set-bit jumps instead of a
+// visit to every broadcaster. Decisions and stream consumption are
+// identical on both paths (the bulk walk replays the same countdown), so
+// the engines may mix them freely; only the work differs.
+func (n *Network[P]) markBroadcasters(txw []uint64, txLo, txHi int) {
+	if n.trace == nil && (n.cfg.Fault != SenderFaults || n.draw.skip) {
+		n.markBroadcastersBulk(txw, txLo, txHi)
+		return
+	}
+	for wi := txLo; wi < txHi; wi++ {
+		for w := txw[wi]; w != 0; w &= w - 1 {
+			n.markBroadcaster(wi*64 + bits.TrailingZeros64(w))
+		}
+	}
+}
+
+// markBroadcastersBulk is the O(faults) marking path: broadcasts counted
+// word-parallel, and — under SenderFaults with the skip contract — the
+// countdown advanced fault-to-fault, materializing only the faulty sites.
+func (n *Network[P]) markBroadcastersBulk(txw []uint64, txLo, txHi int) {
+	total := 0
+	for wi := txLo; wi < txHi; wi++ {
+		total += bits.OnesCount64(txw[wi])
+	}
+	n.stats.Broadcasts += int64(total)
+	if n.cfg.Fault != SenderFaults || total == 0 {
+		return
+	}
+	d := &n.draw
+	idx := 0              // broadcaster sites consumed so far, ascending id order
+	wi, before := txLo, 0 // select cursor: set bits strictly before word wi
+	for idx < total {
+		if d.remaining < 0 {
+			d.remaining = d.geom.Draw(n.rnd) - 1
+		}
+		if d.remaining >= total-idx {
+			// Next fault lies beyond this round's sites: consume them all,
+			// exactly as the per-site countdown would.
+			d.remaining -= total - idx
+			return
+		}
+		idx += d.remaining
+		d.remaining = -1
+		// Locate the idx-th (0-based) broadcaster: advance the word
+		// cursor, then select within the word.
+		for before+bits.OnesCount64(txw[wi]) <= idx {
+			before += bits.OnesCount64(txw[wi])
+			wi++
+		}
+		w := txw[wi]
+		for k := idx - before; k > 0; k-- {
+			w &= w - 1
+		}
+		v := wi*64 + bits.TrailingZeros64(w)
+		n.senderNoise[v] = true
+		n.stats.SenderFaults++
+		n.noisySites = append(n.noisySites, int32(v))
+		idx++
 	}
 }
 
@@ -577,7 +788,7 @@ func (n *Network[P]) resolveUnique(u, from int32, payload []P, rx *bitset.Set, d
 	if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
 		return // content destroyed at the sender
 	}
-	if n.cfg.Fault == ReceiverFaults && n.faultFor(u).Draw(n.rnd) {
+	if n.cfg.Fault == ReceiverFaults && n.draw.site(n.faultFor(u), n.rnd) {
 		n.stats.ReceiverFaults++
 		return
 	}
@@ -656,13 +867,10 @@ func (n *Network[P]) stepSetDense(tx *bitset.Set, payload []P, rx *bitset.Set, d
 		return // silent round: no transmissions, no receptions, no draws
 	}
 
-	// Mark transmissions and draw sender faults in ascending id order,
-	// straight off the tx words.
-	for wi := txLo; wi < txHi; wi++ {
-		for w := txw[wi]; w != 0; w &= w - 1 {
-			n.markBroadcaster(wi*64 + bits.TrailingZeros64(w))
-		}
-	}
+	// Mark transmissions and decide sender faults in ascending id order,
+	// straight off the tx words (bulk-marked when no per-site walk is
+	// required — see markBroadcasters).
+	n.markBroadcasters(txw, txLo, txHi)
 	if n.fullScan {
 		txLo, txHi = 0, len(txw)
 	}
@@ -810,11 +1018,7 @@ func (n *Network[P]) stepSetImplicit(tx *bitset.Set, payload []P, rx *bitset.Set
 	if txLo == txHi {
 		return // silent round: no transmissions, no receptions, no draws
 	}
-	for wi := txLo; wi < txHi; wi++ {
-		for w := txw[wi]; w != 0; w &= w - 1 {
-			n.markBroadcaster(wi*64 + bits.TrailingZeros64(w))
-		}
-	}
+	n.markBroadcasters(txw, txLo, txHi)
 	n.counter.Begin(tx)
 	nn := n.g.N()
 	for u := 0; u < nn; u++ {
@@ -831,19 +1035,29 @@ func (n *Network[P]) stepSetImplicit(tx *bitset.Set, payload []P, rx *bitset.Set
 	}
 }
 
-// finishRound clears the sender-fault flags set this round (O(broadcasters),
-// iterated off the tx words — only the sender model ever sets any) and
-// flushes the trace.
+// finishRound clears the sender-fault flags set this round — off the
+// recorded fault sites (O(faults)) when the skip contract is active, off
+// the tx words (O(broadcasters)) otherwise; only the sender model ever
+// sets any — closes the draw contract's round boundary, and flushes the
+// trace.
 func (n *Network[P]) finishRound(tx *bitset.Set) {
 	if n.cfg.Fault == SenderFaults {
-		txw := tx.Words()
-		lo, hi := tx.NonzeroRange()
-		for wi := lo; wi < hi; wi++ {
-			for w := txw[wi]; w != 0; w &= w - 1 {
-				n.senderNoise[wi*64+bits.TrailingZeros64(w)] = false
+		if n.draw.skip {
+			for _, v := range n.noisySites {
+				n.senderNoise[v] = false
+			}
+			n.noisySites = n.noisySites[:0]
+		} else {
+			txw := tx.Words()
+			lo, hi := tx.NonzeroRange()
+			for wi := lo; wi < hi; wi++ {
+				for w := txw[wi]; w != 0; w &= w - 1 {
+					n.senderNoise[wi*64+bits.TrailingZeros64(w)] = false
+				}
 			}
 		}
 	}
+	n.draw.endRound()
 	if n.trace != nil {
 		n.trace(n.stats.Rounds-1, n.traceTx, n.traceRx)
 		n.traceTx = n.traceTx[:0]

@@ -238,6 +238,55 @@ func (r *Stream) Geometric(p float64) int {
 	return k
 }
 
+// Geometric is a fixed-probability skip sampler with the denominator
+// hoisted out of the draw: it stores log1p(-p) once, so each Draw costs one
+// Uint64 plus one log1p and one divide instead of recomputing log1p(-p).
+// Draw is bit-identical to Stream.Geometric(p) — same values, same stream
+// positions — because the stored denominator is the exact float the method
+// would compute and the division is performed identically (a precomputed
+// reciprocal would round differently). The package tests verify this over
+// a dense probability grid.
+//
+// The zero value is a never-succeeding sampler: Draw returns math.MaxInt
+// ("the next success is beyond any horizon") and consumes no randomness.
+type Geometric struct {
+	logq float64 // log1p(-p) for p in (0,1); 0 doubles as the zero-value sentinel
+	one  bool    // p == 1: every trial succeeds, no randomness needed
+}
+
+// NewGeometric returns a sampler whose Draw is exactly Stream.Geometric(p).
+// Like the method, it rejects p outside (0, 1] — including NaN — by
+// panicking, so a sampler in hand is always a usable one.
+func NewGeometric(p float64) Geometric {
+	if !(p > 0) || p > 1 {
+		panic("rng: NewGeometric with p outside (0,1]")
+	}
+	if p == 1 {
+		return Geometric{one: true}
+	}
+	// log1p(-p) < 0 for every p in (0,1), down to the smallest subnormal,
+	// so 0 is unreachable and safely marks the zero value.
+	return Geometric{logq: math.Log1p(-p)}
+}
+
+// Draw returns a geometric sample (support {1, 2, ...}), consuming exactly
+// the randomness Stream.Geometric would: one Uint64 for p in (0,1), none
+// at p == 1. The zero value returns math.MaxInt without drawing.
+func (g Geometric) Draw(r *Stream) int {
+	if g.one {
+		return 1
+	}
+	if g.logq == 0 {
+		return math.MaxInt
+	}
+	u := r.Float64()
+	k := int(math.Ceil(math.Log1p(-u) / g.logq))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // SampleK returns k distinct uniform elements of [0, n) in ascending order.
 // It panics if k > n or either argument is negative.
 func (r *Stream) SampleK(n, k int) []int {

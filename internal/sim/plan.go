@@ -46,7 +46,10 @@ func PlanLog() []benchreport.Plan {
 		if out[i].Width != out[j].Width {
 			return out[i].Width < out[j].Width
 		}
-		return out[i].Engine < out[j].Engine
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Draw < out[j].Draw
 	})
 	return out
 }

@@ -112,6 +112,7 @@ type Row struct {
 	// topology, which the auto planner consults.
 	sched      string
 	planEngine radio.Engine
+	planDraw   radio.DrawContract
 
 	mu      sync.Mutex
 	cond    sync.Cond // signalled when next advances; bounds the pending backlog
@@ -268,6 +269,7 @@ func (s *Sweep) Run() error {
 				recordPlan(benchreport.Plan{
 					Schedule: row.sched,
 					Engine:   row.planEngine.String(),
+					Draw:     row.planDraw.String(),
 					Trials:   row.trials,
 					Width:    width,
 					Reason:   reason,

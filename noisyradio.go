@@ -63,6 +63,14 @@ type (
 	// no stored adjacency at all. Executions are bit-identical across
 	// engines; only speed and memory differ.
 	Engine = radio.Engine
+	// DrawContract versions the fault-draw sequence of a noisy execution:
+	// DrawV1 (the zero value and default) draws one Bernoulli coin per
+	// fault site in canonical order, DrawV2 draws geometric skip distances
+	// over the same site order. Each version is its own deterministic
+	// universe — bit-stable across engines and batch widths within the
+	// version, different draws across versions — so this is not a pure
+	// speed knob the way Engine is.
+	DrawContract = radio.DrawContract
 	// Rand is the deterministic random stream driving every execution.
 	Rand = rng.Stream
 )
@@ -82,9 +90,19 @@ const (
 	EngineImplicit = radio.Implicit
 )
 
+// Draw-contract versions re-exported from the radio engine.
+const (
+	DrawV1 = radio.DrawV1
+	DrawV2 = radio.DrawV2
+)
+
 // ParseEngine converts "auto" | "sparse" | "dense" | "implicit" to an
 // Engine, for command-line flags.
 func ParseEngine(s string) (Engine, error) { return radio.ParseEngine(s) }
+
+// ParseDrawContract converts "v1" | "v2" (or "", meaning v1) to a
+// DrawContract, for command-line flags.
+func ParseDrawContract(s string) (DrawContract, error) { return radio.ParseDrawContract(s) }
 
 // Algorithm result and option types.
 type (
