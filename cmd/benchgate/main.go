@@ -37,6 +37,7 @@ func main() {
 		maxMicroReg  = flag.Float64("max-microbench-regression", 0.50, "maximum allowed fractional ns/round regression per engine microbenchmark")
 		minBatchSpd  = flag.Float64("min-stepbatch-speedup", 0, "minimum required scalar-stepset/stepbatch ns-per-trial-round ratio at w=8 on dense/complete n=1024 (0 disables)")
 		minGeomSpd   = flag.Float64("min-geomskip-speedup", 0, "minimum required v1/v2 faultdraw ns-per-round ratio at p=0.001 n=100000 (0 disables)")
+		maxBurstRat  = flag.Float64("max-burstdraw-ratio", 0, "maximum allowed v3/v2 faultdraw ns-per-round ratio at matched p=0.001 n=100000 (0 disables)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -71,6 +72,16 @@ func main() {
 	}
 	if *minGeomSpd > 0 {
 		verdict, err := gateGeomSkip(current, *minGeomSpd)
+		if verdict != "" {
+			fmt.Println("benchgate:", verdict)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+	}
+	if *maxBurstRat > 0 {
+		verdict, err := gateBurstDraw(current, *maxBurstRat)
 		if verdict != "" {
 			fmt.Println("benchgate:", verdict)
 		}
@@ -148,6 +159,44 @@ func gateGeomSkip(current benchreport.Report, minSpeedup float64) (string, error
 	summary := fmt.Sprintf("faultdraw v2 %.0f ns/round vs v1 %.0f at p=0.001 n=100000: %.2fx (floor %.2fx)",
 		v2.NsPerRound, v1.NsPerRound, speedup, minSpeedup)
 	if speedup < minSpeedup {
+		return summary, fmt.Errorf("%s", summary)
+	}
+	return "ok — " + summary, nil
+}
+
+// The microbenchmark rows the burst-draw overhead gate compares: the same
+// sparse-regime draw kernel under the Gilbert–Elliott contract (v3, default
+// burst shape) and the geometric-skip contract (v2) at the same marginal p.
+const (
+	burstDrawV2Row = "faultdraw/v2/p=0.001/n=100000"
+	burstDrawV3Row = "faultdraw/v3/p=0.001/n=100000"
+)
+
+// gateBurstDraw enforces the correlated-noise acceptance ceiling against
+// the *current* report alone: the v3 burst sampler — one geometric per
+// phase plus a Bernoulli per bad site — must stay within maxRatio times
+// the v2 geometric-skip cost at the same marginal fault rate. Bursts buy
+// correlation structure, not speed, so the gate is a ceiling where the
+// geomskip gate is a floor; it keeps a careless v3 bulk walk from
+// regressing to per-site cost while still allowing the honest overhead of
+// tracking two phases.
+func gateBurstDraw(current benchreport.Report, maxRatio float64) (string, error) {
+	rows := make(map[string]benchreport.Microbench, len(current.Microbench))
+	for _, m := range current.Microbench {
+		rows[m.Name] = m
+	}
+	v2, ok2 := rows[burstDrawV2Row]
+	v3, ok3 := rows[burstDrawV3Row]
+	if !ok2 || !ok3 {
+		return "", fmt.Errorf("burstdraw gate: report lacks %q or %q", burstDrawV2Row, burstDrawV3Row)
+	}
+	if v2.NsPerRound <= 0 || v3.NsPerRound <= 0 {
+		return "", fmt.Errorf("burstdraw gate: non-positive ns/round (v2 %.1f, v3 %.1f)", v2.NsPerRound, v3.NsPerRound)
+	}
+	ratio := v3.NsPerRound / v2.NsPerRound
+	summary := fmt.Sprintf("faultdraw v3 %.0f ns/round vs v2 %.0f at p=0.001 n=100000: %.2fx (ceiling %.2fx)",
+		v3.NsPerRound, v2.NsPerRound, ratio, maxRatio)
+	if ratio > maxRatio {
 		return summary, fmt.Errorf("%s", summary)
 	}
 	return "ok — " + summary, nil

@@ -197,3 +197,42 @@ func TestGateGeomSkipRejectsNonPositive(t *testing.T) {
 		t.Fatal("non-positive v2 ns accepted")
 	}
 }
+
+func burstDrawRep(v2Ns, v3Ns float64) benchreport.Report {
+	return microRep(10,
+		benchreport.Microbench{Name: burstDrawV2Row, NsPerRound: v2Ns},
+		benchreport.Microbench{Name: burstDrawV3Row, NsPerRound: v3Ns},
+	)
+}
+
+func TestGateBurstDrawWithinCeiling(t *testing.T) {
+	if _, err := gateBurstDraw(burstDrawRep(9000, 15000), 2.0); err != nil {
+		t.Fatalf("1.7x ratio rejected at 2x ceiling: %v", err)
+	}
+}
+
+func TestGateBurstDrawOverCeiling(t *testing.T) {
+	_, err := gateBurstDraw(burstDrawRep(9000, 27000), 2.0)
+	if err == nil {
+		t.Fatal("3x ratio accepted at 2x ceiling")
+	}
+	if !strings.Contains(err.Error(), "ceiling") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestGateBurstDrawMissingRows(t *testing.T) {
+	if _, err := gateBurstDraw(microRep(10), 2.0); err == nil {
+		t.Fatal("report without faultdraw rows passed the burstdraw gate")
+	}
+	onlyV2 := microRep(10, benchreport.Microbench{Name: burstDrawV2Row, NsPerRound: 9000})
+	if _, err := gateBurstDraw(onlyV2, 2.0); err == nil {
+		t.Fatal("report without the v3 row passed the burstdraw gate")
+	}
+}
+
+func TestGateBurstDrawRejectsNonPositive(t *testing.T) {
+	if _, err := gateBurstDraw(burstDrawRep(0, 15000), 2.0); err == nil {
+		t.Fatal("non-positive v2 ns accepted")
+	}
+}

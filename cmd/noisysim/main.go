@@ -44,15 +44,23 @@
 // report.
 //
 // The -drawcontract flag selects the fault-draw contract version (v1 |
-// v2). v1 — the default and today's behaviour — draws one Bernoulli coin
-// per fault site in canonical order; v2 draws geometric skip distances
-// over the same site order, visiting only the faulty sites (a large
-// speedup at small p on large fault-site counts). Unlike -engine and
-// -trialbatch this is NOT a pure performance knob: each version is its own
-// deterministic universe. Within a version, outputs are bit-identical
+// v2 | v3 | v4). v1 — the default and today's behaviour — draws one
+// Bernoulli coin per fault site in canonical order; v2 draws geometric
+// skip distances over the same site order, visiting only the faulty sites
+// (a large speedup at small p on large fault-site counts); v3 is the
+// Gilbert–Elliott burst contract — a two-state good/bad process walks the
+// site order, sites in a bad phase fault with probability -burstbadp, and
+// the burst shape (-burstlen mean bad-phase length) is chosen so the
+// stationary per-site fault rate is still exactly -p; v4 is the region
+// jamming contract — each round, with probability -jamq, a drawn center
+// and its surrounding region (a contiguous id window of radius -jamradius,
+// or the center's graph neighbourhood with -jamball) fault outright, while
+// sites outside the jam keep drawing independent v1 coins. Unlike -engine
+// and -trialbatch this is NOT a pure performance knob: each version is its
+// own deterministic universe. Within a version, outputs are bit-identical
 // across engines, workers and batch widths; across versions the fault
-// draws differ, so v2 runs are compared against their own committed
-// goldens (the CI determinism job checks both).
+// draws differ, so each contract's runs are compared against its own
+// committed goldens (the CI determinism job checks all of them).
 //
 // The -schedule flag exposes the broadcast Schedule registry directly:
 //
@@ -128,7 +136,12 @@ func run(args []string, out *os.File) error {
 		quick      = fs.Bool("quick", false, "reduced sweeps and trial counts")
 		engine     = fs.String("engine", "auto", "radio execution engine: auto | sparse | dense | implicit (results identical, speed differs)")
 		trialBatch = fs.String("trialbatch", "auto", "lockstep trial-batch plan: auto | 0 (scalar) | W; output identical at every setting")
-		drawC      = fs.String("drawcontract", "v1", "fault-draw contract version: v1 (per-site Bernoulli) | v2 (geometric skip); versions are separate deterministic universes")
+		drawC      = fs.String("drawcontract", "v1", "fault-draw contract version: v1 (per-site Bernoulli) | v2 (geometric skip) | v3 (Gilbert-Elliott bursts) | v4 (region jamming); versions are separate deterministic universes")
+		burstLen   = fs.Float64("burstlen", 0, "v3: mean bad-phase length in sites (0 = default 8)")
+		burstBadP  = fs.Float64("burstbadp", 0, "v3: fault probability inside a bad phase (0 = default 0.5; must exceed -p)")
+		jamQ       = fs.Float64("jamq", 0, "v4: per-round jam probability (0 = default 0.05)")
+		jamRadius  = fs.Int("jamradius", 0, "v4: jam region radius around the drawn center (0 = default 8)")
+		jamBall    = fs.Bool("jamball", false, "v4: jam the center's graph neighbourhood instead of a contiguous id window")
 		asJSON     = fs.Bool("json", false, "emit experiment tables as a JSON array")
 		benchOut   = fs.String("benchjson", "", "write a machine-readable performance report (wall clock, rows/sec, allocs/trial, chosen plans) to this path")
 		demo       = fs.String("demo", "", "trace one run of an algorithm: decay | fastbc | robust-fastbc")
@@ -153,11 +166,21 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	// The base radio configuration every noisy network of this invocation
+	// inherits: engine, contract version and the contract's parameters
+	// (zero fields select the radio defaults; non-selected contracts ignore
+	// theirs).
+	base := radio.Config{
+		Engine: eng,
+		Draw:   dc,
+		Burst:  radio.BurstParams{Len: *burstLen, BadP: *burstBadP},
+		Jam:    radio.JamParams{Q: *jamQ, Radius: *jamRadius, Ball: *jamBall},
+	}
 	if *trials < 0 {
 		return fmt.Errorf("-trials must be >= 0, got %d", *trials)
 	}
 	if *demo != "" {
-		return runDemo(out, *demo, *topology, *demoN, *demoP, *faultMd, *seed, eng, dc)
+		return runDemo(out, *demo, *topology, *demoN, *demoP, *faultMd, *seed, base)
 	}
 	if *schedName != "" {
 		if *schedName == "list" {
@@ -166,11 +189,14 @@ func run(args []string, out *os.File) error {
 			}
 			return nil
 		}
-		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, eng, tb, dc)
+		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, tb, base)
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
 			fmt.Fprintf(out, "%-4s %s\n", e.ID, e.Title)
+		}
+		for _, e := range experiments.Extras() {
+			fmt.Fprintf(out, "%-4s %s (extra; not part of -exp all)\n", e.ID, e.Title)
 		}
 		return nil
 	}
@@ -187,6 +213,8 @@ func run(args []string, out *os.File) error {
 		Engine:     eng,
 		TrialBatch: tb,
 		Draw:       dc,
+		Burst:      base.Burst,
+		Jam:        base.Jam,
 	}
 	var entries []experiments.Entry
 	if strings.EqualFold(*exp, "all") {
@@ -295,9 +323,11 @@ func parseTrialBatch(s string) (int, error) {
 	return w, nil
 }
 
-// parseFault converts the -fault flag plus probability into a radio config.
-func parseFault(faultName string, p float64, eng radio.Engine, dc radio.DrawContract) (radio.Config, error) {
-	cfg := radio.Config{Engine: eng, Draw: dc}
+// parseFault converts the -fault flag plus probability into a radio
+// config, on top of the invocation's base (engine, draw contract and its
+// parameters).
+func parseFault(faultName string, p float64, base radio.Config) (radio.Config, error) {
+	cfg := base
 	switch faultName {
 	case "none":
 		cfg.Fault = radio.Faultless
@@ -425,13 +455,13 @@ func scheduleWorkload(sched *broadcast.Schedule, topology string, n, k int, seed
 // runSchedule runs -trials Monte-Carlo trials of one registry schedule on
 // the sweep scheduler and prints the round statistics and the execution
 // plan the sweep chose.
-func runSchedule(out *os.File, name, topology string, n, k int, p float64, faultName string, trials int, seed uint64, workers int, eng radio.Engine, tb int, dc radio.DrawContract) error {
+func runSchedule(out *os.File, name, topology string, n, k int, p float64, faultName string, trials int, seed uint64, workers, tb int, base radio.Config) error {
 	sched, err := broadcast.LookupSchedule(name)
 	if err != nil {
 		names := strings.Join(broadcast.ScheduleNames(), ", ")
 		return fmt.Errorf("%w (use -schedule list; known: %s)", err, names)
 	}
-	cfg, err := parseFault(faultName, p, eng, dc)
+	cfg, err := parseFault(faultName, p, base)
 	if err != nil {
 		return err
 	}
@@ -498,11 +528,11 @@ func runSchedule(out *os.File, name, topology string, n, k int, p float64, fault
 
 // runDemo traces one single-message broadcast on the -topology workload
 // and renders the round-by-round timeline.
-func runDemo(out *os.File, algo, topology string, n int, p float64, faultName string, seed uint64, eng radio.Engine, dc radio.DrawContract) error {
+func runDemo(out *os.File, algo, topology string, n int, p float64, faultName string, seed uint64, base radio.Config) error {
 	if n < 2 {
 		return fmt.Errorf("demo needs -n >= 2, got %d", n)
 	}
-	cfg, err := parseFault(faultName, p, eng, dc)
+	cfg, err := parseFault(faultName, p, base)
 	if err != nil {
 		return err
 	}

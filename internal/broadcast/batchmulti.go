@@ -683,7 +683,10 @@ func PipelinedBatchRoutingBatch(top graph.Topology, k int, cfg radio.Config, rnd
 // informed-set resets and per-message round caps), all lanes stepping one
 // shared batch network. Lanes sit at different message indices at any
 // given lockstep round; that is fine, because the schedule depends only on
-// lane-local state.
+// lane-local state. At each message boundary the lane's draw-contract
+// state is reset: the scalar path checks a fresh network out of the pool
+// per Decay call, so the canonical draw sequence restarts there, and
+// stateful contracts (DrawV3 bursts) must restart here too.
 func SequentialDecayRoutingBatch(top graph.Topology, cfg radio.Config, k int, rnds []*rng.Stream, opts Options) ([]MultiResult, error) {
 	if err := validateTopology(top); err != nil {
 		return nil, err
@@ -750,6 +753,7 @@ func SequentialDecayRoutingBatch(top graph.Topology, cfg radio.Config, k int, rn
 					lane.informedList = lane.informedList[:0]
 					lane.informedList = append(lane.informedList, int32(top.Source))
 					localRound[l] = 0
+					net.ResetLaneDraw(l)
 				}
 			case localRound[l] == perMsgCap:
 				out[l].Success = false

@@ -54,6 +54,12 @@ type Config struct {
 	// within the version, different draws across versions), so tables under
 	// radio.DrawV2 are compared against their own goldens, never v1's.
 	Draw radio.DrawContract
+	// Burst carries the Gilbert–Elliott parameters used when Draw is
+	// radio.DrawV3 (zero fields select the radio defaults); Jam carries the
+	// region-jamming parameters used when Draw is radio.DrawV4. Both are
+	// ignored under other contracts, exactly as in radio.Config.
+	Burst radio.BurstParams
+	Jam   radio.JamParams
 }
 
 // newSweep builds the shared row/trial scheduler for one table. Every
@@ -66,7 +72,7 @@ func (c Config) newSweep() *sim.Sweep {
 // noise builds the radio.Config for one fault environment of this run,
 // carrying the run's engine selection and draw contract along.
 func (c Config) noise(m radio.FaultModel, p float64) radio.Config {
-	return radio.Config{Fault: m, P: p, Engine: c.Engine, Draw: c.Draw}
+	return radio.Config{Fault: m, P: p, Engine: c.Engine, Draw: c.Draw, Burst: c.Burst, Jam: c.Jam}
 }
 
 func (c Config) trials(def, quick int) int {
@@ -182,9 +188,26 @@ func Registry() []Entry {
 	}
 }
 
-// Lookup returns the registered experiment with the given id.
+// Extras lists experiments that are NOT part of the paper-claim suite and
+// therefore not included in `all` runs: robustness studies of this
+// reproduction's own machinery. Keeping them out of Registry keeps the
+// full-suite goldens (one per draw contract) stable as extras accrue;
+// extras ship their own goldens instead.
+func Extras() []Entry {
+	return []Entry{
+		{ID: "E20", Title: "Correlated noise: Gilbert-Elliott bursts and region jamming", Run: E20CorrelatedNoise},
+	}
+}
+
+// Lookup returns the registered experiment with the given id, searching
+// the paper-claim registry first and the extras second.
 func Lookup(id string) (Entry, bool) {
 	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	for _, e := range Extras() {
 		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}
@@ -192,12 +215,17 @@ func Lookup(id string) (Entry, bool) {
 	return Entry{}, false
 }
 
-// IDs returns all registered experiment ids, sorted.
+// IDs returns all registered experiment ids (paper suite and extras),
+// sorted.
 func IDs() []string {
 	reg := Registry()
-	ids := make([]string, len(reg))
-	for i, e := range reg {
-		ids[i] = e.ID
+	ext := Extras()
+	ids := make([]string, 0, len(reg)+len(ext))
+	for _, e := range reg {
+		ids = append(ids, e.ID)
+	}
+	for _, e := range ext {
+		ids = append(ids, e.ID)
 	}
 	sort.Strings(ids)
 	return ids

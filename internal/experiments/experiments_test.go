@@ -70,8 +70,8 @@ func TestLookup(t *testing.T) {
 
 func TestIDsSorted(t *testing.T) {
 	ids := IDs()
-	if len(ids) != len(Registry()) {
-		t.Fatalf("IDs() has %d entries, registry %d", len(ids), len(Registry()))
+	if want := len(Registry()) + len(Extras()); len(ids) != want {
+		t.Fatalf("IDs() has %d entries, registry+extras %d", len(ids), want)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"errors"
+
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
@@ -41,6 +43,13 @@ func E16SingleLinkNonAdaptive(cfg Config) (Table, error) {
 	}
 	for i, k := range ks {
 		est, err := pending[i].Estimate()
+		if errors.Is(err, throughput.ErrAllTrialsFailed) {
+			// Under correlated noise (DrawV3 bursts spanning all of a
+			// message's repeats) non-adaptive routing can genuinely never
+			// deliver; the collapse is the measurement, not an error.
+			t.AddRow(d(k), d(repeats[i]), "0", "-", "-")
+			continue
+		}
 		if err != nil {
 			return t, err
 		}
@@ -120,18 +129,25 @@ func E18SingleLinkGap(cfg Config) (Table, error) {
 	}
 	var logs, gapsNA []float64
 	for i, k := range ks {
-		na, err := gapNA[i].Gap()
-		if err != nil {
-			return t, err
-		}
-		a, err := gapA[i].Gap()
-		if err != nil {
-			return t, err
-		}
 		logk := float64(log2c(k))
-		t.AddRow(d(k), f(na.Ratio), f(logk), f(a.Ratio))
-		logs = append(logs, logk)
-		gapsNA = append(gapsNA, na.Ratio)
+		// A gap against a schedule that never succeeds is infinite; render
+		// it as "-" rather than abort (correlated noise sinks non-adaptive
+		// routing outright, see E16).
+		naCell := "-"
+		if na, err := gapNA[i].Gap(); err == nil {
+			naCell = f(na.Ratio)
+			logs = append(logs, logk)
+			gapsNA = append(gapsNA, na.Ratio)
+		} else if !errors.Is(err, throughput.ErrAllTrialsFailed) {
+			return t, err
+		}
+		aCell := "-"
+		if a, err := gapA[i].Gap(); err == nil {
+			aCell = f(a.Ratio)
+		} else if !errors.Is(err, throughput.ErrAllTrialsFailed) {
+			return t, err
+		}
+		t.AddRow(d(k), naCell, f(logk), aCell)
 	}
 	if fit, err := stats.LinearFit(logs, gapsNA); err == nil {
 		t.AddNote("non-adaptive gap grows ~%.2f·log2(k) (R²=%.3f); adaptive gap flat at ~1", fit.Slope, fit.R2)

@@ -123,14 +123,14 @@ func NewBatch[P any](g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetw
 	}
 	b.draws = make([]drawState, w)
 	for l := range b.draws {
-		b.draws[l] = makeDrawState(cfg)
+		b.draws[l] = makeDrawState(cfg, g)
 	}
 	if cfg.Fault == SenderFaults {
 		b.senderNoise = make([][]bool, w)
 		for l := range b.senderNoise {
 			b.senderNoise[l] = make([]bool, g.N())
 		}
-		if b.draws[0].skip {
+		if b.draws[0].bulk() {
 			b.noisySites = make([][]int32, w)
 			for l := range b.noisySites {
 				b.noisySites[l] = make([]int32, 0, 16)
@@ -200,7 +200,7 @@ func (b *BatchNetwork[P]) Reset(rnds []*rng.Stream) {
 	}
 	b.touched = b.touched[:0]
 	for l := range b.draws {
-		b.draws[l].endRound()
+		b.draws[l].reset()
 	}
 	for l := range b.noisySites {
 		b.noisySites[l] = b.noisySites[l][:0]
@@ -223,6 +223,16 @@ func (b *BatchNetwork[P]) Width() int { return b.w }
 // LaneStats returns a copy of lane l's accumulated statistics.
 func (b *BatchNetwork[P]) LaneStats(l int) Stats { return b.stats[l] }
 
+// ResetLaneDraw restores lane l's draw-contract state to its
+// just-constructed value, as if the lane had checked out a fresh network.
+// Batch runners whose scalar counterpart performs several pool checkouts
+// per trial (one per sub-broadcast, e.g. sequential routing's k Decay
+// calls) must call this at each sub-broadcast boundary: the draw
+// contract's canonical sequence restarts with every scalar checkout, and
+// stateful contracts (DrawV3's burst process) would otherwise leak state
+// across the boundary and diverge from the scalar universe.
+func (b *BatchNetwork[P]) ResetLaneDraw(l int) { b.draws[l].reset() }
+
 // faultFor returns the fault sampler for node v, as in the scalar engine.
 func (b *BatchNetwork[P]) faultFor(v int32) rng.Bernoulli {
 	if b.faultCoins != nil {
@@ -234,17 +244,17 @@ func (b *BatchNetwork[P]) faultFor(v int32) rng.Bernoulli {
 // markBroadcaster performs lane l's per-broadcaster bookkeeping:
 // accounting and the canonical sender-fault decision, exactly as the
 // scalar engine's markBroadcaster does for its single trial. Under the
-// skip contract the per-site countdown consumes the lane stream exactly
-// as the scalar engine's bulk walk does, so lane executions stay
-// bit-identical to scalar without a batched bulk path.
+// skip and burst contracts the per-site countdowns consume the lane
+// stream exactly as the scalar engine's bulk walks do, so lane executions
+// stay bit-identical to scalar without a batched bulk path.
 func (b *BatchNetwork[P]) markBroadcaster(l, v int) {
 	b.stats[l].Broadcasts++
 	if b.cfg.Fault == SenderFaults {
-		noisy := b.draws[l].site(b.faultFor(int32(v)), b.rnds[l])
+		noisy := b.draws[l].site(int32(v), b.faultFor(int32(v)), b.rnds[l])
 		b.senderNoise[l][v] = noisy
 		if noisy {
 			b.stats[l].SenderFaults++
-			if b.draws[l].skip {
+			if b.draws[l].bulk() {
 				b.noisySites[l] = append(b.noisySites[l], int32(v))
 			}
 		}
@@ -259,7 +269,7 @@ func (b *BatchNetwork[P]) resolveUnique(l int, u, from int32, payloads [][]P, rx
 	if b.cfg.Fault == SenderFaults && b.senderNoise[l][from] {
 		return // content destroyed at the sender
 	}
-	if b.cfg.Fault == ReceiverFaults && b.draws[l].site(b.faultFor(u), b.rnds[l]) {
+	if b.cfg.Fault == ReceiverFaults && b.draws[l].site(u, b.faultFor(u), b.rnds[l]) {
 		b.stats[l].ReceiverFaults++
 		return
 	}
@@ -328,10 +338,10 @@ func (b *BatchNetwork[P]) StepBatch(tx *bitset.Block, payloads [][]P, rx *bitset
 		b.stepBatchSparse(tx, payloads, rx, act, deliver)
 	}
 	// Clear the sender-fault flags set this round — off each active lane's
-	// recorded fault sites under the skip contract (O(faults) per lane),
-	// otherwise per lane off that lane's tx words — and close every lane's
-	// draw-contract round boundary: the batch twin of the scalar
-	// finishRound.
+	// recorded fault sites under the skip and burst contracts (O(faults)
+	// per lane), otherwise per lane off that lane's tx words — and close
+	// every lane's draw-contract round boundary: the batch twin of the
+	// scalar finishRound.
 	if b.cfg.Fault == SenderFaults {
 		if b.noisySites != nil {
 			for m := act; m != 0; m &= m - 1 {

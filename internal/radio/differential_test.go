@@ -169,6 +169,18 @@ func diffConfigs(n int) []Config {
 		{Fault: ReceiverFaults, P: 0.3, Draw: DrawV2},
 		{Fault: SenderFaults, P: 0.02, Draw: DrawV2},
 		{Fault: ReceiverFaults, P: 0.5, PerNodeP: perNode, Draw: DrawV2},
+		// The v3 Gilbert–Elliott contract: default burst shape, a custom
+		// shape stressing short bursts with a hot bad coin, and the PerNodeP
+		// degenerate case that falls back to per-site draws. P stays below
+		// BadP so the stationary marginal is reachable.
+		{Fault: SenderFaults, P: 0.1, Draw: DrawV3},
+		{Fault: ReceiverFaults, P: 0.1, Draw: DrawV3, Burst: BurstParams{Len: 3, BadP: 0.8}},
+		{Fault: SenderFaults, P: 0.5, PerNodeP: perNode, Draw: DrawV3},
+		// The v4 region-jamming contract: id-window and graph-ball shapes.
+		// Jams fire on top of independent v1 draws, so both the prelude
+		// (jam coin + center) and the per-site fallthrough get exercised.
+		{Fault: SenderFaults, P: 0.3, Draw: DrawV4, Jam: JamParams{Q: 0.3, Radius: 4}},
+		{Fault: ReceiverFaults, P: 0.3, Draw: DrawV4, Jam: JamParams{Q: 0.3, Radius: 2, Ball: true}},
 	}
 }
 
@@ -205,7 +217,12 @@ func TestDifferentialEnginesRandomSweep(t *testing.T) {
 		r := rng.New(seed)
 		n := 2 + r.Intn(120)
 		top := graph.GNP(n, r.Float64(), r.Split())
-		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95, Draw: DrawContract(r.Intn(2))}
+		cfg := Config{Fault: models[r.Intn(len(models))], P: r.Float64() * 0.95, Draw: DrawContract(r.Intn(4))}
+		if cfg.Draw == DrawV3 {
+			// Keep P below the default BadP=0.5 with marginal-reachability
+			// headroom (g2b <= 1 needs P <= 0.4 at the default Len=8).
+			cfg.P *= 0.4
+		}
 		txProb := r.Float64()
 		ref := runEngine(t, top.G, cfg, engineModes[0].eng, engineModes[0].mode, seed+1000, seed+2000, 40, txProb)
 		for _, em := range engineModes[1:] {

@@ -8,22 +8,47 @@ import (
 
 // FuzzDrawContract fuzzes the draw contract itself, below the engines:
 // for an arbitrary sequence of rounds over arbitrary site sets and an
-// arbitrary p, the optimized marking path (the bulk skip-jump walk the
-// dense/implicit engines run when untraced) must produce exactly the
-// fault membership that a per-site recomputation of the same contract
-// yields on an identically-seeded stream — same fault sets, same stats,
-// same stream position after every round. Both contract versions run
-// through the same harness (modelRaw bit 1 picks v2). Seed corpus lives
-// in testdata/fuzz/FuzzDrawContract.
+// arbitrary p, the optimized marking path (the bulk walks the
+// dense/implicit engines run when untraced, or the per-site loop where
+// the contract requires one) must produce exactly the fault membership
+// that a per-site recomputation of the same contract yields on an
+// identically-seeded stream — same fault sets, same stats, same stream
+// position after every round. All four contract versions run through the
+// same harness (modelRaw selects the contract and its parameter variant).
+// Seed corpus lives in testdata/fuzz/FuzzDrawContract.
 func FuzzDrawContract(f *testing.F) {
 	f.Add(uint64(1), uint64(64), uint64(1), uint64(500), []byte{0xff, 0x0f, 0xaa})
 	f.Add(uint64(2), uint64(200), uint64(1), uint64(1), []byte{0x01, 0x80})
 	f.Add(uint64(3), uint64(40), uint64(0), uint64(300), []byte{0x5a})
 	f.Add(uint64(4), uint64(130), uint64(1), uint64(999), []byte{})
+	f.Add(uint64(5), uint64(90), uint64(2), uint64(120), []byte{0x3c, 0xc3})
+	f.Add(uint64(6), uint64(150), uint64(6), uint64(640), []byte{0x77})
+	f.Add(uint64(7), uint64(64), uint64(3), uint64(250), []byte{0x0f, 0xf0, 0x55})
+	f.Add(uint64(8), uint64(300), uint64(7), uint64(80), []byte{0xaa, 0xaa})
 	f.Fuzz(func(t *testing.T, seed, nRaw, modelRaw, pRaw uint64, siteBytes []byte) {
 		n := int(nRaw%300) + 2
-		dc := DrawContract(modelRaw % 2)
+		dc := DrawContract(modelRaw % 4)
 		p := float64(pRaw%1000) / 1000 // [0, 0.999]: includes the p=0 degenerate case
+		cfg := Config{Fault: SenderFaults, P: p, Draw: dc}
+		variant := modelRaw / 4
+		switch dc {
+		case DrawV3:
+			// Keep the marginal reachable (P < BadP and g2b <= 1, even at
+			// Len=1, BadP=0.5 where the bound is P <= 0.25): scale p into
+			// [0, 0.24) and vary the burst shape from the spare bits.
+			cfg.P = p * 0.24
+			lens := []float64{1, 2, 8, 33}
+			cfg.Burst = BurstParams{Len: lens[variant%4], BadP: 0.5 + float64(variant%5)/10}
+		case DrawV4:
+			cfg.Jam = JamParams{
+				Q:      0.05 + float64(variant%7)/8,
+				Radius: 1 + int(variant%9)*4,
+				Ball:   variant%2 == 1,
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("fuzz-built config invalid: %v", err) // derivations above must keep cfg valid
+		}
 		rounds := len(siteBytes)
 		if rounds < 1 {
 			rounds = 1
@@ -43,6 +68,6 @@ func FuzzDrawContract(f *testing.F) {
 			}
 			return r.Bool(0.25)
 		}
-		checkBulkMatchesPerSite(t, dc, n, p, seed, rounds, pick)
+		checkBulkMatchesPerSite(t, cfg, n, seed, rounds, pick)
 	})
 }

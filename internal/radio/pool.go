@@ -9,7 +9,7 @@ import (
 
 // poolKey identifies networks that are interchangeable after a Reset: the
 // same graph, fault environment, engine selection, draw-contract version
-// and batch width (0 for
+// with its parameters, and batch width (0 for
 // scalar networks — a scalar checkout must never be handed batch-sized
 // scratch, and vice versa, so the width is part of the key exactly like
 // the graph is). Configs with per-node fault probabilities are not pooled
@@ -20,7 +20,27 @@ type poolKey struct {
 	p      float64
 	engine Engine
 	draw   DrawContract // networks under different contracts never mix
+	burst  BurstParams  // v3 parameters (normalised; zero otherwise)
+	jam    JamParams    // v4 parameters (normalised; zero otherwise)
 	width  int          // 0 = scalar Network, >= 1 = BatchNetwork lane count
+}
+
+// makePoolKey builds the key for a (graph, config, width) triple. The
+// contract parameters go in normalised — defaults resolved, non-selected
+// contracts zeroed — so configurations that run identically share a
+// freelist.
+func makePoolKey(g *graph.Graph, cfg Config, width int) poolKey {
+	burst, jam := cfg.drawParams()
+	return poolKey{
+		g:      g,
+		fault:  cfg.Fault,
+		p:      cfg.P,
+		engine: cfg.Engine,
+		draw:   cfg.Draw,
+		burst:  burst,
+		jam:    jam,
+		width:  width,
+	}
 }
 
 // Pool reuses Networks (and their batch counterparts) across Monte-Carlo
@@ -68,7 +88,7 @@ const (
 // batch network's scratch.
 func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error) {
 	if cfg.PerNodeP == nil {
-		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, draw: cfg.Draw}
+		key := makePoolKey(g, cfg, 0)
 		p.mu.Lock()
 		if list := p.free[key]; len(list) > 0 {
 			n := list[len(list)-1]
@@ -91,7 +111,7 @@ func (p *Pool[P]) Get(g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P],
 // It is equivalent to NewBatch[P](g, cfg, rnds) in every observable way.
 func (p *Pool[P]) GetBatch(g *graph.Graph, cfg Config, rnds []*rng.Stream) (*BatchNetwork[P], error) {
 	if cfg.PerNodeP == nil {
-		key := poolKey{g: g, fault: cfg.Fault, p: cfg.P, engine: cfg.Engine, draw: cfg.Draw, width: len(rnds)}
+		key := makePoolKey(g, cfg, len(rnds))
 		p.mu.Lock()
 		if list := p.freeBatch[key]; len(list) > 0 {
 			b := list[len(list)-1]
@@ -153,7 +173,7 @@ func (p *Pool[P]) Put(n *Network[P]) {
 	if n == nil || n.cfg.PerNodeP != nil {
 		return
 	}
-	key := poolKey{g: n.g, fault: n.cfg.Fault, p: n.cfg.P, engine: n.cfg.Engine, draw: n.cfg.Draw}
+	key := makePoolKey(n.g, n.cfg, 0)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.free[key]) >= poolKeyCap {
@@ -178,7 +198,7 @@ func (p *Pool[P]) PutBatch(b *BatchNetwork[P]) {
 	if b == nil || b.cfg.PerNodeP != nil {
 		return
 	}
-	key := poolKey{g: b.g, fault: b.cfg.Fault, p: b.cfg.P, engine: b.cfg.Engine, draw: b.cfg.Draw, width: b.w}
+	key := makePoolKey(b.g, b.cfg, b.w)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(p.freeBatch[key]) >= poolKeyCap {

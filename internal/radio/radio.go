@@ -33,9 +33,10 @@
 // How the stream is consumed to decide those sites is itself versioned by
 // Config.Draw (see DrawContract): DrawV1 draws one Bernoulli per site,
 // DrawV2 jumps fault-to-fault with geometric skips over the same site
-// order. Versions are deliberately not interchangeable — each pins its
-// own goldens — but within a version every engine, batch width and entry
-// point is bit-identical.
+// order, DrawV3 runs a Gilbert–Elliott burst process over it, and DrawV4
+// draws a per-round jammed region. Versions are deliberately not
+// interchangeable — each pins its own goldens — but within a version
+// every engine, batch width and entry point is bit-identical.
 //
 // # Execution engines
 //
@@ -86,6 +87,7 @@ import (
 	"fmt"
 	"math/bits"
 	"slices"
+	"strings"
 
 	"noisyradio/internal/bitset"
 	"noisyradio/internal/graph"
@@ -208,31 +210,199 @@ const (
 	// (p = 0, NaN, PerNodeP) fall back to v1's per-site draws, which are
 	// already O(faults) or cannot skip.
 	DrawV2
+	// DrawV3 is the Gilbert–Elliott burst contract: the canonical site
+	// sequence alternates good phases (fault-free, zero draws per site)
+	// and bad phases (one Bernoulli(Burst.BadP) draw per site), with
+	// geometric phase lengths — bad phases have mean Burst.Len, and the
+	// good-phase length is derived so the stationary marginal fault rate
+	// is exactly Config.P. Burst length is the new knob: at equal p,
+	// faults arrive clustered instead of i.i.d. A one-time stationarity
+	// draw precedes the first site; the phase indicator carries across
+	// rounds (a partial phase countdown is discarded at the round
+	// boundary — distributionally neutral by memorylessness). Applies
+	// when the fault probability is a uniform p ∈ (0,1); degenerate
+	// cases (p = 0, NaN, PerNodeP) fall back to v1's per-site draws.
+	DrawV3
+	// DrawV4 is the region-jamming contract: per round, with probability
+	// Jam.Q an adversary jams a region around a uniformly drawn center —
+	// a contiguous id window [c−R, c+R] mod n, or the graph ball around
+	// c when Jam.Ball is set. Sites inside the jam fault with no draw
+	// consumed; everywhere else (and in unjammed rounds) v1's per-site
+	// Bernoulli draws apply, PerNodeP included. The jam decision and
+	// center are drawn lazily at the round's first canonical site, so
+	// silent rounds stay draw-free. Active whenever Fault is not
+	// Faultless — jamming forces faults even at P = 0.
+	DrawV4
 )
+
+// contractSpec is one row of the draw-contract descriptor table: the
+// single registration point for a contract version. String, Parse,
+// Validate and the golden-file plumbing all read this table, so a new
+// version cannot leave one of them behind.
+type contractSpec struct {
+	name   string
+	golden string               // committed quick-suite golden for this version
+	check  func(c Config) error // contract-specific Config validation, nil when none
+}
+
+// contractSpecs is indexed by the DrawContract value.
+var contractSpecs = []contractSpec{
+	DrawV1: {name: "v1", golden: "golden_quick.json"},
+	DrawV2: {name: "v2", golden: "golden_quick_v2.json"},
+	DrawV3: {name: "v3", golden: "golden_quick_v3.json", check: validateBurst},
+	DrawV4: {name: "v4", golden: "golden_quick_v4.json", check: validateJam},
+}
+
+// DrawContracts returns every registered contract version in order.
+func DrawContracts() []DrawContract {
+	out := make([]DrawContract, len(contractSpecs))
+	for i := range out {
+		out[i] = DrawContract(i)
+	}
+	return out
+}
 
 // String returns the short contract name used by flags and reports.
 func (d DrawContract) String() string {
-	switch d {
-	case DrawV1:
-		return "v1"
-	case DrawV2:
-		return "v2"
-	default:
-		return fmt.Sprintf("DrawContract(%d)", int(d))
+	if d >= 0 && int(d) < len(contractSpecs) {
+		return contractSpecs[d].name
 	}
+	return fmt.Sprintf("DrawContract(%d)", int(d))
+}
+
+// GoldenFile returns the name of the contract's committed quick-suite
+// golden under internal/experiments/testdata. Golden tests and CI read
+// this instead of hard-coding per-version file names.
+func (d DrawContract) GoldenFile() string {
+	if d >= 0 && int(d) < len(contractSpecs) {
+		return contractSpecs[d].golden
+	}
+	return ""
 }
 
 // ParseDrawContract converts a string produced by DrawContract.String
 // back to the contract value, for command-line flags. The empty string is
 // the default contract, v1.
 func ParseDrawContract(s string) (DrawContract, error) {
-	switch s {
-	case "v1", "":
+	if s == "" {
 		return DrawV1, nil
-	case "v2":
-		return DrawV2, nil
 	}
-	return DrawV1, fmt.Errorf("radio: unknown draw contract %q (v1|v2)", s)
+	for i, spec := range contractSpecs {
+		if s == spec.name {
+			return DrawContract(i), nil
+		}
+	}
+	names := make([]string, len(contractSpecs))
+	for i, spec := range contractSpecs {
+		names[i] = spec.name
+	}
+	return DrawV1, fmt.Errorf("radio: unknown draw contract %q (%s)", s, strings.Join(names, "|"))
+}
+
+// Default parameters for the correlated-noise contracts: a zero field in
+// BurstParams/JamParams selects its default, so Config{Draw: DrawV3} and
+// Config{Draw: DrawV4} are valid out of the box.
+const (
+	DefaultBurstLen  = 8.0  // mean bad-phase length, in canonical sites
+	DefaultBurstBadP = 0.5  // fault probability inside a bad phase
+	DefaultJamQ      = 0.05 // per-round jam probability
+	DefaultJamRadius = 8    // id-window radius of the jammed region
+)
+
+// BurstParams parameterises the DrawV3 Gilbert–Elliott contract. The
+// zero value selects the defaults field by field.
+type BurstParams struct {
+	// Len is the mean burst (bad-phase) length, measured in canonical
+	// draw sites; bad-phase lengths are geometric with this mean.
+	// 0 selects DefaultBurstLen; must otherwise be ≥ 1.
+	Len float64
+	// BadP is the fault probability inside a bad phase. 0 selects
+	// DefaultBurstBadP; must otherwise lie in (0, 1], and Config.P must
+	// stay below it (the stationary bad fraction is P/BadP).
+	BadP float64
+}
+
+// norm resolves zero fields to the defaults.
+func (p BurstParams) norm() BurstParams {
+	if p.Len == 0 {
+		p.Len = DefaultBurstLen
+	}
+	if p.BadP == 0 {
+		p.BadP = DefaultBurstBadP
+	}
+	return p
+}
+
+// JamParams parameterises the DrawV4 region-jamming contract. The zero
+// value selects the defaults field by field.
+type JamParams struct {
+	// Q is the per-round jam probability. 0 selects DefaultJamQ; must
+	// otherwise lie in (0, 1].
+	Q float64
+	// Radius is the id-window radius: a jam covers [c−Radius, c+Radius]
+	// mod n around the drawn center c. 0 selects DefaultJamRadius.
+	// Ignored when Ball is set.
+	Radius int
+	// Ball jams the graph ball around the center — c and its
+	// neighbours — instead of the id window, making the jam
+	// topology-aware on any graph (CSR or implicit).
+	Ball bool
+}
+
+// norm resolves zero fields to the defaults.
+func (p JamParams) norm() JamParams {
+	if p.Q == 0 {
+		p.Q = DefaultJamQ
+	}
+	if p.Radius == 0 {
+		p.Radius = DefaultJamRadius
+	}
+	return p
+}
+
+// burstDerived returns the derived Gilbert–Elliott quantities for a
+// uniform marginal p: the stationary bad-phase fraction πB = p/BadP and
+// the good-phase geometric parameter g2b = πB/(Len·(1−πB)), chosen so
+// E[good] = (1−πB)/πB · Len and hence the stationary marginal fault rate
+// is πB·BadP = p exactly.
+func burstDerived(p float64, b BurstParams) (piB, g2b float64) {
+	piB = p / b.BadP
+	g2b = piB / (b.Len * (1 - piB))
+	return piB, g2b
+}
+
+// validateBurst checks the DrawV3 parameters of c (after defaulting).
+func validateBurst(c Config) error {
+	b := c.Burst.norm()
+	if !(b.Len >= 1) {
+		return fmt.Errorf("radio: burst length %v outside [1, ∞)", b.Len)
+	}
+	if !(b.BadP > 0 && b.BadP <= 1) {
+		return fmt.Errorf("radio: burst bad-state probability %v outside (0,1]", b.BadP)
+	}
+	if c.PerNodeP != nil || !(c.P > 0) {
+		return nil // degenerate: falls back to v1 draws, nothing to derive
+	}
+	piB, g2b := burstDerived(c.P, b)
+	if piB >= 1 {
+		return fmt.Errorf("radio: DrawV3 needs P < Burst.BadP (got P=%v, BadP=%v)", c.P, b.BadP)
+	}
+	if g2b > 1 {
+		return fmt.Errorf("radio: DrawV3 marginal P=%v unreachable with Burst.Len=%v, Burst.BadP=%v (raise BadP or Len)", c.P, b.Len, b.BadP)
+	}
+	return nil
+}
+
+// validateJam checks the DrawV4 parameters of c (after defaulting).
+func validateJam(c Config) error {
+	j := c.Jam.norm()
+	if !(j.Q > 0 && j.Q <= 1) {
+		return fmt.Errorf("radio: jam probability %v outside (0,1]", j.Q)
+	}
+	if j.Radius < 0 {
+		return fmt.Errorf("radio: jam radius %d negative", j.Radius)
+	}
+	return nil
 }
 
 // Config describes the noise environment of a network.
@@ -257,6 +427,47 @@ type Config struct {
 	// rng.Stream differently and produce different (equally valid)
 	// executions, each pinned by its own goldens.
 	Draw DrawContract
+	// Burst parameterises DrawV3; ignored under every other contract.
+	// The zero value selects the defaults (see BurstParams).
+	Burst BurstParams
+	// Jam parameterises DrawV4; ignored under every other contract. The
+	// zero value selects the defaults (see JamParams).
+	Jam JamParams
+}
+
+// drawParams returns the contract parameters that shape this
+// configuration's draw sequence, normalised: zero fields resolved to
+// defaults, and the parameter struct of every non-selected contract
+// zeroed (it is ignored, so it must not split pool keys).
+func (c Config) drawParams() (BurstParams, JamParams) {
+	var b BurstParams
+	var j JamParams
+	switch c.Draw {
+	case DrawV3:
+		b = c.Burst.norm()
+	case DrawV4:
+		j = c.Jam.norm()
+	}
+	return b, j
+}
+
+// DrawLabel returns the contract name annotated with its effective
+// parameters — "v3(len=8,badp=0.5)", "v4(q=0.05,r=8)" — for plan rows
+// and reports. For v1/v2 it is just the contract name.
+func (c Config) DrawLabel() string {
+	switch c.Draw {
+	case DrawV3:
+		b := c.Burst.norm()
+		return fmt.Sprintf("v3(len=%g,badp=%g)", b.Len, b.BadP)
+	case DrawV4:
+		j := c.Jam.norm()
+		region := fmt.Sprintf("r=%d", j.Radius)
+		if j.Ball {
+			region = "ball"
+		}
+		return fmt.Sprintf("v4(q=%g,%s)", j.Q, region)
+	}
+	return c.Draw.String()
 }
 
 // ResolveEngine returns the engine New would actually run g with under
@@ -308,63 +519,207 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("radio: unknown engine %d", int(c.Engine))
 	}
-	switch c.Draw {
-	case DrawV1, DrawV2:
-	default:
+	if c.Draw < 0 || int(c.Draw) >= len(contractSpecs) {
 		return fmt.Errorf("radio: unknown draw contract %d", int(c.Draw))
+	}
+	if c.Fault != Faultless {
+		if check := contractSpecs[c.Draw].check; check != nil {
+			if err := check(c); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
 
+// drawMode is the resolved execution mode of a drawState — the contract
+// version after degenerate inputs have fallen back to per-site draws.
+type drawMode uint8
+
+const (
+	// drawPerSite is DrawV1's one-Bernoulli-per-site sequence, and the
+	// fallback for every contract's degenerate inputs (PerNodeP, p = 0,
+	// NaN). The zero value.
+	drawPerSite drawMode = iota
+	// drawSkip is DrawV2's active geometric fault-to-fault skip.
+	drawSkip
+	// drawBurst is DrawV3's active Gilbert–Elliott phase process.
+	drawBurst
+	// drawJam is DrawV4's per-round region jamming.
+	drawJam
+)
+
 // drawState executes the configured draw contract over one stream's
 // canonical site sequence. Every fault decision in the simulator — scalar
-// or batch, any engine — goes through here (or through the bulk walk in
-// markBroadcastersBulk, which replays the identical countdown), so the
+// or batch, any engine — goes through here (or through the bulk walks in
+// markBroadcastersBulk, which replay the identical draw sequence), so the
 // contract is enforced in exactly one place.
 //
-// Under DrawV1, or under DrawV2's degenerate cases (PerNodeP, p = 0,
-// NaN), site() is simply the per-site Bernoulli draw. Under active DrawV2
-// skip it runs a countdown: one geometric draw yields the distance to the
-// next faulty site, and intervening sites consume no randomness. The
+// Under drawPerSite, site() is simply the per-site Bernoulli draw. Under
+// drawSkip it runs a countdown: one geometric draw yields the distance to
+// the next faulty site, and intervening sites consume no randomness; the
 // countdown is per-round state — endRound discards a partial skip — so a
-// round's fault count is Binomial(sites, p) in both contracts.
+// round's fault count is Binomial(sites, p) just like v1. Under drawBurst
+// the countdown counts the sites left in the current good/bad phase: a
+// phase-length draw opens each phase, good sites then consume nothing and
+// bad sites one badCoin draw each; endRound discards the phase countdown
+// (memorylessness makes that distributionally neutral) but the phase
+// indicator and the one-time stationarity init persist across rounds —
+// that persistence is exactly what makes the noise bursty. Under drawJam
+// the first site of each round draws the jam decision (and center, if
+// jammed); jammed sites then fault with no draw and all others fall
+// through to the per-site coin.
 type drawState struct {
-	skip      bool          // DrawV2 with uniform p in (0,1): geometric skip active
-	geom      rng.Geometric // skip sampler, set iff skip
-	remaining int           // sites until the next fault; -1 = no pending draw
+	mode      drawMode
+	geom      rng.Geometric // v2 skip sampler, set iff mode == drawSkip
+	remaining int           // v2: sites until the next fault; v3: sites left in the current phase; -1 = no pending draw
+
+	// Gilbert–Elliott state (mode == drawBurst).
+	badGeom  rng.Geometric // bad-phase length sampler, geometric with mean Burst.Len
+	goodGeom rng.Geometric // good-phase length sampler, geometric(g2b)
+	badCoin  rng.Bernoulli // per-site fault coin inside bad phases (Burst.BadP)
+	initCoin rng.Bernoulli // one-time stationarity draw (πB)
+	bad      bool          // current phase is bad
+	inited   bool          // stationarity draw consumed
+
+	// Region-jamming state (mode == drawJam).
+	jamCoin rng.Bernoulli // per-round jam decision (Jam.Q)
+	g       *graph.Graph  // ball membership tests (works on CSR and implicit graphs)
+	n       int           // node count: center draw range and window arithmetic
+	radius  int
+	ball    bool
+	jamOpen bool  // this round's jam prelude has been drawn
+	jammed  bool  // this round has an active jam
+	center  int32 // jam center, valid iff jammed
 }
 
-// makeDrawState builds the draw state for cfg. The zero remaining value
-// would mean "fault at the next site", so -1 is the explicit idle state.
-func makeDrawState(cfg Config) drawState {
+// makeDrawState builds the draw state for a validated cfg over g. The
+// zero remaining value would mean "fault at the next site", so -1 is the
+// explicit idle state.
+func makeDrawState(cfg Config, g *graph.Graph) drawState {
 	d := drawState{remaining: -1}
-	if cfg.Draw == DrawV2 && cfg.Fault != Faultless && cfg.PerNodeP == nil && cfg.P > 0 && cfg.P < 1 {
-		d.skip = true
+	if cfg.Fault == Faultless {
+		return d
+	}
+	uniform := cfg.PerNodeP == nil && cfg.P > 0 && cfg.P < 1
+	switch {
+	case cfg.Draw == DrawV2 && uniform:
+		d.mode = drawSkip
 		d.geom = rng.NewGeometric(cfg.P)
+	case cfg.Draw == DrawV3 && uniform:
+		b := cfg.Burst.norm()
+		piB, g2b := burstDerived(cfg.P, b)
+		d.mode = drawBurst
+		d.badGeom = rng.NewGeometric(1 / b.Len)
+		d.goodGeom = rng.NewGeometric(g2b)
+		d.badCoin = rng.NewBernoulli(b.BadP)
+		d.initCoin = rng.NewBernoulli(piB)
+	case cfg.Draw == DrawV4:
+		j := cfg.Jam.norm()
+		d.mode = drawJam
+		d.jamCoin = rng.NewBernoulli(j.Q)
+		d.g = g
+		d.n = g.N()
+		d.radius = j.Radius
+		d.ball = j.Ball
 	}
 	return d
 }
 
-// site decides one canonical-order site: coin is the site's Bernoulli
-// sampler (used verbatim when the skip contract is inactive).
-func (d *drawState) site(coin rng.Bernoulli, r *rng.Stream) bool {
-	if !d.skip {
+// bulk reports whether the bulk sender-marking path handles this mode:
+// the contract consumes no per-site draw on most sites, so whole spans
+// can be skipped and fault sites located by select-the-k-th-set-bit.
+// drawJam is excluded — every non-jammed site draws its own coin there,
+// so a bulk walk would visit every site anyway.
+func (d *drawState) bulk() bool { return d.mode == drawSkip || d.mode == drawBurst }
+
+// site decides one canonical-order site v: coin is the site's Bernoulli
+// sampler (used verbatim when the per-site contract applies; v4 uses it
+// for every site outside a jam, which is what keeps it PerNodeP-capable).
+func (d *drawState) site(v int32, coin rng.Bernoulli, r *rng.Stream) bool {
+	switch d.mode {
+	case drawSkip:
+		if d.remaining < 0 {
+			d.remaining = d.geom.Draw(r) - 1
+		}
+		if d.remaining == 0 {
+			d.remaining = -1
+			return true
+		}
+		d.remaining--
+		return false
+	case drawBurst:
+		if !d.inited {
+			d.inited = true
+			d.bad = d.initCoin.Draw(r)
+		}
+		if d.remaining < 0 {
+			if d.bad {
+				d.remaining = d.badGeom.Draw(r)
+			} else {
+				d.remaining = d.goodGeom.Draw(r)
+			}
+		}
+		faulty := false
+		if d.bad {
+			faulty = d.badCoin.Draw(r)
+		}
+		if d.remaining--; d.remaining == 0 {
+			d.bad = !d.bad
+			d.remaining = -1
+		}
+		return faulty
+	case drawJam:
+		if !d.jamOpen {
+			d.jamOpen = true
+			d.jammed = d.jamCoin.Draw(r)
+			if d.jammed {
+				d.center = int32(r.Intn(d.n))
+			}
+		}
+		if d.jammed && d.inJam(v) {
+			return true // adversarial fault: no draw consumed
+		}
+		return coin.Draw(r)
+	default:
 		return coin.Draw(r)
 	}
-	if d.remaining < 0 {
-		d.remaining = d.geom.Draw(r) - 1
-	}
-	if d.remaining == 0 {
-		d.remaining = -1
-		return true
-	}
-	d.remaining--
-	return false
 }
 
-// endRound closes the round's site sequence: a partial skip does not
-// carry into the next round.
-func (d *drawState) endRound() { d.remaining = -1 }
+// inJam reports whether site v lies in the current jam region.
+func (d *drawState) inJam(v int32) bool {
+	if d.ball {
+		return v == d.center || d.g.HasEdge(int(d.center), int(v))
+	}
+	// Circular id window [center−radius, center+radius] mod n.
+	delta := int(v) - int(d.center)
+	if delta < 0 {
+		delta += d.n
+	}
+	return delta <= d.radius || delta >= d.n-d.radius
+}
+
+// endRound closes the round's site sequence: a partial v2 skip or v3
+// phase countdown does not carry into the next round (the v3 phase
+// indicator and stationarity init do — see drawState), and v4's jam
+// prelude is re-armed for the next round.
+func (d *drawState) endRound() {
+	d.remaining = -1
+	d.jamOpen = false
+	d.jammed = false
+}
+
+// reset returns the state to its just-constructed value, dropping every
+// cross-round remnant — v3's phase indicator and stationarity init,
+// v4's jam prelude — so a pooled network behaves exactly like a fresh
+// one. endRound alone is not enough for v3/v4, which deliberately carry
+// state across round boundaries.
+func (d *drawState) reset() {
+	d.endRound()
+	d.bad = false
+	d.inited = false
+	d.center = 0
+}
 
 // Stats accumulates channel-level accounting across rounds.
 type Stats struct {
@@ -498,10 +853,10 @@ func New[P any](g *graph.Graph, cfg Config, rnd *rng.Stream) (*Network[P], error
 		engine:    engine,
 		scratchTx: bitset.New(g.N()),
 	}
-	n.draw = makeDrawState(cfg)
+	n.draw = makeDrawState(cfg, g)
 	if cfg.Fault == SenderFaults {
 		n.senderNoise = make([]bool, g.N())
-		if n.draw.skip {
+		if n.draw.bulk() {
 			n.noisySites = make([]int32, 0, 64)
 		}
 	}
@@ -586,7 +941,7 @@ func (n *Network[P]) Reset(rnd *rng.Stream) {
 	for v := range n.senderNoise {
 		n.senderNoise[v] = false
 	}
-	n.draw.endRound()
+	n.draw.reset()
 	n.noisySites = n.noisySites[:0]
 }
 
@@ -696,11 +1051,11 @@ func (n *Network[P]) markBroadcaster(v int) {
 		n.traceTx = append(n.traceTx, int32(v))
 	}
 	if n.cfg.Fault == SenderFaults {
-		noisy := n.draw.site(n.faultFor(int32(v)), n.rnd)
+		noisy := n.draw.site(int32(v), n.faultFor(int32(v)), n.rnd)
 		n.senderNoise[v] = noisy
 		if noisy {
 			n.stats.SenderFaults++
-			if n.draw.skip {
+			if n.draw.bulk() {
 				n.noisySites = append(n.noisySites, int32(v))
 			}
 		}
@@ -709,14 +1064,14 @@ func (n *Network[P]) markBroadcaster(v int) {
 
 // markBroadcasters performs the round's broadcaster marking off the tx
 // words [txLo, txHi): per site when per-broadcaster bookkeeping is needed
-// (tracing, or v1's one-draw-per-site sender contract), in bulk otherwise
-// — broadcast accounting by popcount, and under the active skip contract
-// the fault sites located by select-the-k-th-set-bit jumps instead of a
-// visit to every broadcaster. Decisions and stream consumption are
-// identical on both paths (the bulk walk replays the same countdown), so
-// the engines may mix them freely; only the work differs.
+// (tracing, or a contract that draws one coin per site — v1 and v4), in
+// bulk otherwise — broadcast accounting by popcount, and under the skip
+// and burst contracts the fault sites located by select-the-k-th-set-bit
+// jumps instead of a visit to every broadcaster. Decisions and stream
+// consumption are identical on both paths (the bulk walks replay the same
+// countdowns), so the engines may mix them freely; only the work differs.
 func (n *Network[P]) markBroadcasters(txw []uint64, txLo, txHi int) {
-	if n.trace == nil && (n.cfg.Fault != SenderFaults || n.draw.skip) {
+	if n.trace == nil && (n.cfg.Fault != SenderFaults || n.draw.bulk()) {
 		n.markBroadcastersBulk(txw, txLo, txHi)
 		return
 	}
@@ -727,9 +1082,32 @@ func (n *Network[P]) markBroadcasters(txw []uint64, txLo, txHi int) {
 	}
 }
 
-// markBroadcastersBulk is the O(faults) marking path: broadcasts counted
-// word-parallel, and — under SenderFaults with the skip contract — the
-// countdown advanced fault-to-fault, materializing only the faulty sites.
+// txSelect locates ascending set bits of a word slice by index: locate(k)
+// returns the position of the k-th (0-based) set bit. Calls must be made
+// with non-decreasing k — the cursor only moves forward, which is what
+// makes a whole round's fault locations O(words + faults) instead of
+// O(words · faults).
+type txSelect struct {
+	txw    []uint64
+	wi     int // current word
+	before int // set bits strictly before word wi
+}
+
+func (s *txSelect) locate(k int) int {
+	for s.before+bits.OnesCount64(s.txw[s.wi]) <= k {
+		s.before += bits.OnesCount64(s.txw[s.wi])
+		s.wi++
+	}
+	w := s.txw[s.wi]
+	for j := k - s.before; j > 0; j-- {
+		w &= w - 1
+	}
+	return s.wi*64 + bits.TrailingZeros64(w)
+}
+
+// markBroadcastersBulk is the O(faults)-ish marking path: broadcasts
+// counted word-parallel, then — under SenderFaults — the active
+// contract's span-skipping walk materializes only the faulty sites.
 func (n *Network[P]) markBroadcastersBulk(txw []uint64, txLo, txHi int) {
 	total := 0
 	for wi := txLo; wi < txHi; wi++ {
@@ -739,9 +1117,13 @@ func (n *Network[P]) markBroadcastersBulk(txw []uint64, txLo, txHi int) {
 	if n.cfg.Fault != SenderFaults || total == 0 {
 		return
 	}
+	sel := txSelect{txw: txw, wi: txLo}
+	if n.draw.mode == drawBurst {
+		n.markBurstBulk(&sel, total)
+		return
+	}
 	d := &n.draw
-	idx := 0              // broadcaster sites consumed so far, ascending id order
-	wi, before := txLo, 0 // select cursor: set bits strictly before word wi
+	idx := 0 // broadcaster sites consumed so far, ascending id order
 	for idx < total {
 		if d.remaining < 0 {
 			d.remaining = d.geom.Draw(n.rnd) - 1
@@ -754,21 +1136,63 @@ func (n *Network[P]) markBroadcastersBulk(txw []uint64, txLo, txHi int) {
 		}
 		idx += d.remaining
 		d.remaining = -1
-		// Locate the idx-th (0-based) broadcaster: advance the word
-		// cursor, then select within the word.
-		for before+bits.OnesCount64(txw[wi]) <= idx {
-			before += bits.OnesCount64(txw[wi])
-			wi++
-		}
-		w := txw[wi]
-		for k := idx - before; k > 0; k-- {
-			w &= w - 1
-		}
-		v := wi*64 + bits.TrailingZeros64(w)
+		v := sel.locate(idx)
 		n.senderNoise[v] = true
 		n.stats.SenderFaults++
 		n.noisySites = append(n.noisySites, int32(v))
 		idx++
+	}
+}
+
+// markBurstBulk is the burst contract's span-skipping walk over the
+// round's total broadcaster sites: good phases are consumed whole in O(1)
+// (they draw nothing per site), bad phases draw one coin per site, and
+// only the faulty sites are located. Stream consumption is identical to
+// total consecutive site() calls — the same phase-length, init and coin
+// draws in the same order — so the per-site and bulk paths interleave
+// freely across rounds and engines.
+func (n *Network[P]) markBurstBulk(sel *txSelect, total int) {
+	d := &n.draw
+	if !d.inited {
+		d.inited = true
+		d.bad = d.initCoin.Draw(n.rnd)
+	}
+	idx := 0 // broadcaster sites consumed so far, ascending id order
+	for idx < total {
+		if d.remaining < 0 {
+			if d.bad {
+				d.remaining = d.badGeom.Draw(n.rnd)
+			} else {
+				d.remaining = d.goodGeom.Draw(n.rnd)
+			}
+		}
+		if !d.bad {
+			// Consume the good span in one step: no draws inside it.
+			k := d.remaining
+			if k > total-idx {
+				k = total - idx
+			}
+			idx += k
+			if d.remaining -= k; d.remaining == 0 {
+				d.bad = true
+				d.remaining = -1
+			}
+			continue
+		}
+		for idx < total {
+			if d.badCoin.Draw(n.rnd) {
+				v := sel.locate(idx)
+				n.senderNoise[v] = true
+				n.stats.SenderFaults++
+				n.noisySites = append(n.noisySites, int32(v))
+			}
+			idx++
+			if d.remaining--; d.remaining == 0 {
+				d.bad = false
+				d.remaining = -1
+				break
+			}
+		}
 	}
 }
 
@@ -788,7 +1212,7 @@ func (n *Network[P]) resolveUnique(u, from int32, payload []P, rx *bitset.Set, d
 	if n.cfg.Fault == SenderFaults && n.senderNoise[from] {
 		return // content destroyed at the sender
 	}
-	if n.cfg.Fault == ReceiverFaults && n.draw.site(n.faultFor(u), n.rnd) {
+	if n.cfg.Fault == ReceiverFaults && n.draw.site(u, n.faultFor(u), n.rnd) {
 		n.stats.ReceiverFaults++
 		return
 	}
@@ -1036,13 +1460,13 @@ func (n *Network[P]) stepSetImplicit(tx *bitset.Set, payload []P, rx *bitset.Set
 }
 
 // finishRound clears the sender-fault flags set this round — off the
-// recorded fault sites (O(faults)) when the skip contract is active, off
-// the tx words (O(broadcasters)) otherwise; only the sender model ever
-// sets any — closes the draw contract's round boundary, and flushes the
-// trace.
+// recorded fault sites (O(faults)) when a bulk-capable contract is
+// active, off the tx words (O(broadcasters)) otherwise; only the sender
+// model ever sets any — closes the draw contract's round boundary, and
+// flushes the trace.
 func (n *Network[P]) finishRound(tx *bitset.Set) {
 	if n.cfg.Fault == SenderFaults {
-		if n.draw.skip {
+		if n.draw.bulk() {
 			for _, v := range n.noisySites {
 				n.senderNoise[v] = false
 			}

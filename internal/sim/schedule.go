@@ -44,7 +44,7 @@ func (s *Sweep) AddSchedule(sched *broadcast.Schedule, top graph.Topology, cfg r
 	}, value)
 	row := s.AddBatch(trials, seed, scalar, batch)
 	row.sched = sched.Name
-	row.planDraw = cfg.Draw
+	row.planDraw = cfg.DrawLabel()
 	// Resolve the engine the radio layer would pick for the schedule's
 	// effective topology — the planner input. When the topology is unknown
 	// (underspecified params), the configured engine selection stands:

@@ -112,7 +112,7 @@ type Row struct {
 	// topology, which the auto planner consults.
 	sched      string
 	planEngine radio.Engine
-	planDraw   radio.DrawContract
+	planDraw   string // draw-contract label (radio.Config.DrawLabel)
 
 	mu      sync.Mutex
 	cond    sync.Cond // signalled when next advances; bounds the pending backlog
@@ -269,7 +269,7 @@ func (s *Sweep) Run() error {
 				recordPlan(benchreport.Plan{
 					Schedule: row.sched,
 					Engine:   row.planEngine.String(),
-					Draw:     row.planDraw.String(),
+					Draw:     row.planDraw,
 					Trials:   row.trials,
 					Width:    width,
 					Reason:   reason,

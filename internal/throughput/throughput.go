@@ -8,6 +8,7 @@
 package throughput
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,6 +19,14 @@ import (
 	"noisyradio/internal/sim"
 	"noisyradio/internal/stats"
 )
+
+// ErrAllTrialsFailed marks an Estimate whose every Monte-Carlo trial
+// failed to deliver: no mean or throughput exists, but the measurement
+// itself is sound — the schedule simply never succeeded under this noise
+// (routinely the case for non-adaptive routing under heavily correlated
+// faults). Callers match with errors.Is to report the collapse instead of
+// treating it as a harness failure.
+var ErrAllTrialsFailed = errors.New("all trials failed")
 
 // Runner produces one k-message broadcast execution under the given
 // randomness. Implementations wrap the schedules in internal/broadcast;
@@ -107,7 +116,11 @@ func (p *Pending) Estimate() (Estimate, error) {
 		SuccessRate: float64(acc.N()) / float64(p.trials),
 	}
 	if acc.N() == 0 {
-		return est, fmt.Errorf("throughput: all %d trials failed", p.trials)
+		// The estimate (with its zero SuccessRate and trial count) is still
+		// returned: callers distinguishing "the schedule collapsed under
+		// this noise" from a harness error match on ErrAllTrialsFailed and
+		// may render the collapse as a result rather than abort.
+		return est, fmt.Errorf("throughput: all %d trials failed: %w", p.trials, ErrAllTrialsFailed)
 	}
 	est.MeanRounds = acc.Mean()
 	est.RoundsCI95 = acc.CI95()

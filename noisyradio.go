@@ -66,11 +66,21 @@ type (
 	// DrawContract versions the fault-draw sequence of a noisy execution:
 	// DrawV1 (the zero value and default) draws one Bernoulli coin per
 	// fault site in canonical order, DrawV2 draws geometric skip distances
-	// over the same site order. Each version is its own deterministic
-	// universe — bit-stable across engines and batch widths within the
-	// version, different draws across versions — so this is not a pure
-	// speed knob the way Engine is.
+	// over the same site order, DrawV3 runs a Gilbert–Elliott good/bad
+	// burst process per site (time-correlated faults at the same
+	// stationary marginal p), and DrawV4 jams a contiguous region of the
+	// graph per round (space-correlated faults on top of v1 draws). Each
+	// version is its own deterministic universe — bit-stable across
+	// engines and batch widths within the version, different draws across
+	// versions — so this is not a pure speed knob the way Engine is.
 	DrawContract = radio.DrawContract
+	// BurstParams tunes DrawV3 (mean burst length, bad-phase fault
+	// probability); the zero value selects the defaults.
+	BurstParams = radio.BurstParams
+	// JamParams tunes DrawV4 (per-round jam probability, region radius,
+	// id-window vs graph-ball region shape); the zero value selects the
+	// defaults.
+	JamParams = radio.JamParams
 	// Rand is the deterministic random stream driving every execution.
 	Rand = rng.Stream
 )
@@ -94,14 +104,20 @@ const (
 const (
 	DrawV1 = radio.DrawV1
 	DrawV2 = radio.DrawV2
+	DrawV3 = radio.DrawV3
+	DrawV4 = radio.DrawV4
 )
+
+// DrawContracts returns every draw-contract version in order, for callers
+// iterating the full set (tests, CLI listings).
+func DrawContracts() []DrawContract { return radio.DrawContracts() }
 
 // ParseEngine converts "auto" | "sparse" | "dense" | "implicit" to an
 // Engine, for command-line flags.
 func ParseEngine(s string) (Engine, error) { return radio.ParseEngine(s) }
 
-// ParseDrawContract converts "v1" | "v2" (or "", meaning v1) to a
-// DrawContract, for command-line flags.
+// ParseDrawContract converts "v1" | "v2" | "v3" | "v4" (or "", meaning
+// v1) to a DrawContract, for command-line flags.
 func ParseDrawContract(s string) (DrawContract, error) { return radio.ParseDrawContract(s) }
 
 // Algorithm result and option types.
@@ -403,8 +419,10 @@ func TransformedPathCoding(pathLen, k int, cfg Config, r *Rand, params Transform
 
 // Experiment harness.
 type (
-	// ExperimentConfig controls trials, seed, parallelism, sweep size and
-	// the trial-batch plan (TrialBatch: 0 scalar, W forced, -1 auto).
+	// ExperimentConfig controls trials, seed, parallelism, sweep size,
+	// the trial-batch plan (TrialBatch: 0 scalar, W forced, -1 auto) and
+	// the draw contract of every noisy run (Draw plus the Burst/Jam
+	// parameters).
 	ExperimentConfig = experiments.Config
 	// ExperimentTable is a formatted experiment result.
 	ExperimentTable = experiments.Table
@@ -414,6 +432,11 @@ type (
 
 // Experiments returns every registered experiment (E1–E19, F1–F2, A1–A3).
 func Experiments() []Experiment { return experiments.Registry() }
+
+// ExperimentExtras returns the extra experiments that run only when named
+// explicitly (the E20 correlated-noise robustness study). RunExperiment
+// accepts their ids like any registry entry.
+func ExperimentExtras() []Experiment { return experiments.Extras() }
 
 // RunExperiment runs the experiment with the given id.
 func RunExperiment(id string, cfg ExperimentConfig) (ExperimentTable, error) {
