@@ -38,6 +38,7 @@ func main() {
 		minBatchSpd  = flag.Float64("min-stepbatch-speedup", 0, "minimum required scalar-stepset/stepbatch ns-per-trial-round ratio at w=8 on dense/complete n=1024 (0 disables)")
 		minGeomSpd   = flag.Float64("min-geomskip-speedup", 0, "minimum required v1/v2 faultdraw ns-per-round ratio at p=0.001 n=100000 (0 disables)")
 		maxBurstRat  = flag.Float64("max-burstdraw-ratio", 0, "maximum allowed v3/v2 faultdraw ns-per-round ratio at matched p=0.001 n=100000 (0 disables)")
+		minCacheSpd  = flag.Float64("min-cachehit-speedup", 0, "minimum required cold/hit request-time ratio for the sweep-service result cache (0 disables)")
 	)
 	flag.Parse()
 	if *baselinePath == "" || *currentPath == "" {
@@ -90,6 +91,53 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *minCacheSpd > 0 {
+		verdict, err := gateCacheHit(current, *minCacheSpd)
+		if verdict != "" {
+			fmt.Println("benchgate:", verdict)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// The microbenchmark rows the sweep-service cache gate compares: one
+// representative job submitted cold (executes the sharded sweep) and
+// again as a cache hit (replays the stored body), both measured as ns per
+// HTTP round trip (serve.CacheMicrobench).
+const (
+	cacheColdRow = "servecache/cold/decay-complete-4096"
+	cacheHitRow  = "servecache/hit/decay-complete-4096"
+)
+
+// gateCacheHit enforces the result-cache acceptance floor against the
+// *current* report alone: replaying a cached job body must be at least
+// minSpeedup times faster than executing the job, end to end through the
+// HTTP stack. Like the other absolute gates no baseline is involved — a
+// cache hit that recomputes anything (or a cold path that got suspiciously
+// cheap, breaking the contrast) fails regardless of history.
+func gateCacheHit(current benchreport.Report, minSpeedup float64) (string, error) {
+	rows := make(map[string]benchreport.Microbench, len(current.Microbench))
+	for _, m := range current.Microbench {
+		rows[m.Name] = m
+	}
+	cold, okC := rows[cacheColdRow]
+	hit, okH := rows[cacheHitRow]
+	if !okC || !okH {
+		return "", fmt.Errorf("cachehit gate: report lacks %q or %q", cacheColdRow, cacheHitRow)
+	}
+	if cold.NsPerRound <= 0 || hit.NsPerRound <= 0 {
+		return "", fmt.Errorf("cachehit gate: non-positive ns/request (cold %.1f, hit %.1f)", cold.NsPerRound, hit.NsPerRound)
+	}
+	speedup := cold.NsPerRound / hit.NsPerRound
+	summary := fmt.Sprintf("servecache hit %.0f ns/request vs cold %.0f: %.0fx (floor %.0fx)",
+		hit.NsPerRound, cold.NsPerRound, speedup, minSpeedup)
+	if speedup < minSpeedup {
+		return summary, fmt.Errorf("%s", summary)
+	}
+	return "ok — " + summary, nil
 }
 
 // The microbenchmark rows the trial-batching speedup gate compares: the

@@ -236,3 +236,42 @@ func TestGateBurstDrawRejectsNonPositive(t *testing.T) {
 		t.Fatal("non-positive v2 ns accepted")
 	}
 }
+
+func cacheHitRep(coldNs, hitNs float64) benchreport.Report {
+	return microRep(10,
+		benchreport.Microbench{Name: cacheColdRow, NsPerRound: coldNs},
+		benchreport.Microbench{Name: cacheHitRow, NsPerRound: hitNs},
+	)
+}
+
+func TestGateCacheHitAboveFloor(t *testing.T) {
+	if _, err := gateCacheHit(cacheHitRep(300e6, 1e6), 100.0); err != nil {
+		t.Fatalf("300x speedup rejected at 100x floor: %v", err)
+	}
+}
+
+func TestGateCacheHitBelowFloor(t *testing.T) {
+	_, err := gateCacheHit(cacheHitRep(300e6, 10e6), 100.0)
+	if err == nil {
+		t.Fatal("30x speedup accepted at 100x floor")
+	}
+	if !strings.Contains(err.Error(), "floor") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}
+
+func TestGateCacheHitMissingRows(t *testing.T) {
+	if _, err := gateCacheHit(microRep(10), 100.0); err == nil {
+		t.Fatal("report without servecache rows passed the cachehit gate")
+	}
+	onlyCold := microRep(10, benchreport.Microbench{Name: cacheColdRow, NsPerRound: 300e6})
+	if _, err := gateCacheHit(onlyCold, 100.0); err == nil {
+		t.Fatal("report without the hit row passed the cachehit gate")
+	}
+}
+
+func TestGateCacheHitRejectsNonPositive(t *testing.T) {
+	if _, err := gateCacheHit(cacheHitRep(300e6, 0), 100.0); err == nil {
+		t.Fatal("non-positive hit ns accepted")
+	}
+}

@@ -109,9 +109,9 @@ import (
 	"noisyradio/internal/benchreport"
 	"noisyradio/internal/broadcast"
 	"noisyradio/internal/experiments"
-	"noisyradio/internal/graph"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
+	"noisyradio/internal/serve"
 	"noisyradio/internal/sim"
 	"noisyradio/internal/trace"
 )
@@ -129,6 +129,7 @@ func run(args []string, out *os.File) error {
 		exp        = fs.String("exp", "", "experiment id (E1..E19, F1, F2, A1..A3) or 'all'")
 		list       = fs.Bool("list", false, "list available experiments")
 		schedName  = fs.String("schedule", "", "run one broadcast schedule from the registry by name, or 'list'")
+		submit     = fs.String("submit", "", "submit the -schedule job to a sweep service at this base URL (e.g. http://localhost:8091) instead of executing locally")
 		trials     = fs.Int("trials", 0, "Monte-Carlo trials per row (0 = experiment/schedule default)")
 		seed       = fs.Uint64("seed", 1, "base random seed")
 		workers    = fs.Int("workers", 0, "shared worker pool size for each table (0 = GOMAXPROCS)")
@@ -189,7 +190,13 @@ func run(args []string, out *os.File) error {
 			}
 			return nil
 		}
+		if *submit != "" {
+			return submitSchedule(out, *submit, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *drawC, *trials, *seed, *burstLen, *burstBadP, *jamQ, *jamRadius, *jamBall)
+		}
 		return runSchedule(out, *schedName, *topology, *demoN, *demoK, *demoP, *faultMd, *trials, *seed, *workers, tb, base)
+	}
+	if *submit != "" {
+		return fmt.Errorf("-submit requires -schedule (the sweep service runs registry schedules)")
 	}
 	if *list {
 		for _, e := range experiments.Registry() {
@@ -297,8 +304,10 @@ func run(args []string, out *os.File) error {
 		// wall clock mixes scheduling, coding and statistics, so per-round
 		// engine regressions need their own gated numbers. Run after the
 		// wall-clock and allocation windows close so their setup doesn't
-		// pollute the suite's numbers.
-		bench.Microbench = radio.EngineMicrobench()
+		// pollute the suite's numbers. The sweep-service cache microbench
+		// (cold vs cached submission of one representative job) rides along
+		// the same way for the benchgate -min-cachehit-speedup floor.
+		bench.Microbench = append(radio.EngineMicrobench(), serve.CacheMicrobench()...)
 		// The execution plans the sweeps chose (engine, trial-batch width W
 		// per schedule row) ride along so the `-trialbatch auto` decision
 		// trail is inspectable in the artifact.
@@ -328,128 +337,15 @@ func parseTrialBatch(s string) (int, error) {
 // parameters).
 func parseFault(faultName string, p float64, base radio.Config) (radio.Config, error) {
 	cfg := base
-	switch faultName {
-	case "none":
-		cfg.Fault = radio.Faultless
-	case "sender":
-		cfg.Fault, cfg.P = radio.SenderFaults, p
-	case "receiver":
-		cfg.Fault, cfg.P = radio.ReceiverFaults, p
-	default:
-		return cfg, fmt.Errorf("unknown fault model %q (none|sender|receiver)", faultName)
+	fault, err := radio.ParseFaultModel(faultName)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Fault = fault
+	if fault != radio.Faultless {
+		cfg.P = p
 	}
 	return cfg, nil
-}
-
-// largeNImplicit is the node count at which workloadTopology switches the
-// workload to the CSR-less implicit storage mode: past it, materialized
-// adjacency (a Θ(n²/8)-byte bit matrix, an O(m) CSR) stops fitting memory
-// for the dense topologies the flag offers, while every offered topology
-// has a closed-form NeighborModel. Engines are bit-identical across
-// storage modes, so the switch never changes output.
-const largeNImplicit = 4096
-
-// workloadTopology builds the -topology/-n workload graph for demo and
-// schedule runs, validating the CLI-derived sizes up front so the graph
-// generators' panics surface as usage errors instead of crashes.
-func workloadTopology(name string, n int) (graph.Topology, error) {
-	if n < 2 {
-		return graph.Topology{}, fmt.Errorf("-topology %s needs -n >= 2, got %d", name, n)
-	}
-	implicit := n >= largeNImplicit
-	switch name {
-	case "path":
-		if implicit {
-			return graph.ImplicitPath(n), nil
-		}
-		return graph.Path(n), nil
-	case "complete":
-		if implicit {
-			return graph.ImplicitComplete(n), nil
-		}
-		return graph.Complete(n), nil
-	case "star":
-		if implicit {
-			return graph.ImplicitStar(n - 1), nil
-		}
-		return graph.Star(n - 1), nil
-	case "cycle":
-		if n < 3 {
-			return graph.Topology{}, fmt.Errorf("-topology cycle needs -n >= 3, got %d", n)
-		}
-		if implicit {
-			return graph.ImplicitCycle(n), nil
-		}
-		return graph.Cycle(n), nil
-	case "grid":
-		side := int(math.Sqrt(float64(n)))
-		for side*side < n {
-			side++
-		}
-		for side*side > n {
-			side--
-		}
-		if side < 1 || side*side != n {
-			return graph.Topology{}, fmt.Errorf("-topology grid needs a square -n, got %d (nearest squares: %d, %d)", n, side*side, (side+1)*(side+1))
-		}
-		if implicit {
-			return graph.ImplicitGrid(side, side), nil
-		}
-		return graph.Grid(side, side), nil
-	case "hypercube":
-		if n&(n-1) != 0 {
-			return graph.Topology{}, fmt.Errorf("-topology hypercube needs a power-of-two -n, got %d", n)
-		}
-		dim := 0
-		for 1<<uint(dim+1) <= n {
-			dim++
-		}
-		if dim > 30 {
-			return graph.Topology{}, fmt.Errorf("-topology hypercube supports at most 2^30 nodes, got 2^%d", dim)
-		}
-		if implicit {
-			return graph.ImplicitHypercube(dim), nil
-		}
-		return graph.Hypercube(dim), nil
-	default:
-		return graph.Topology{}, fmt.Errorf("unknown -topology %q (path|complete|star|cycle|grid|hypercube)", name)
-	}
-}
-
-// scheduleWorkload builds the topology and parameters a -schedule run
-// executes: a size-n workload shaped for the schedule (the -topology graph
-// for topology-taking schedules, star leaves, a WCT instance, a pipeline
-// length), with k messages for multi-message schedules.
-func scheduleWorkload(sched *broadcast.Schedule, topology string, n, k int, seed uint64) (graph.Topology, broadcast.ScheduleParams, error) {
-	if n < 2 {
-		return graph.Topology{}, broadcast.ScheduleParams{}, fmt.Errorf("schedule run needs -n >= 2, got %d", n)
-	}
-	if k < 1 {
-		return graph.Topology{}, broadcast.ScheduleParams{}, fmt.Errorf("schedule run needs -k >= 1, got %d", k)
-	}
-	p := broadcast.ScheduleParams{}
-	if sched.Kind == broadcast.MultiMessage {
-		p.K = k
-	}
-	switch sched.Name {
-	case "star-routing", "star-coding":
-		p.Leaves = n
-		return graph.Topology{}, p, nil
-	case "wct-routing", "wct-coding":
-		p.WCT = graph.NewWCT(graph.DefaultWCTParams(n), rng.NewFrom(seed, 1<<32))
-		return graph.Topology{}, p, nil
-	case "single-link-nonadaptive", "single-link-adaptive", "single-link-coding":
-		return graph.Topology{}, p, nil
-	case "path-pipeline-routing", "transformed-path-routing", "transformed-path-coding":
-		p.PathLen = n
-		return graph.Topology{}, p, nil
-	default:
-		top, err := workloadTopology(topology, n)
-		if err != nil {
-			return graph.Topology{}, p, err
-		}
-		return top, p, nil
-	}
 }
 
 // runSchedule runs -trials Monte-Carlo trials of one registry schedule on
@@ -465,15 +361,9 @@ func runSchedule(out *os.File, name, topology string, n, k int, p float64, fault
 	if err != nil {
 		return err
 	}
-	top, params, err := scheduleWorkload(sched, topology, n, k, seed)
+	top, params, err := experiments.ScheduleWorkload(sched, topology, n, k, seed)
 	if err != nil {
 		return err
-	}
-	// The FASTBC family builds a BFS tree up front; the implicit storage
-	// mode cannot serve that, so reject it as a usage error rather than let
-	// the graph layer panic.
-	if top.G != nil && !top.G.HasCSR() && (sched.Name == "fastbc" || sched.Name == "robust-fastbc") {
-		return fmt.Errorf("schedule %s needs materialized adjacency, but -n %d >= %d builds the implicit form; use a smaller -n", sched.Name, n, largeNImplicit)
 	}
 	if trials <= 0 {
 		trials = 20
@@ -536,12 +426,12 @@ func runDemo(out *os.File, algo, topology string, n int, p float64, faultName st
 	if err != nil {
 		return err
 	}
-	top, err := workloadTopology(topology, n)
+	top, err := experiments.WorkloadTopology(topology, n)
 	if err != nil {
 		return err
 	}
 	if !top.G.HasCSR() && algo != "decay" {
-		return fmt.Errorf("%s builds a BFS tree and needs materialized adjacency, but -n %d >= %d builds the implicit form; use a smaller -n or -demo decay", algo, n, largeNImplicit)
+		return fmt.Errorf("%s builds a BFS tree and needs materialized adjacency, but -n %d >= %d builds the implicit form; use a smaller -n or -demo decay", algo, n, experiments.LargeNImplicit)
 	}
 	rec := trace.NewRecorder(top.G.N())
 	opts := broadcast.Options{Trace: rec.Observe}

@@ -1,0 +1,182 @@
+package benchreport_test
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"noisyradio/internal/benchreport"
+	"noisyradio/internal/broadcast"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite plan-key golden files")
+
+func baseSpec() benchreport.JobSpec {
+	return benchreport.JobSpec{
+		Schedule: "decay",
+		Topology: "complete",
+		N:        4096,
+		Fault:    "receiver",
+		P:        0.3,
+		Draw:     "v1",
+		Seed:     1,
+		Trials:   256,
+	}
+}
+
+// TestPlanKeyRoundTrip: the spec survives its own JSON wire format with
+// the key intact — what the client posts is what the server hashes.
+func TestPlanKeyRoundTrip(t *testing.T) {
+	spec := benchreport.JobSpec{
+		Schedule: "star-coding", Topology: "star", N: 128, K: 4,
+		Fault: "sender", P: 0.45, Draw: "v3",
+		BurstLen: 8, BurstBadP: 0.9,
+		Seed: 99, Trials: 1000,
+	}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back benchreport.JobSpec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", back, spec)
+	}
+	if back.PlanKey() != spec.PlanKey() {
+		t.Fatalf("round trip changed the key: %s vs %s", back.PlanKey(), spec.PlanKey())
+	}
+}
+
+// TestPlanKeyNormalization pins the structural normalizations: empty draw
+// is v1, and parameters of non-selected contracts cannot split keys.
+func TestPlanKeyNormalization(t *testing.T) {
+	a := baseSpec()
+	b := a
+	b.Draw = ""
+	if a.PlanKey() != b.PlanKey() {
+		t.Fatalf("draw \"\" and \"v1\" keyed differently:\n%s\n%s", a.Canonical(), b.Canonical())
+	}
+	g := a
+	g.Fault = "receiver-faults" // String() spelling of the same model
+	if a.PlanKey() != g.PlanKey() {
+		t.Fatalf("fault spellings keyed differently:\n%s\n%s", a.Canonical(), g.Canonical())
+	}
+	c := a
+	c.BurstLen, c.BurstBadP = 8, 0.9 // ignored under v1
+	c.JamQ, c.JamRadius, c.JamBall = 0.05, 8, true
+	if a.PlanKey() != c.PlanKey() {
+		t.Fatalf("non-selected contract params split the key:\n%s\n%s", a.Canonical(), c.Canonical())
+	}
+	d := a
+	d.Draw = "v3"
+	d.BurstLen = 8
+	e := d
+	e.JamQ = 0.05 // v4 param, ignored under v3
+	if d.PlanKey() != e.PlanKey() {
+		t.Fatalf("jam params split a v3 key:\n%s\n%s", d.Canonical(), e.Canonical())
+	}
+	// But a v3 default-by-omission is NOT folded onto the spelled-out
+	// default: zero-means-default resolution belongs to the radio layer.
+	f := d
+	f.BurstBadP = 0.5
+	if d.PlanKey() == f.PlanKey() {
+		t.Fatal("omitted and spelled-out burst badp collapsed to one key")
+	}
+}
+
+// TestPlanKeySensitivity: every field that feeds the draw sequence or the
+// folded statistic moves the key.
+func TestPlanKeySensitivity(t *testing.T) {
+	base := baseSpec()
+	muts := map[string]func(*benchreport.JobSpec){
+		"schedule": func(j *benchreport.JobSpec) { j.Schedule = "fastbc" },
+		"topology": func(j *benchreport.JobSpec) { j.Topology = "path" },
+		"n":        func(j *benchreport.JobSpec) { j.N = 4097 },
+		"k":        func(j *benchreport.JobSpec) { j.K = 3 },
+		"fault":    func(j *benchreport.JobSpec) { j.Fault = "sender" },
+		"p":        func(j *benchreport.JobSpec) { j.P = 0.30000000000000004 },
+		"draw":     func(j *benchreport.JobSpec) { j.Draw = "v2" },
+		"seed":     func(j *benchreport.JobSpec) { j.Seed = 2 },
+		"trials":   func(j *benchreport.JobSpec) { j.Trials = 257 },
+	}
+	for name, mut := range muts {
+		spec := base
+		mut(&spec)
+		if spec.PlanKey() == base.PlanKey() {
+			t.Errorf("mutating %s did not move the key (canonical %q)", name, spec.Canonical())
+		}
+	}
+}
+
+// TestPlanKeyGolden freezes the canonical form and key for one spec per
+// registry schedule. A diff here means every previously cached body is
+// invalid — that is sometimes the right call, but it must be deliberate:
+// bump the `pk1-` schema prefix in PlanKey and regenerate with -update.
+func TestPlanKeyGolden(t *testing.T) {
+	names := broadcast.ScheduleNames()
+	sort.Strings(names)
+	var b strings.Builder
+	for i, name := range names {
+		spec := baseSpec()
+		spec.Schedule = name
+		spec.K = 3
+		spec.Draw = []string{"v1", "v2", "v3", "v4"}[i%4]
+		fmt.Fprintf(&b, "%s\n  %s\n", spec.PlanKey(), spec.Canonical())
+	}
+	got := b.String()
+	path := filepath.Join("testdata", "plankeys.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("plan keys drifted from golden — cached bodies would be orphaned.\nIf intended, bump the pk1- schema prefix and rerun with -update.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPlanKeyCollisionSanity: distinct specs across the whole registry ×
+// draw contracts × a few workload variants produce distinct keys and
+// distinct canonical forms.
+func TestPlanKeyCollisionSanity(t *testing.T) {
+	seen := map[string]string{} // key -> canonical
+	add := func(spec benchreport.JobSpec) {
+		can := spec.Canonical()
+		key := spec.PlanKey()
+		if prev, ok := seen[key]; ok && prev != can {
+			t.Fatalf("key collision %s:\n%s\n%s", key, prev, can)
+		}
+		seen[key] = can
+	}
+	for _, name := range broadcast.ScheduleNames() {
+		for _, draw := range []string{"v1", "v2", "v3", "v4"} {
+			for _, n := range []int{64, 4096} {
+				for _, p := range []float64{0.3, 0.45} {
+					spec := baseSpec()
+					spec.Schedule, spec.Draw, spec.N, spec.P = name, draw, n, p
+					add(spec)
+					spec.Seed = 2
+					add(spec)
+				}
+			}
+		}
+	}
+	want := len(broadcast.ScheduleNames()) * 4 * 2 * 2 * 2
+	if len(seen) != want {
+		t.Fatalf("%d distinct keys for %d distinct specs", len(seen), want)
+	}
+}

@@ -120,6 +120,22 @@ func (m FaultModel) String() string {
 	}
 }
 
+// ParseFaultModel converts a fault-model name as the CLI flags and the
+// sweep-service wire format spell it. The short forms ("none", "sender",
+// "receiver") are the flag vocabulary; the String() forms are accepted
+// too so a spec can echo a config back verbatim.
+func ParseFaultModel(s string) (FaultModel, error) {
+	switch s {
+	case "none", "faultless":
+		return Faultless, nil
+	case "sender", "sender-faults":
+		return SenderFaults, nil
+	case "receiver", "receiver-faults":
+		return ReceiverFaults, nil
+	}
+	return 0, fmt.Errorf("radio: unknown fault model %q (none|sender|receiver)", s)
+}
+
 // Engine selects the round-execution strategy. All engines produce
 // bit-identical executions; they differ only in speed and memory.
 type Engine int

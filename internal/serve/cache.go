@@ -1,0 +1,49 @@
+package serve
+
+import "container/list"
+
+// bodyCache is a plain LRU over finished response bodies, keyed by plan
+// key. Values are the full NDJSON stream bytes, stored only for jobs
+// that completed cleanly — a hit is served by writing the stored bytes
+// verbatim, which is why byte-stability of the stream is a correctness
+// property, not a nicety. Callers hold the server mutex; the cache has
+// no locking of its own.
+type bodyCache struct {
+	cap     int
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+func newBodyCache(capacity int) *bodyCache {
+	return &bodyCache{cap: capacity, order: list.New(), entries: make(map[string]*list.Element)}
+}
+
+func (c *bodyCache) get(key string) ([]byte, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+func (c *bodyCache) put(key string, body []byte) {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).body = body
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *bodyCache) len() int { return c.order.Len() }

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// SubmitResult is one finished job from the client's point of view: the
+// terminal result line plus the server's cache disposition ("hit",
+// "miss" or "coalesced" — header-borne, never part of the cached body).
+type SubmitResult struct {
+	Line
+	Cache string
+}
+
+// Submit posts one job spec (already-JSON bytes are not accepted — the
+// caller provides the struct, this encodes it) to a sweep service and
+// consumes the NDJSON stream, invoking onSnapshot for each partial
+// snapshot as it arrives. It returns when the terminal line arrives: the
+// result line on success, an error for HTTP-level rejections (bad spec,
+// unreachable server) and for jobs that finished with an error line.
+func Submit(ctx context.Context, baseURL string, spec any, onSnapshot func(Line)) (*SubmitResult, error) {
+	payload, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("encoding job spec: %w", err)
+	}
+	url := strings.TrimSuffix(baseURL, "/") + "/v1/jobs"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("submitting job: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("server rejected job (%s): %s", resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("server rejected job (%s): %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+
+	res := &SubmitResult{Cache: resp.Header.Get("X-Cache")}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var line Line
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("decoding stream line %q: %w", raw, err)
+		}
+		switch line.Type {
+		case "snapshot":
+			if onSnapshot != nil {
+				onSnapshot(line)
+			}
+		case "result":
+			res.Line = line
+			return res, nil
+		case "error":
+			return nil, fmt.Errorf("job failed: %s", line.Error)
+		default:
+			return nil, fmt.Errorf("unknown stream line type %q", line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading stream: %w", err)
+	}
+	return nil, fmt.Errorf("stream ended without a result line")
+}

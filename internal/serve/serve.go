@@ -1,0 +1,390 @@
+// Package serve implements the sweep service: a persistent HTTP server
+// that accepts sweep jobs in the schedule registry's vocabulary, shards
+// them across the sim.Sweep scheduler, streams partial statistics as
+// shards complete, and caches finished results under their canonical
+// plan key (benchreport.JobSpec.PlanKey).
+//
+// The determinism stack the service stands on, bottom to top:
+//
+//   - trial i of a (seed, trials) job always draws rng.NewFrom(seed, i),
+//     whatever engine, batch width or worker count executes it;
+//   - a shard row for [start, end) replays exactly the global trials
+//     start..end-1 (sim.Sweep.AddScheduleShard), and merging shard
+//     accumulators in shard order reproduces the unsharded fold
+//     (stats.Accumulator.Merge);
+//   - the shard plan is a pure function of the job spec (trial count),
+//     never of machine shape;
+//   - snapshot k is the merge of shards 0..k, emitted when those shards
+//     have all completed — a prefix property, so the full NDJSON stream
+//     is byte-stable across executions.
+//
+// Hence a finished body can be cached and replayed verbatim: a cache hit
+// IS the prior result, not a re-computation, and the X-Cache header is
+// the only part of the response that differs.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"noisyradio/internal/benchreport"
+	"noisyradio/internal/broadcast"
+	"noisyradio/internal/experiments"
+	"noisyradio/internal/graph"
+	"noisyradio/internal/radio"
+	"noisyradio/internal/sim"
+	"noisyradio/internal/stats"
+)
+
+// Config tunes a Server. Every field is an execution knob: none of them
+// changes the statistics of any job, only how fast they arrive — except
+// Shards, which changes where snapshot lines fall in the stream (bodies
+// are cached per process, so a fixed Config keeps them byte-stable).
+type Config struct {
+	// CacheSize bounds the result cache in entries (finished bodies).
+	// 0 means 1024.
+	CacheSize int
+	// Shards fixes the per-job shard count. 0 derives it from the trial
+	// count: min(8, ceil(trials/32)) — small jobs stay unsharded, large
+	// jobs get snapshot granularity.
+	Shards int
+	// Workers and TrialBatch configure each job's sim.Sweep
+	// (0 = GOMAXPROCS workers; TrialBatchAuto plans the batch width).
+	Workers    int
+	TrialBatch int
+}
+
+// Server is the sweep service. It implements http.Handler; lifecycle
+// (listening, TLS, draining) belongs to the owning http.Server.
+type Server struct {
+	cfg Config
+
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	cache   *bodyCache
+	flights map[string]*flight
+
+	metrics struct {
+		jobs      atomic.Int64 // accepted job submissions (valid specs)
+		hits      atomic.Int64 // served verbatim from the result cache
+		misses    atomic.Int64 // executed
+		coalesced atomic.Int64 // waited on an identical in-flight job
+		errored   atomic.Int64 // finished with an error line (not cached)
+		inflight  atomic.Int64 // shards currently executing
+		trials    atomic.Int64 // trials folded by finished jobs
+	}
+}
+
+// flight is one in-flight execution, used to coalesce concurrent
+// identical submissions: followers wait for done, then replay body.
+type flight struct {
+	done chan struct{}
+	body []byte // full stream bytes; set before done closes
+	ok   bool   // finished cleanly (body also cached)
+}
+
+// NewServer builds a sweep service with the given execution knobs.
+func NewServer(cfg Config) *Server {
+	if cfg.CacheSize <= 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.TrialBatch == 0 {
+		cfg.TrialBatch = sim.TrialBatchAuto
+	}
+	s := &Server{
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		cache:   newBodyCache(cfg.CacheSize),
+		flights: make(map[string]*flight),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJob)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// ShardPlan returns the deterministic shard count for a trial count
+// under this server's config — exported so tests and the microbench can
+// predict where snapshot lines fall.
+func (s *Server) ShardPlan(trials int) int {
+	if s.cfg.Shards > 0 {
+		return s.cfg.Shards
+	}
+	shards := (trials + 31) / 32
+	if shards > 8 {
+		shards = 8
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	return shards
+}
+
+// job is a validated, resolved submission: everything the sweep needs,
+// derived from the spec before any execution (so malformed jobs fail as
+// HTTP 400, never mid-stream).
+type job struct {
+	spec   benchreport.JobSpec
+	key    string
+	sched  *broadcast.Schedule
+	top    graph.Topology
+	params broadcast.ScheduleParams
+	cfg    radio.Config
+	shards int
+}
+
+// resolveJob validates a spec against the registries and builds the run
+// inputs. The error text is the HTTP 400 body.
+func (s *Server) resolveJob(spec benchreport.JobSpec) (*job, error) {
+	sched, err := broadcast.LookupSchedule(spec.Schedule)
+	if err != nil {
+		return nil, fmt.Errorf("%w (known: %v)", err, broadcast.ScheduleNames())
+	}
+	fault, err := radio.ParseFaultModel(spec.Fault)
+	if err != nil {
+		return nil, err
+	}
+	draw, err := radio.ParseDrawContract(spec.Draw)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Trials < 1 {
+		return nil, fmt.Errorf("trials must be >= 1, got %d", spec.Trials)
+	}
+	if spec.P < 0 || spec.P >= 1 {
+		return nil, fmt.Errorf("p must be in [0, 1), got %v", spec.P)
+	}
+	k := spec.K
+	if k == 0 {
+		k = 1
+	}
+	top, params, err := experiments.ScheduleWorkload(sched, spec.Topology, spec.N, k, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg := radio.Config{
+		Fault: fault,
+		Draw:  draw,
+		Burst: radio.BurstParams{Len: spec.BurstLen, BadP: spec.BurstBadP},
+		Jam:   radio.JamParams{Q: spec.JamQ, Radius: spec.JamRadius, Ball: spec.JamBall},
+	}
+	if fault != radio.Faultless {
+		cfg.P = spec.P
+	}
+	return &job{
+		spec:   spec,
+		key:    spec.PlanKey(),
+		sched:  sched,
+		top:    top,
+		params: params,
+		cfg:    cfg,
+		shards: s.ShardPlan(spec.Trials),
+	}, nil
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var spec benchreport.JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	jb, err := s.resolveJob(spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.metrics.jobs.Add(1)
+
+	// Admission: cache hit, coalesce onto an identical in-flight job, or
+	// become the executing leader.
+	s.mu.Lock()
+	if body, ok := s.cache.get(jb.key); ok {
+		s.mu.Unlock()
+		s.metrics.hits.Add(1)
+		s.writeBody(w, jb.key, "hit", body)
+		return
+	}
+	if f, ok := s.flights[jb.key]; ok {
+		s.mu.Unlock()
+		s.metrics.coalesced.Add(1)
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+			return
+		}
+		if !f.ok {
+			httpError(w, http.StatusServiceUnavailable, errors.New("coalesced job aborted; retry"))
+			return
+		}
+		s.writeBody(w, jb.key, "coalesced", f.body)
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[jb.key] = f
+	s.mu.Unlock()
+	s.metrics.misses.Add(1)
+
+	body, runErr := s.execute(r.Context(), jb, w)
+
+	s.mu.Lock()
+	f.body, f.ok = body, runErr == nil
+	if runErr == nil {
+		s.cache.put(jb.key, body)
+	}
+	delete(s.flights, jb.key)
+	s.mu.Unlock()
+	close(f.done)
+	if runErr == nil {
+		s.metrics.trials.Add(int64(jb.spec.Trials))
+	} else {
+		s.metrics.errored.Add(1)
+	}
+}
+
+// writeBody replays a finished stream verbatim. The cache disposition
+// travels in headers — the body bytes are identical on hit and miss.
+func (s *Server) writeBody(w http.ResponseWriter, key, disposition string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Plan-Key", key)
+	h.Set("X-Cache", disposition)
+	w.Write(body)
+}
+
+// execute runs one job as the flight leader, streaming the NDJSON body
+// to w line by line while accumulating the byte-identical copy that the
+// cache (and any coalesced followers) will replay. Client disconnection
+// cancels ctx, which cancels the sweep; the job then finishes with an
+// error line and is not cached.
+func (s *Server) execute(ctx context.Context, jb *job, w http.ResponseWriter) ([]byte, error) {
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson")
+	h.Set("X-Plan-Key", jb.key)
+	h.Set("X-Cache", "miss")
+	flusher, _ := w.(http.Flusher)
+
+	var body bytes.Buffer
+	emit := func(line Line) {
+		b, err := json.Marshal(line)
+		if err != nil {
+			panic(fmt.Sprintf("serve: marshaling stream line: %v", err))
+		}
+		b = append(b, '\n')
+		body.Write(b)
+		w.Write(b)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	sw := sim.NewSweep(sim.SweepConfig{Workers: s.cfg.Workers, TrialBatch: s.cfg.TrialBatch})
+	rows := make([]*sim.Row, jb.shards)
+	for i := range rows {
+		start := i * jb.spec.Trials / jb.shards
+		end := (i + 1) * jb.spec.Trials / jb.shards
+		rows[i] = sw.AddScheduleShard(jb.sched, jb.top, jb.cfg, jb.params, start, end, jb.spec.Seed, scheduleValue)
+	}
+	s.metrics.inflight.Add(int64(jb.shards))
+	errc := make(chan error, 1)
+	go func() { errc <- sw.RunContext(jobCtx) }()
+
+	merged := stats.NewAccumulator()
+	var rowErr error
+	for k, row := range rows {
+		<-row.Done()
+		s.metrics.inflight.Add(-1)
+		if err := row.Err(); err != nil {
+			rowErr = err
+			// Abandon the rest of the job: cancel unstarted chunks, drain
+			// the remaining shard gauge as their rows complete.
+			cancel()
+			for _, rest := range rows[k+1:] {
+				<-rest.Done()
+				s.metrics.inflight.Add(-1)
+			}
+			break
+		}
+		merged.Merge(row.Acc())
+		if k < len(rows)-1 {
+			// Interior snapshot: the merge of shards 0..k. The final
+			// prefix is the result line below, not a duplicate snapshot.
+			emit(Line{Type: "snapshot", ShardsDone: k + 1, Shards: jb.shards, Stats: newStats(merged)})
+		}
+	}
+	<-errc
+	if rowErr != nil {
+		emit(Line{Type: "error", Key: jb.key, Error: rowErr.Error()})
+		return body.Bytes(), rowErr
+	}
+	emit(Line{
+		Type:     "result",
+		Key:      jb.key,
+		Schedule: jb.spec.Schedule,
+		Trials:   jb.spec.Trials,
+		Shards:   jb.shards,
+		Stats:    newStats(merged),
+	})
+	return body.Bytes(), nil
+}
+
+// scheduleValue is the one statistic the service folds: rounds to
+// completion, with failed trials feeding the accumulator's dropped
+// counter via the NaN sentinel — the same mapping the CLI's -schedule
+// runner uses.
+func scheduleValue(o broadcast.Outcome) (float64, error) {
+	if !o.Success {
+		return math.NaN(), nil
+	}
+	return float64(o.Rounds), nil
+}
+
+// handleMetrics renders the counters as plain "name value" lines.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	entries := s.cache.len()
+	s.mu.Unlock()
+	m := map[string]int64{
+		"noisyserved_jobs_total":         s.metrics.jobs.Load(),
+		"noisyserved_cache_hits_total":   s.metrics.hits.Load(),
+		"noisyserved_cache_misses_total": s.metrics.misses.Load(),
+		"noisyserved_coalesced_total":    s.metrics.coalesced.Load(),
+		"noisyserved_jobs_errored_total": s.metrics.errored.Load(),
+		"noisyserved_shards_inflight":    s.metrics.inflight.Load(),
+		"noisyserved_trials_total":       s.metrics.trials.Load(),
+		"noisyserved_cache_entries":      int64(entries),
+	}
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, m[name])
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,6 +86,7 @@ type Sweep struct {
 	cfg  SweepConfig
 	rows []*Row
 	ran  bool
+	ctx  context.Context // the RunContext context; set once at Run
 }
 
 // NewSweep returns an empty sweep with the given configuration.
@@ -114,6 +116,12 @@ type Row struct {
 	planEngine radio.Engine
 	planDraw   string // draw-contract label (radio.Config.DrawLabel)
 
+	// base offsets the row's trial indices: trial i of this row draws the
+	// stream of global trial base+i (rng.NewFrom(seed, base+i)). Zero for
+	// whole rows; set by AddScheduleShard so a set of shards covering
+	// [0, trials) executes exactly the trials of the unsharded row.
+	base int
+
 	mu      sync.Mutex
 	cond    sync.Cond // signalled when next advances; bounds the pending backlog
 	acc     stats.Accumulator
@@ -139,7 +147,7 @@ func (s *Sweep) Add(trials int, seed uint64, fn TrialFunc) *Row {
 	if s.ran {
 		panic("sim: Sweep.Add after Run")
 	}
-	row := &Row{sweep: s, trials: trials, seed: seed, fn: fn}
+	row := &Row{sweep: s, trials: trials, seed: seed, fn: fn, done: make(chan struct{})}
 	s.rows = append(s.rows, row)
 	return row
 }
@@ -211,7 +219,7 @@ func (s *Sweep) Go(task func() error) *Row {
 	if s.ran {
 		panic("sim: Sweep.Go after Run")
 	}
-	row := &Row{sweep: s, task: task}
+	row := &Row{sweep: s, task: task, done: make(chan struct{})}
 	s.rows = append(s.rows, row)
 	return row
 }
@@ -228,10 +236,23 @@ type chunkTask struct {
 // first error in row-registration order (every row still runs to
 // completion). It must be called exactly once.
 func (s *Sweep) Run() error {
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a cancellable context — the sweep service's
+// per-job cancellation path. Cancellation is cooperative at chunk
+// granularity: chunks already executing finish, chunks not yet started
+// fold empty with the context's error recorded as their trials' failure,
+// so every row still completes (Done still closes, no goroutine leaks)
+// and the first cancelled row reports the context error through the usual
+// row-error channel. A run that finishes all chunks before the
+// cancellation lands is a complete, valid result and returns nil.
+func (s *Sweep) RunContext(ctx context.Context) error {
 	if s.ran {
 		return fmt.Errorf("sim: Sweep.Run called twice")
 	}
 	s.ran = true
+	s.ctx = ctx
 	if len(s.rows) == 0 {
 		return nil
 	}
@@ -246,7 +267,6 @@ func (s *Sweep) Run() error {
 
 	for _, row := range s.rows {
 		row.pending = make(map[int][]float64)
-		row.done = make(chan struct{})
 		row.cond.L = &row.mu
 		if row.task != nil {
 			row.chunk, row.nchunks = 1, 1
@@ -336,6 +356,18 @@ func (row *Row) errOut() error {
 
 // runChunk executes one work unit on a pool worker.
 func (row *Row) runChunk(t chunkTask) {
+	if err := row.sweep.ctx.Err(); err != nil {
+		// Cancelled before this chunk started: fold it empty with the
+		// context error recorded, so the row still completes and reports
+		// the cancellation. Chunks already running are never interrupted.
+		if row.task != nil {
+			row.taskErr = err
+		} else {
+			row.err.record(row.base+t.start, err)
+		}
+		row.fold(t.idx, nil)
+		return
+	}
 	if row.task != nil {
 		if err := row.task(); err != nil {
 			row.taskErr = err
@@ -359,15 +391,15 @@ func (row *Row) runChunk(t chunkTask) {
 			}
 			rnds := make([]*rng.Stream, end-start)
 			for i := range rnds {
-				rnds[i] = rng.NewFrom(row.seed, uint64(start+i))
+				rnds[i] = rng.NewFrom(row.seed, uint64(row.base+start+i))
 			}
-			bv, be := row.batch(start, rnds)
+			bv, be := row.batch(row.base+start, rnds)
 			if len(bv) != end-start || (be != nil && len(be) != end-start) {
 				panic(fmt.Sprintf("sim: batch trial function returned %d values/%d errors for %d trials", len(bv), len(be), end-start))
 			}
 			for i, v := range bv {
 				if be != nil && be[i] != nil {
-					row.err.record(start+i, be[i])
+					row.err.record(row.base+start+i, be[i])
 					v = 0
 				}
 				vals = append(vals, v)
@@ -384,10 +416,13 @@ func (row *Row) runChunk(t chunkTask) {
 
 // runScalarTrial executes one scalar trial of the row, recording a failure
 // as the scalar dispatch paths always have (value 0, lowest-trial error).
+// The trial index is row-local; the rng stream (and the recorded failure
+// index) use the global base+trial, so shard rows replay exactly the
+// trials of their unsharded twin.
 func (row *Row) runScalarTrial(trial int) float64 {
-	v, err := row.fn(trial, rng.NewFrom(row.seed, uint64(trial)))
+	v, err := row.fn(row.base+trial, rng.NewFrom(row.seed, uint64(row.base+trial)))
 	if err != nil {
-		row.err.record(trial, err)
+		row.err.record(row.base+trial, err)
 		v = 0
 	}
 	return v
@@ -446,6 +481,25 @@ func (row *Row) ready() {
 func (row *Row) Acc() *stats.Accumulator {
 	row.ready()
 	return &row.acc
+}
+
+// Done returns a channel closed once every chunk of the row has been
+// folded. It is safe to retain from registration time and to wait on
+// concurrently with RunContext — the sweep service uses it to stream a
+// row's result the moment that row completes, before sibling rows finish.
+// Under cancellation the channel still closes (unstarted chunks fold
+// empty), so waiters never leak. If the owning sweep is never run, the
+// channel never closes.
+func (row *Row) Done() <-chan struct{} { return row.done }
+
+// Snapshot returns a copy of the row's accumulator state at this instant:
+// the in-order fold of every chunk completed so far. Safe to call
+// concurrently with a running sweep; after Done has closed it equals the
+// final Acc state.
+func (row *Row) Snapshot() stats.Accumulator {
+	row.mu.Lock()
+	defer row.mu.Unlock()
+	return row.acc
 }
 
 // Err returns the row's first (lowest trial index) error, or nil. Valid

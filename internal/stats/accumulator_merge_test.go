@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"noisyradio/internal/rng"
+)
+
+// mergeOver splits xs at the given boundaries, folds each shard into its
+// own accumulator in order, and merges the shard accumulators (in shard
+// order) into one. Boundaries are cumulative end indices; the last shard
+// runs to len(xs).
+func mergeOver(xs []float64, bounds []int) *Accumulator {
+	merged := NewAccumulator()
+	start := 0
+	for _, end := range append(bounds, len(xs)) {
+		if end > len(xs) {
+			end = len(xs)
+		}
+		if end < start {
+			end = start
+		}
+		shard := accOver(xs[start:end])
+		merged.Merge(shard)
+		start = end
+	}
+	return merged
+}
+
+// adversarialSplits returns shard boundary sets covering the merge edge
+// cases: no split, empty shards (duplicate boundaries), single-element
+// shards, shards below the P² buffer threshold (n < 5) on either side,
+// and an even many-way split.
+func adversarialSplits(n int) [][]int {
+	splits := [][]int{
+		{},                  // single shard (pure copy path)
+		{0},                 // leading empty shard
+		{n},                 // trailing empty shard
+		{0, 0, n, n},        // repeated empty shards both ends
+		{1},                 // one-element head
+		{n - 1},             // one-element tail
+		{1, 2, 3, 4},        // raw-buffer shards (each < 5 observations)
+		{2, n / 2, n/2 + 3}, // small/large mix straddling the buffer threshold
+	}
+	if n >= 8 {
+		even := []int{}
+		for i := n / 4; i < n; i += n / 4 {
+			even = append(even, i)
+		}
+		splits = append(splits, even)
+	}
+	return splits
+}
+
+// TestMergeMatchesSequentialFold is the Merge exactness contract on
+// adversarial shard splits: count/dropped/min/max exact, sum exact for
+// integer-valued samples, mean and variance within 1e-12 of the two-pass
+// reference, quantile estimates finite and within the sample range.
+func TestMergeMatchesSequentialFold(t *testing.T) {
+	r := rng.New(41)
+	for _, tc := range []struct {
+		name    string
+		n       int
+		draw    func() float64
+		intSums bool
+	}{
+		{"integer-rounds", 257, func() float64 { return math.Floor(r.Float64() * 400) }, true},
+		{"uniform", 1000, func() float64 { return r.Float64()*2000 - 500 }, false},
+		{"tiny", 3, func() float64 { return r.Float64() }, false},
+		{"nan-sentinels", 400, func() float64 {
+			if r.Float64() < 0.2 {
+				return math.NaN()
+			}
+			return math.Floor(r.Float64() * 50)
+		}, true},
+	} {
+		xs := make([]float64, tc.n)
+		for i := range xs {
+			xs[i] = tc.draw()
+		}
+		seq := accOver(xs)
+		for _, bounds := range adversarialSplits(tc.n) {
+			merged := mergeOver(xs, bounds)
+			if merged.N() != seq.N() || merged.Dropped() != seq.Dropped() {
+				t.Fatalf("%s %v: N/Dropped = %d/%d, want %d/%d",
+					tc.name, bounds, merged.N(), merged.Dropped(), seq.N(), seq.Dropped())
+			}
+			if seq.N() == 0 {
+				continue
+			}
+			if merged.Min() != seq.Min() || merged.Max() != seq.Max() {
+				t.Fatalf("%s %v: min/max = %v/%v, want %v/%v",
+					tc.name, bounds, merged.Min(), merged.Max(), seq.Min(), seq.Max())
+			}
+			if tc.intSums && merged.Sum() != seq.Sum() {
+				t.Fatalf("%s %v: Sum = %v, want %v exactly (integer sample)",
+					tc.name, bounds, merged.Sum(), seq.Sum())
+			}
+			if !within(merged.Mean(), seq.Mean(), 1e-12) {
+				t.Fatalf("%s %v: Mean = %v, want %v within 1e-12", tc.name, bounds, merged.Mean(), seq.Mean())
+			}
+			if !within(merged.Variance(), seq.Variance(), 1e-12) {
+				t.Fatalf("%s %v: Variance = %v, want %v within 1e-12", tc.name, bounds, merged.Variance(), seq.Variance())
+			}
+			for _, q := range []struct {
+				name string
+				got  float64
+			}{{"P10", merged.P10()}, {"Median", merged.Median()}, {"P90", merged.P90()}} {
+				if math.IsNaN(q.got) || q.got < seq.Min() || q.got > seq.Max() {
+					t.Fatalf("%s %v: %s = %v outside sample range [%v, %v]",
+						tc.name, bounds, q.name, q.got, seq.Min(), seq.Max())
+				}
+			}
+		}
+	}
+}
+
+// TestMergeMatchesTwoPassReference checks merged mean/variance against the
+// two-pass Summarize reference (not just the sequential single-pass fold)
+// at 1e-12, across shard counts from 2 to 32.
+func TestMergeMatchesTwoPassReference(t *testing.T) {
+	r := rng.New(77)
+	const n = 4096
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64()*1e6 - 5e5
+	}
+	want := MustSummarize(xs)
+	for _, shards := range []int{2, 3, 7, 32} {
+		bounds := make([]int, 0, shards-1)
+		for i := 1; i < shards; i++ {
+			bounds = append(bounds, i*n/shards)
+		}
+		merged := mergeOver(xs, bounds)
+		if !within(merged.Mean(), want.Mean, 1e-12) {
+			t.Fatalf("%d shards: Mean = %v, want %v", shards, merged.Mean(), want.Mean)
+		}
+		if !within(merged.Stddev(), want.Stddev, 1e-12) {
+			t.Fatalf("%d shards: Stddev = %v, want %v", shards, merged.Stddev(), want.Stddev)
+		}
+	}
+}
+
+// TestMergeByteStable: a fixed shard plan merges to the identical state
+// every time — the determinism the sweep service's byte-exact result
+// cache rests on. Accumulator is a comparable struct (fixed-size arrays
+// only), so state equality is byte equality.
+func TestMergeByteStable(t *testing.T) {
+	r := rng.New(5)
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = math.Floor(r.Float64() * 100)
+	}
+	bounds := []int{7, 7, 100, 101, 350}
+	first := mergeOver(xs, bounds)
+	for rep := 0; rep < 3; rep++ {
+		again := mergeOver(xs, bounds)
+		if *again != *first {
+			t.Fatalf("repeat %d: merged state diverged:\n%+v\n%+v", rep, *again, *first)
+		}
+	}
+	// A different shard plan may legitimately differ in the P² estimates,
+	// but never in the exact fields.
+	other := mergeOver(xs, []int{250})
+	if other.N() != first.N() || other.Sum() != first.Sum() ||
+		other.Min() != first.Min() || other.Max() != first.Max() {
+		t.Fatalf("exact fields changed across shard plans: %+v vs %+v", other, first)
+	}
+}
+
+// TestMergeDoesNotMutateArgument: the right-hand side of a merge is
+// read-only — shards stay reusable for later prefix merges.
+func TestMergeDoesNotMutateArgument(t *testing.T) {
+	r := rng.New(9)
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	shard := accOver(xs[50:])
+	before := *shard
+	a := accOver(xs[:50])
+	a.Merge(shard)
+	if *shard != before {
+		t.Fatalf("Merge mutated its argument:\n%+v\n%+v", *shard, before)
+	}
+}
+
+// TestMergeEmptySides pins the empty-accumulator edge cases, including
+// dropped-only shards (every trial NaN).
+func TestMergeEmptySides(t *testing.T) {
+	empty := NewAccumulator()
+	empty.Merge(NewAccumulator())
+	if empty.N() != 0 || empty.Dropped() != 0 {
+		t.Fatalf("empty+empty = %d/%d", empty.N(), empty.Dropped())
+	}
+	if !math.IsNaN(empty.Min()) {
+		t.Fatalf("empty merge gained a Min: %v", empty.Min())
+	}
+
+	droppedOnly := NewAccumulator()
+	droppedOnly.Add(math.NaN())
+	droppedOnly.Add(math.NaN())
+	a := accOver([]float64{1, 2, 3})
+	a.Merge(droppedOnly)
+	if a.N() != 3 || a.Dropped() != 2 {
+		t.Fatalf("dropped-only merge: N/Dropped = %d/%d, want 3/2", a.N(), a.Dropped())
+	}
+	if a.Mean() != 2 || a.Min() != 1 || a.Max() != 3 {
+		t.Fatalf("dropped-only merge changed the sample: %+v", *a)
+	}
+
+	b := NewAccumulator()
+	b.Merge(a)
+	if *b != *a {
+		t.Fatalf("empty.Merge(x) is not a copy:\n%+v\n%+v", *b, *a)
+	}
+}
+
+// TestMergeQuantileAccuracy: merging many shards of a smooth distribution
+// keeps the P² estimates close to the exact order statistics — the marker
+// merge must not destroy the estimator, only approximate it.
+func TestMergeQuantileAccuracy(t *testing.T) {
+	r := rng.New(123)
+	const n = 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+	}
+	bounds := []int{}
+	for i := n / 16; i < n; i += n / 16 {
+		bounds = append(bounds, i)
+	}
+	merged := mergeOver(xs, bounds)
+	for _, q := range []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"P10", merged.P10(), 10},
+		{"Median", merged.Median(), 50},
+		{"P90", merged.P90(), 90},
+	} {
+		if math.Abs(q.got-q.want) > 3 {
+			t.Fatalf("%s = %v, want ~%v (±3 on U[0,100] at n=%d over 16 shards)", q.name, q.got, q.want, n)
+		}
+	}
+}
