@@ -1,0 +1,9 @@
+// Package sim is a deliberately dirty deterministic-plane package for
+// exercising noisyvet's nonzero exit paths.
+package sim
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+
+	"noisyradio/internal/lint"
+)
+
+// vetConfig is the .cfg file cmd/go hands a -vettool for each package:
+// the file set to check plus an export-data map for resolving imports.
+// The field set mirrors x/tools' unitchecker.Config.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVettool executes one unit of go vet's -vettool protocol: read the
+// .cfg, write the (empty) facts file cmd/go expects, and — unless the
+// package was listed only as a dependency (VetxOnly) — type-check from
+// the export data cmd/go already compiled and run the analyzer suite.
+func runVettool(cfgPath string, jsonOut bool, analyzers []*lint.Analyzer, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "noisyvet: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(stderr, "noisyvet: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// cmd/go requires the facts file to exist even though noisyvet's
+	// analyzers exchange no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("noisyvet/facts v0\n"), 0o666); err != nil {
+			fmt.Fprintf(stderr, "noisyvet: writing facts file: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if remapped, ok := cfg.ImportMap[path]; ok {
+			path = remapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, cfg.Compiler, lookup)
+
+	files := make([]string, len(cfg.GoFiles))
+	for i, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		files[i] = f
+	}
+	pkg, err := lint.CheckFiles(fset, cfg.ImportPath, cfg.Dir, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "noisyvet: %v\n", err)
+		return 1
+	}
+	n, err := analyze(pkg, analyzers, jsonOut, stdout, stderr)
+	if err != nil {
+		fmt.Fprintf(stderr, "noisyvet: %v\n", err)
+		return 2
+	}
+	if n > 0 {
+		return 1
+	}
+	return 0
+}

@@ -146,6 +146,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 	}
 	src, err := rlnc.SourceDecoder(messages)
 	if err != nil {
+		rlncPool.Put(net)
 		return MultiResult{}, nil, err
 	}
 	decoders[top.Source] = src
@@ -166,6 +167,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 	if pattern == RLNCRobustFASTBC {
 		tree, err = gbst.Build(g, top.Source)
 		if err != nil {
+			rlncPool.Put(net)
 			return MultiResult{}, nil, err
 		}
 		pr := opts.Robust.withDefaults(n, cfg)
@@ -173,6 +175,7 @@ func RLNCBroadcast(top graph.Topology, cfg radio.Config, messages [][]byte, patt
 		buckets, period = waveBuckets(g, tree, pr.BlockSize)
 		levels = tree.Level
 	} else if pattern != RLNCDecay {
+		rlncPool.Put(net)
 		return MultiResult{}, nil, fmt.Errorf("broadcast: unknown RLNC pattern %d", int(pattern))
 	}
 

@@ -1,16 +1,12 @@
 package broadcast
 
 import (
-	"bytes"
 	"errors"
-	"go/ast"
-	"go/parser"
-	"go/printer"
-	"go/token"
 	"strings"
 	"testing"
 
 	"noisyradio/internal/graph"
+	"noisyradio/internal/lint"
 	"noisyradio/internal/radio"
 	"noisyradio/internal/rng"
 )
@@ -166,86 +162,26 @@ func TestLookupScheduleUnknown(t *testing.T) {
 	}
 }
 
-// TestRegistryComplete parses the package source and checks that every
-// exported schedule-shaped function — scalar entry points returning
-// (Result, error), (MultiResult, error) or (MultiResult, [][]byte, error),
-// and batch twins returning ([]Result, error) or ([]MultiResult, error) —
-// is reachable from exactly one registry entry. A future schedule (or
-// batch twin) cannot silently miss the unified API.
+// TestRegistryComplete runs noisyvet's registry analyzer over this
+// package: every exported schedule-shaped function must be reachable
+// from exactly one registry entry. The completeness logic itself lives
+// (and is unit-tested) in internal/lint; this thin wrapper keeps the
+// invariant enforced under a plain `go test ./...` even when CI's
+// dedicated noisyvet job is skipped.
 func TestRegistryComplete(t *testing.T) {
-	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, ".", nil, 0)
+	pkgs, err := lint.Load(".", ".")
 	if err != nil {
 		t.Fatal(err)
 	}
-	scheduleShaped := map[string]bool{
-		"(Result, error)":                true,
-		"([]Result, error)":              true,
-		"(MultiResult, error)":           true,
-		"(MultiResult, [][]byte, error)": true,
-		"([]MultiResult, error)":         true,
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
 	}
-	found := map[string]string{} // function name -> result signature
-	for name, pkg := range pkgs {
-		if strings.HasSuffix(name, "_test") {
-			continue
-		}
-		for file, f := range pkg.Files {
-			if strings.HasSuffix(file, "_test.go") {
-				continue
-			}
-			for _, decl := range f.Decls {
-				fn, ok := decl.(*ast.FuncDecl)
-				if !ok || fn.Recv != nil || !fn.Name.IsExported() || fn.Type.Results == nil {
-					continue
-				}
-				var parts []string
-				for _, res := range fn.Type.Results.List {
-					var buf bytes.Buffer
-					if err := printer.Fprint(&buf, fset, res.Type); err != nil {
-						t.Fatal(err)
-					}
-					n := 1
-					if len(res.Names) > 1 {
-						n = len(res.Names)
-					}
-					for i := 0; i < n; i++ {
-						parts = append(parts, buf.String())
-					}
-				}
-				sig := "(" + strings.Join(parts, ", ") + ")"
-				if scheduleShaped[sig] {
-					found[fn.Name.Name] = sig
-				}
-			}
-		}
+	diags, err := lint.Run(lint.RegistryAnalyzer, pkgs[0])
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(found) == 0 {
-		t.Fatal("source scan found no schedule-shaped functions — the scan is broken")
-	}
-
-	registered := map[string]string{} // function name -> registry entry
-	for _, s := range Schedules() {
-		for _, fname := range []string{s.scalarName, s.batchName} {
-			if fname == "" {
-				t.Errorf("%s: entry does not name its wrapped functions", s.Name)
-				continue
-			}
-			if prev, dup := registered[fname]; dup {
-				t.Errorf("%s is reachable from two registry entries: %s and %s", fname, prev, s.Name)
-			}
-			registered[fname] = s.Name
-		}
-	}
-	for fname, sig := range found {
-		if _, ok := registered[fname]; !ok {
-			t.Errorf("exported schedule-shaped function %s %s is not reachable from any registry entry", fname, sig)
-		}
-	}
-	for fname, entry := range registered {
-		if _, ok := found[fname]; !ok {
-			t.Errorf("registry entry %q wraps %s, which is not an exported schedule-shaped function", entry, fname)
-		}
+	for _, d := range diags {
+		t.Error(d)
 	}
 }
 

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// deterministicPlanes lists the packages (by import-path suffix) whose
+// executions must be bit-identical across engines, widths, shards and
+// worker counts. Everything the golden and differential tests pin flows
+// through these packages, so a nondeterminism source here is a
+// reproducibility bug even when today's tests happen not to catch it.
+var deterministicPlanes = []string{
+	"internal/radio",
+	"internal/broadcast",
+	"internal/sim",
+	"internal/stats",
+	"internal/rng",
+	"internal/bitset",
+}
+
+// simDispatchers are the functions of internal/sim that legitimately
+// spawn goroutines: the worker-pool dispatchers whose chunk-ordered
+// folding is exactly the mechanism that makes concurrency invisible in
+// the output. A goroutine anywhere else in a deterministic plane needs a
+// //lint:deterministic-ok reason.
+var simDispatchers = map[string]bool{
+	"Run":        true, // sim.Run's chunked worker pool
+	"RunContext": true, // (*Sweep).RunContext's pool + row admission
+}
+
+// forbiddenTimeFuncs are the wall-clock and timer entry points of package
+// time that have no place in a deterministic simulation plane.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"After": true, "AfterFunc": true,
+}
+
+// DeterminismAnalyzer forbids nondeterminism sources in the deterministic
+// planes: wall-clock reads, math/rand, map-range iteration (order is
+// randomized per run), goroutine spawns outside the sim dispatchers, and
+// floating-point reductions folded in map-range order (reassociation
+// changes the result). //lint:deterministic-ok <reason> silences one
+// finding.
+var DeterminismAnalyzer = &Analyzer{
+	Name: "deterministic",
+	Doc: "forbid nondeterminism sources (time.Now, math/rand, map ranges, stray goroutines,\n" +
+		"unordered float reductions) in the deterministic simulation planes",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	plane := false
+	for _, s := range deterministicPlanes {
+		if pathHasSuffix(pass.Pkg.Path(), s) {
+			plane = true
+			break
+		}
+	}
+	if !plane {
+		return nil
+	}
+	isSim := pathHasSuffix(pass.Pkg.Path(), "internal/sim")
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f) {
+			continue
+		}
+		checkImports(pass, f)
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncDeterminism(pass, fn, isSim && simDispatchers[fn.Name.Name])
+		}
+	}
+	return nil
+}
+
+// checkImports reports imports of the math/rand packages; the simulator's
+// only randomness source is internal/rng's explicit streams.
+func checkImports(pass *Pass, f *ast.File) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(imp.Pos(),
+				"deterministic plane imports %s; derive randomness from an internal/rng stream", path)
+		}
+	}
+}
+
+func checkFuncDeterminism(pass *Pass, fn *ast.FuncDecl, dispatcher bool) {
+	// mapRanges tracks the enclosing map-range nesting while walking, for
+	// the float-reduction check.
+	mapRangeDepth := 0
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(n.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map range iteration in a deterministic plane: order is randomized per run; iterate a sorted key slice or annotate with //lint:deterministic-ok <reason>")
+					mapRangeDepth++
+					for _, sub := range []ast.Node{n.Key, n.Value, n.X, n.Body} {
+						if sub != nil {
+							ast.Inspect(sub, walk)
+						}
+					}
+					mapRangeDepth--
+					return false
+				}
+			}
+		case *ast.GoStmt:
+			if !dispatcher {
+				pass.Reportf(n.Pos(),
+					"goroutine spawned outside the sim dispatchers (%s): concurrency in a deterministic plane must fold through sim's chunk-ordered dispatch", dispatcherNames())
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if obj, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+					if p := obj.Pkg(); p != nil && p.Path() == "time" && forbiddenTimeFuncs[obj.Name()] {
+						pass.Reportf(n.Pos(),
+							"time.%s in a deterministic plane: wall-clock reads make runs unreproducible", obj.Name())
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if mapRangeDepth > 0 {
+				checkFloatReduction(pass, n)
+			}
+		}
+		return true
+	}
+	ast.Inspect(fn.Body, walk)
+}
+
+// checkFloatReduction reports compound floating-point accumulation inside
+// a map-range body: the fold order follows the randomized iteration
+// order, and float addition/multiplication do not reassociate.
+func checkFloatReduction(pass *Pass, n *ast.AssignStmt) {
+	switch n.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+	default:
+		return
+	}
+	for _, lhs := range n.Lhs {
+		t := pass.Info.TypeOf(lhs)
+		if t == nil {
+			continue
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+			pass.Reportf(n.Pos(),
+				"floating-point reduction folded in map-range order: the sum depends on randomized iteration order")
+			return
+		}
+	}
+}
+
+func dispatcherNames() string {
+	names := make([]string, 0, len(simDispatchers))
+	for n := range simDispatchers { //lint:deterministic-ok sorted below before use
+		names = append(names, "sim."+n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,191 @@
+// Package linttest is the analysistest-style harness for the noisyvet
+// analyzers: it loads a GOPATH-shaped testdata tree, runs one analyzer
+// over one package, and diffs the findings against `// want "regexp"`
+// expectations written on the offending lines.
+//
+// Testdata layout mirrors x/tools' analysistest:
+//
+//	testdata/src/<import/path>/*.go
+//
+// Imports between testdata packages resolve inside the tree first (so a
+// fake example/internal/radio twin can stand in for the real package —
+// the analyzers match planes by import-path suffix, not identity), and
+// fall back to the shared source importer for the standard library.
+package linttest
+
+import (
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"noisyradio/internal/lint"
+)
+
+// Run loads testdata/src/<path> (rooted at testdata, typically
+// "testdata" relative to the test), applies the analyzer, and reports
+// any mismatch between findings and // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, path string) {
+	t.Helper()
+	pkg := Load(t, testdata, path)
+	diags, err := lint.Run(a, pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	expects, err := parseWants(pkg)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	diff(t, a.Name, diags, expects)
+}
+
+// Load type-checks testdata/src/<path> with the tree-then-stdlib
+// importer and returns the package, for tests that inspect findings
+// directly instead of through // want comments.
+func Load(t *testing.T, testdata, path string) *lint.Package {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(testdata, "src"))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	fset := token.NewFileSet()
+	imp := &treeImporter{
+		root: root,
+		fset: fset,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*lint.Package),
+	}
+	pkg, err := imp.load(path)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	return pkg
+}
+
+// treeImporter resolves imports inside the testdata tree first, then
+// from the standard library via the source importer.
+type treeImporter struct {
+	root string
+	fset *token.FileSet
+	std  types.Importer
+	pkgs map[string]*lint.Package
+}
+
+func (ti *treeImporter) Import(path string) (*types.Package, error) {
+	if pkg, err := ti.load(path); err == nil {
+		return pkg.Types, nil
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	return ti.std.Import(path)
+}
+
+// load type-checks the testdata package at path, memoized.
+func (ti *treeImporter) load(path string) (*lint.Package, error) {
+	if pkg, ok := ti.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ti.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, os.ErrNotExist
+	}
+	sort.Strings(files)
+	pkg, err := lint.CheckFiles(ti.fset, path, dir, files, ti)
+	if err != nil {
+		return nil, err
+	}
+	ti.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// expect is one // want expectation: a pattern bound to a file line.
+type expect struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// wantRe captures the quoted patterns of a // want comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts the // want "re" ["re" ...] expectations from the
+// package's comments; each pattern binds to the comment's own line.
+func parseWants(pkg *lint.Package) ([]*expect, error) {
+	var out []*expect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' {
+						return nil, fmt.Errorf("%s:%d: malformed // want: patterns must be quoted strings", pos.Filename, pos.Line)
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed // want pattern: %v", pos.Filename, pos.Line, err)
+					}
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad // want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					out = append(out, &expect{file: pos.Filename, line: pos.Line, pattern: re})
+					rest = strings.TrimSpace(rest[len(q):])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// diff matches findings against expectations one-to-one per line.
+func diff(t *testing.T, analyzer string, diags []lint.Diagnostic, expects []*expect) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if e.matched || e.file != d.Pos.Filename || e.line != d.Pos.Line {
+				continue
+			}
+			if e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected %s finding: %s", d.Pos, analyzer, d.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected %s finding matching %q, got none", e.file, e.line, analyzer, e.pattern)
+		}
+	}
+}

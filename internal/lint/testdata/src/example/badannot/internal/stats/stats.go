@@ -1,0 +1,7 @@
+// Package stats carries a reasonless annotation; the analyzer must
+// report the annotation itself (checked by a direct test, not // want,
+// because the finding lands on a comment-only line).
+package stats
+
+//lint:deterministic-ok
+func Noop() {}

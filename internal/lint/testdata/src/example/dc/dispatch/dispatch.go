@@ -1,0 +1,23 @@
+// Package dispatch switches on the contract from outside its defining
+// package: rule 1 binds every dispatch site, not just internal/radio.
+package dispatch
+
+import "example/dc/internal/radio"
+
+func Label(c radio.Config) string {
+	switch c.Draw { // want "does not cover DrawV2 and has no default arm"
+	case radio.DrawV1:
+		return "one"
+	}
+	return ""
+}
+
+func Covered(c radio.Config) string {
+	switch c.Draw {
+	case radio.DrawV1:
+		return "one"
+	case radio.DrawV2:
+		return "two"
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+// Package radio defines contract versions but no descriptor table at
+// all.
+package radio
+
+type DrawContract int // want "no contractSpecs descriptor table"
+
+const (
+	DrawV1 DrawContract = iota
+	DrawV2
+)
+
+var _ = []DrawContract{DrawV1, DrawV2}

@@ -1,0 +1,27 @@
+// Package sim is a deterministic-plane twin exercising the dispatcher
+// allowlist: Run and RunContext may spawn goroutines, nothing else may.
+package sim
+
+func Run(work []func()) {
+	done := make(chan struct{})
+	for _, w := range work {
+		go func(f func()) { f(); done <- struct{}{} }(w)
+	}
+	for range work {
+		<-done
+	}
+}
+
+func RunContext(work []func()) {
+	done := make(chan struct{})
+	for _, w := range work {
+		go func(f func()) { f(); done <- struct{}{} }(w)
+	}
+	for range work {
+		<-done
+	}
+}
+
+func Helper(f func()) {
+	go f() // want "goroutine spawned outside the sim dispatchers"
+}

@@ -1,0 +1,41 @@
+// Package radio is the pool twin: Get/GetBatch/Put/PutBatch with loose
+// enough types that width-class crossings compile (so the analyzer, not
+// the type system, must catch them).
+package radio
+
+import "errors"
+
+type Network struct {
+	id int
+}
+
+type Pool struct {
+	free []*Network
+}
+
+func (p *Pool) Get(seed int) (*Network, error) {
+	if seed < 0 {
+		return nil, errors.New("radio: bad seed")
+	}
+	if n := len(p.free); n > 0 {
+		out := p.free[n-1]
+		p.free = p.free[:n-1]
+		return out, nil
+	}
+	return &Network{id: seed}, nil
+}
+
+func (p *Pool) GetBatch(seeds []int) (*Network, error) {
+	if len(seeds) == 0 {
+		return nil, errors.New("radio: empty batch")
+	}
+	return &Network{id: len(seeds)}, nil
+}
+
+func (p *Pool) Put(n *Network) {
+	p.free = append(p.free, n)
+}
+
+func (p *Pool) PutBatch(n *Network) {
+	p.free = append(p.free, n)
+}

@@ -1,0 +1,13 @@
+// Package facade re-exports the registry type by alias and wraps
+// schedule-shaped signatures of its own; an alias must not make this
+// package a registry home (regression for the root-package false
+// positive).
+package facade
+
+import "example/reg/sched"
+
+type Entry = sched.Entry
+
+type Result struct{}
+
+func Wrapper() (Result, error) { return Result{}, nil }

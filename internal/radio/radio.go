@@ -459,10 +459,14 @@ func (c Config) drawParams() (BurstParams, JamParams) {
 	var b BurstParams
 	var j JamParams
 	switch c.Draw {
+	case DrawV1, DrawV2:
+		// Per-call i.i.d. draws carry no extra parameters.
 	case DrawV3:
 		b = c.Burst.norm()
 	case DrawV4:
 		j = c.Jam.norm()
+	default:
+		panic(fmt.Sprintf("radio: drawParams: unknown draw contract %v", c.Draw))
 	}
 	return b, j
 }
@@ -472,6 +476,8 @@ func (c Config) drawParams() (BurstParams, JamParams) {
 // and reports. For v1/v2 it is just the contract name.
 func (c Config) DrawLabel() string {
 	switch c.Draw {
+	case DrawV1, DrawV2:
+		// No parameters beyond the contract name.
 	case DrawV3:
 		b := c.Burst.norm()
 		return fmt.Sprintf("v3(len=%g,badp=%g)", b.Len, b.BadP)
@@ -482,6 +488,8 @@ func (c Config) DrawLabel() string {
 			region = "ball"
 		}
 		return fmt.Sprintf("v4(q=%g,%s)", j.Q, region)
+	default:
+		panic(fmt.Sprintf("radio: DrawLabel: unknown draw contract %v", c.Draw))
 	}
 	return c.Draw.String()
 }

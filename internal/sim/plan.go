@@ -31,6 +31,7 @@ func recordPlan(p benchreport.Plan) {
 func PlanLog() []benchreport.Plan {
 	planMu.Lock()
 	out := make([]benchreport.Plan, 0, len(planLog))
+	//lint:deterministic-ok accumulation order is irrelevant; out is fully sorted below
 	for p, n := range planLog {
 		p.Count = n
 		out = append(out, p)
